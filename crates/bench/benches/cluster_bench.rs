@@ -1,0 +1,59 @@
+//! Linkage-method ablation (the paper's "alter the linkage method"
+//! knob) and B-score computation cost.
+
+use cluster::{bscore, fcluster_maxclust, linkage, CondensedMatrix, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A JSM-like similarity structure: 4 process classes + noise.
+fn jsm_like(n: usize, perturb: bool) -> CondensedMatrix {
+    CondensedMatrix::from_fn(n, |i, j| {
+        let (ci, cj) = (i % 4, j % 4);
+        let base = if ci == cj { 0.1 } else { 0.7 };
+        let noise = ((i * 31 + j * 17) % 10) as f64 / 100.0;
+        let bump = if perturb && (i == 5 || j == 5) { 0.4 } else { 0.0 };
+        (base + noise + bump).min(1.0)
+    })
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    for n in [16usize, 40, 64] {
+        let d = jsm_like(n, false);
+        for m in Method::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("linkage_{}", m.name()), n),
+                &d,
+                |b, d| b.iter(|| black_box(linkage(black_box(d), m))),
+            );
+        }
+    }
+    let d = jsm_like(40, false);
+    let z = linkage(&d, Method::Ward);
+    g.bench_function("fcluster_maxclust_40", |b| {
+        b.iter(|| black_box(fcluster_maxclust(black_box(&z), 4)))
+    });
+    let z2 = linkage(&jsm_like(40, true), Method::Ward);
+    g.bench_function("bscore_40", |b| {
+        b.iter(|| black_box(bscore(black_box(&z), black_box(&z2))))
+    });
+    g.finish();
+
+    eprintln!(
+        "[cluster] bscore(normal, perturbed) = {:.3}; bscore(normal, normal) = {:.3}",
+        bscore(&z, &z2),
+        bscore(&z, &z)
+    );
+}
+
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = short(); targets = bench_cluster}
+criterion_main!(benches);

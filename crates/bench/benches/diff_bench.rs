@@ -1,0 +1,47 @@
+//! Myers O(ND) diff scaling: cost grows with the edit distance D, not
+//! the input size — the property that makes diffNLR cheap on
+//! NLR-summarized traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diffalg::diff;
+use std::hint::black_box;
+
+fn with_edits(n: usize, edits: usize) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..n as u32).collect();
+    let mut b = a.clone();
+    for e in 0..edits {
+        let pos = (e * 997) % b.len();
+        b[pos] = 1_000_000 + e as u32;
+    }
+    (a, b)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("myers_diff");
+    for n in [200usize, 1000, 4000] {
+        for edits in [2usize, 16, 64] {
+            let (a, b) = with_edits(n, edits);
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), edits),
+                &(a, b),
+                |bench, (a, b)| {
+                    bench.iter(|| black_box(diff(black_box(a), black_box(b))).distance())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = short(); targets = bench_diff}
+criterion_main!(benches);

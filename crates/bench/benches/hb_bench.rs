@@ -1,0 +1,87 @@
+//! Vector-clock and happens-before query costs (the §VII-2 extension):
+//! how expensive is exact causality tracking at simulation time and at
+//! query time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::{HbEvent, HbLog, VectorClock};
+use std::hint::black_box;
+
+/// A synthetic log: `ranks` ranks each emitting `per_rank` events in a
+/// round-robin causal chain.
+fn synthetic_log(ranks: usize, per_rank: usize) -> HbLog {
+    let mut clocks: Vec<VectorClock> = (0..ranks).map(|_| VectorClock::zero(ranks)).collect();
+    let mut events = Vec::with_capacity(ranks * per_rank);
+    for step in 0..per_rank {
+        for r in 0..ranks {
+            // Receive from the previous rank's latest state, then tick.
+            let prev = (r + ranks - 1) % ranks;
+            let prev_vc = clocks[prev].clone();
+            clocks[r].merge(&prev_vc);
+            clocks[r].tick(r);
+            events.push(HbEvent {
+                trace: dt_trace::TraceId::master(r as u32),
+                name: if step % 2 == 0 { "MPI_Send" } else { "MPI_Recv" }.to_string(),
+                vc: clocks[r].clone(),
+            });
+        }
+    }
+    HbLog { events }
+}
+
+fn bench_hb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hb");
+    for ranks in [8usize, 32] {
+        let log = synthetic_log(ranks, 100);
+        g.bench_with_input(
+            BenchmarkId::new("happens_before_query", ranks),
+            &log,
+            |b, log| {
+                let n = log.len();
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for i in (0..n).step_by(17) {
+                        for j in (0..n).step_by(13) {
+                            if log.happens_before(i, j) {
+                                count += 1;
+                            }
+                        }
+                    }
+                    black_box(count)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("least_progressed", ranks),
+            &log,
+            |b, log| b.iter(|| black_box(log.least_progressed_ranks())),
+        );
+    }
+    // Raw clock ops.
+    let mut a = VectorClock::zero(64);
+    let b_clock = {
+        let mut c = VectorClock::zero(64);
+        for i in 0..64 {
+            c.0[i] = i as u64;
+        }
+        c
+    };
+    g.bench_function("clock_merge_tick_64", |b| {
+        b.iter(|| {
+            a.merge(black_box(&b_clock));
+            a.tick(3);
+            black_box(a.lamport())
+        })
+    });
+    g.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {name = benches; config = short(); targets = bench_hb}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! End-to-end DiffTrace iteration cost and the parameter ablations the
+//! design calls out: attribute granularity (single vs double),
+//! frequency encoding, and linkage method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use difftrace::{diff_runs, AttrConfig, AttrKind, FilterConfig, FreqMode, Params};
+use dt_trace::{FunctionRegistry, TraceSet};
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::{run_oddeven, OddEvenConfig};
+
+fn pair() -> (TraceSet, TraceSet) {
+    let registry = Arc::new(FunctionRegistry::new());
+    let normal = run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces;
+    let faulty = run_oddeven(
+        &OddEvenConfig::paper(Some(OddEvenConfig::swap_bug())),
+        registry,
+    )
+    .traces;
+    (normal, faulty)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (normal, faulty) = pair();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    // Ablation: attribute granularity × frequency mode.
+    for attrs in AttrConfig::ALL {
+        let params = Params::new(FilterConfig::mpi_all(10), attrs);
+        g.bench_with_input(
+            BenchmarkId::new("diff_runs", attrs.to_string()),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
+                })
+            },
+        );
+    }
+
+    // Ablation: linkage method (ward vs the rest).
+    for method in cluster::Method::ALL {
+        let params = Params {
+            filter: FilterConfig::mpi_all(10),
+            attrs: AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::Actual,
+            },
+            linkage: method,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("linkage_ablation", method.name()),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
+                })
+            },
+        );
+    }
+
+    // Ablation: NLR K constant.
+    for k in [2usize, 10, 50] {
+        let params = Params::new(
+            FilterConfig::mpi_all(k),
+            AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::Actual,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("nlr_k_ablation", k), &params, |b, params| {
+            b.iter(|| black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore))
+        });
+    }
+    g.finish();
+
+    // Report what each ablation concludes (suspect stability).
+    for attrs in AttrConfig::ALL {
+        let params = Params::new(FilterConfig::mpi_all(10), attrs);
+        let d = diff_runs(&normal, &faulty, &params);
+        eprintln!(
+            "[pipeline] {}: bscore={:.3} top={:?}",
+            attrs,
+            d.bscore,
+            d.suspicious_processes.first()
+        );
+    }
+}
+
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = short(); targets = bench_pipeline}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Simulator throughput: how fast the mpisim substrate runs the
+//! paper's workloads (the cost of producing one trace pair, which
+//! bounds how fast fault-injection campaigns like e10 can go).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_trace::FunctionRegistry;
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::{
+    run_ilcs, run_lulesh, run_oddeven, run_stencil, IlcsConfig, LuleshConfig, OddEvenConfig,
+    StencilConfig,
+};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+
+    for ranks in [4u32, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("oddeven", ranks), &ranks, |b, &ranks| {
+            let cfg = OddEvenConfig {
+                ranks,
+                values_per_rank: 4,
+                seed: 7,
+                fault: None,
+            };
+            b.iter(|| {
+                black_box(
+                    run_oddeven(&cfg, Arc::new(FunctionRegistry::new()))
+                        .traces
+                        .len(),
+                )
+            });
+        });
+    }
+
+    g.bench_function("ilcs_paper", |b| {
+        let cfg = IlcsConfig::paper(None);
+        b.iter(|| black_box(run_ilcs(&cfg, Arc::new(FunctionRegistry::new())).traces.len()));
+    });
+
+    g.bench_function("lulesh_paper", |b| {
+        let cfg = LuleshConfig::paper(None);
+        b.iter(|| black_box(run_lulesh(&cfg, Arc::new(FunctionRegistry::new())).traces.len()));
+    });
+
+    g.bench_function("stencil_8", |b| {
+        let cfg = StencilConfig::default_8();
+        b.iter(|| {
+            black_box(
+                run_stencil(&cfg, Arc::new(FunctionRegistry::new()))
+                    .0
+                    .traces
+                    .len(),
+            )
+        });
+    });
+    g.finish();
+}
+
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = short(); targets = bench_workloads}
+criterion_main!(benches);

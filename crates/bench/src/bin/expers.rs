@@ -1,0 +1,40 @@
+//! `expers` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p difftrace-bench --bin expers -- all
+//! cargo run --release -p difftrace-bench --bin expers -- e5 e6
+//! ```
+
+use difftrace_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = experiments::experiments_list();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: expers <all | e1 … e9>...");
+        eprintln!("experiments:");
+        for (name, _) in &list {
+            eprintln!("  {name}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        list.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for sel in selected {
+        match list.iter().find(|(n, _)| *n == sel) {
+            Some((name, f)) => {
+                println!("\n######## {name} ########\n");
+                let t0 = std::time::Instant::now();
+                print!("{}", f());
+                println!("[{name} regenerated in {:.2?}]", t0.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment `{sel}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

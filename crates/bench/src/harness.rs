@@ -1,0 +1,97 @@
+//! Shared helpers for experiments and benches.
+
+use difftrace::{AttrConfig, FilterConfig, KeepClass};
+use dt_trace::{FunctionRegistry, TraceSet};
+use std::sync::Arc;
+
+/// Build an aligned (normal, faulty) trace-set pair by running the
+/// same workload twice against one shared registry.
+pub fn trace_pair<F>(mut run: F) -> (TraceSet, TraceSet)
+where
+    F: FnMut(bool, Arc<FunctionRegistry>) -> TraceSet,
+{
+    let registry = Arc::new(FunctionRegistry::new());
+    let normal = run(false, registry.clone());
+    let faulty = run(true, registry);
+    (normal, faulty)
+}
+
+/// The custom "user code" filter class for ILCS (keeps `CPU_*`).
+pub fn ilcs_custom() -> KeepClass {
+    KeepClass::Custom("^CPU_".to_string())
+}
+
+/// Filter grid for the ILCS OpenMP-bug experiment (Table VI):
+/// memory / OpenMP-critical / custom combinations, with and without
+/// returns.
+pub fn table_vi_filters() -> Vec<FilterConfig> {
+    let mut out = Vec::new();
+    for drop_returns in [true, false] {
+        out.push(FilterConfig {
+            drop_returns,
+            drop_plt: true,
+            keep: vec![KeepClass::Memory, ilcs_custom()],
+            nlr_k: 10,
+        });
+        out.push(FilterConfig {
+            drop_returns,
+            drop_plt: true,
+            keep: vec![KeepClass::Memory, KeepClass::OmpCritical, ilcs_custom()],
+            nlr_k: 10,
+        });
+    }
+    out
+}
+
+/// Filter grid for the MPI-bug experiments (Tables VII & VIII).
+pub fn mpi_filters() -> Vec<FilterConfig> {
+    let mut out = Vec::new();
+    for drop_returns in [true, false] {
+        for keep in [
+            vec![KeepClass::MpiAll, ilcs_custom()],
+            vec![KeepClass::MpiCollectives, ilcs_custom()],
+            vec![KeepClass::MpiSendRecv, ilcs_custom()],
+        ] {
+            out.push(FilterConfig {
+                drop_returns,
+                drop_plt: true,
+                keep,
+                nlr_k: 10,
+            });
+        }
+    }
+    out
+}
+
+/// Filter grid for LULESH (Table IX): "everything" with and without
+/// returns, K = 10.
+pub fn lulesh_filters() -> Vec<FilterConfig> {
+    vec![
+        FilterConfig::everything(10),
+        FilterConfig {
+            drop_returns: false,
+            ..FilterConfig::everything(10)
+        },
+    ]
+}
+
+/// All six Table V attribute configurations.
+pub fn all_attr_configs() -> Vec<AttrConfig> {
+    AttrConfig::ALL.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_have_expected_sizes() {
+        assert_eq!(table_vi_filters().len(), 4);
+        assert_eq!(mpi_filters().len(), 6);
+        assert_eq!(lulesh_filters().len(), 2);
+        assert_eq!(all_attr_configs().len(), 6);
+        for f in table_vi_filters().iter().chain(&mpi_filters()) {
+            f.validate().unwrap();
+        }
+    }
+}

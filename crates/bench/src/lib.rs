@@ -1,0 +1,21 @@
+//! `difftrace-bench` — the experiment harness.
+//!
+//! One function per paper artifact (table/figure); each regenerates the
+//! artifact from a fresh simulated execution and returns a printable
+//! report. The `expers` binary dispatches them; integration tests
+//! assert on their contents; EXPERIMENTS.md records paper-vs-measured.
+//!
+//! | ID | Paper artifact | Function |
+//! |----|----------------|----------|
+//! | e1 | Tables II & III (odd/even traces + NLRs) | [`experiments::e1_traces_and_nlr`] |
+//! | e2 | Table IV + Figure 3 (context + lattice)  | [`experiments::e2_context_and_lattice`] |
+//! | e3 | Figure 4 (JSM heatmap)                   | [`experiments::e3_jsm_heatmap`] |
+//! | e4 | Figures 5 & 6 (diffNLR swapBug/dlBug)    | [`experiments::e4_diffnlr_oddeven`] |
+//! | e5 | Table VI + Figure 7a (ILCS OpenMP bug)   | [`experiments::e5_ilcs_ompcrit`] |
+//! | e6 | Table VII + Figure 7b (ILCS deadlock)    | [`experiments::e6_ilcs_collsize`] |
+//! | e7 | Table VIII + Figure 7c (ILCS wrong op)   | [`experiments::e7_ilcs_wrongop`] |
+//! | e8 | §V LULESH trace statistics               | [`experiments::e8_lulesh_stats`] |
+//! | e9 | Table IX (LULESH ranking)                | [`experiments::e9_lulesh_ranking`] |
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,568 @@
+//! Command parsing and execution.
+
+use difftrace::{
+    diff_runs, render_ranking, sweep_parallel, AttrConfig, AttrKind, FilterConfig, FreqMode,
+    Params,
+};
+use dt_trace::{store, FunctionRegistry, TraceId, TraceSetStats};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const HELP: &str = "\
+difftrace — whole-program trace analysis and diffing for debugging
+
+USAGE:
+  difftrace demo <oddeven|oddeven-dl|ilcs-crit|ilcs-size|ilcs-op|lulesh> <outdir>
+      Run the workload twice (healthy + with its paper fault) under the
+      simulated MPI runtime; write <outdir>/normal.dtts and
+      <outdir>/faulty.dtts.
+
+  difftrace info <file.dtts>
+      Per-process/per-thread statistics of a stored trace set.
+
+  difftrace filters <file.dtts>
+      Coverage of every predefined Table I filter on this trace set
+      (how many events each keeps) — guidance for the iterative loop.
+
+  difftrace diff <normal.dtts> <faulty.dtts>
+          [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
+          [--full]
+      One DiffTrace iteration: suspects, B-score, optional diffNLR view.
+      --full prints the complete report (heatmaps, dendrograms,
+      lattice summary, top diffNLRs).
+      Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward.
+
+  difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
+      No-reference outlier analysis of ONE execution (the paper's
+      §II-A mode): cluster traces, report the smallest clusters as
+      outliers. --k 0 (default) picks the granularity automatically.
+
+  difftrace export <normal.dtts> <faulty.dtts> <outdir>
+          [--filter CODE] [--attrs CODE] [--linkage NAME]
+      Write analysis artifacts for external tools: concept lattices and
+      dendrograms as Graphviz DOT, formal contexts and JSMs as CSV, and
+      the full text report.
+
+  difftrace sweep <normal.dtts> <faulty.dtts>
+          [--filter CODE]... [--attrs CODE]... [--linkage NAME] [--jobs N]
+      Ranking table over a parameter grid (default: the 11.all/01.all ×
+      Table V grid), computed in parallel.
+
+CODES:
+  filter   <r><p>.<class>*.K<k>  e.g. 11.mpiall.K10, 01.mem.ompcrit.K10,
+           classes: all mpiall mpicol mpisr mpiint omp ompcrit mem net poll str
+           cust:<regex>
+  attrs    sing|doub|ctxt . actual|log10|noFreq
+  linkage  single complete average weighted centroid median ward
+";
+
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(|s| s.as_str()) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some("demo") => demo(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("filters") => filters(&args[1..]),
+        Some("single") => single(&args[1..]),
+        Some("export") => export(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
+        Some("sweep") => sweep_cmd(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}` (try `difftrace help`)")),
+    }
+}
+
+fn demo(args: &[String]) -> Result<(), String> {
+    let [workload, outdir] = args else {
+        return Err("usage: difftrace demo <workload> <outdir>".to_string());
+    };
+    let registry = Arc::new(FunctionRegistry::new());
+    let (normal, faulty) = run_demo_pair(workload, &registry)?;
+    std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
+    let out = PathBuf::from(outdir);
+    let np = out.join("normal.dtts");
+    let fp = out.join("faulty.dtts");
+    store::save(&normal, &np).map_err(|e| e.to_string())?;
+    store::save(&faulty, &fp).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} traces) and {} ({} traces)",
+        np.display(),
+        normal.len(),
+        fp.display(),
+        faulty.len()
+    );
+    Ok(())
+}
+
+fn run_demo_pair(
+    workload: &str,
+    registry: &Arc<FunctionRegistry>,
+) -> Result<(dt_trace::TraceSet, dt_trace::TraceSet), String> {
+    use workloads::*;
+    let pair = |n: dt_trace::TraceSet, f: dt_trace::TraceSet| Ok((n, f));
+    match workload {
+        "oddeven" => pair(
+            run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces,
+            run_oddeven(
+                &OddEvenConfig::paper(Some(OddEvenConfig::swap_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        "oddeven-dl" => pair(
+            run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces,
+            run_oddeven(
+                &OddEvenConfig::paper(Some(OddEvenConfig::dl_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        "ilcs-crit" => pair(
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(
+                &IlcsConfig::paper(Some(IlcsConfig::omp_crit_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        "ilcs-size" => pair(
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(
+                &IlcsConfig::paper(Some(IlcsConfig::coll_size_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        "ilcs-op" => pair(
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(
+                &IlcsConfig::paper(Some(IlcsConfig::wrong_op_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        "lulesh" => pair(
+            run_lulesh(&LuleshConfig::paper(None), registry.clone()).traces,
+            run_lulesh(
+                &LuleshConfig::paper(Some(LuleshConfig::skip_bug())),
+                registry.clone(),
+            )
+            .traces,
+        ),
+        other => Err(format!(
+            "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, lulesh)"
+        )),
+    }
+}
+
+fn load(path: &str) -> Result<dt_trace::TraceSet, String> {
+    store::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: difftrace info <file.dtts>".to_string());
+    };
+    let set = load(path)?;
+    let stats = TraceSetStats::measure(&set);
+    println!("{path}: {} traces, {} functions interned", set.len(), set.registry.len());
+    println!(
+        "calls/process avg {:.0}   distinct fns/process avg {:.0}   compressed/thread avg {:.0} B   ratio {:.0}×",
+        stats.avg_calls_per_process(),
+        stats.avg_distinct_per_process(),
+        stats.avg_compressed_bytes_per_thread(),
+        stats.overall_ratio()
+    );
+    for t in &stats.per_trace {
+        println!(
+            "  {:>6}  events {:>8}  calls {:>8}  distinct {:>5}  compressed {:>7} B{}",
+            t.id.to_string(),
+            t.events,
+            t.calls,
+            t.distinct_functions,
+            t.compression.compressed_bytes,
+            if set.get(t.id).is_some_and(|tr| tr.truncated) {
+                "  [truncated]"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+fn filters(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: difftrace filters <file.dtts>".to_string());
+    };
+    let set = load(path)?;
+    println!(
+        "{:<18} {:<24} {:>10} {:>8} {:>9}",
+        "Filter", "code", "kept", "of", "distinct"
+    );
+    for (name, f) in difftrace::filter::table_i_catalog(10) {
+        let c = f.coverage(&set);
+        println!(
+            "{:<18} {:<24} {:>10} {:>7.1}% {:>9}",
+            name,
+            f.to_string(),
+            c.kept_events,
+            100.0 * c.fraction(),
+            c.distinct_kept
+        );
+    }
+    Ok(())
+}
+
+fn single(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut filter = FilterConfig::everything(10);
+    let mut attrs = AttrConfig {
+        kind: AttrKind::Single,
+        freq: FreqMode::Actual,
+    };
+    let mut k = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--filter" => filter = value("--filter")?.parse()?,
+            "--attrs" => attrs = value("--attrs")?.parse()?,
+            "--k" => k = value("--k")?.parse().map_err(|_| "bad --k")?,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` for `single`"))
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let path = path.ok_or("usage: difftrace single <run.dtts> [options]")?;
+    let set = load(&path)?;
+    let params = difftrace::Params::new(filter, attrs);
+    let report = difftrace::analyze_single(&set, &params, k);
+    println!(
+        "{} traces, {} clusters:",
+        set.len(),
+        report.clusters.len()
+    );
+    for (i, c) in report.clusters.iter().enumerate() {
+        println!(
+            "  cluster {i} ({} traces): {}",
+            c.len(),
+            c.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        );
+    }
+    if report.outliers.is_empty() {
+        println!("no outliers — the execution looks homogeneous");
+    } else {
+        println!(
+            "outliers: {}",
+            report
+                .outliers
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(())
+}
+
+struct DiffOpts {
+    normal: String,
+    faulty: String,
+    filters: Vec<FilterConfig>,
+    attrs: Vec<AttrConfig>,
+    linkage: cluster::Method,
+    diffnlr: Option<TraceId>,
+    jobs: usize,
+    full: bool,
+}
+
+fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
+    let mut positional = Vec::new();
+    let mut filters = Vec::new();
+    let mut attrs = Vec::new();
+    let mut linkage = cluster::Method::Ward;
+    let mut diffnlr = None;
+    let mut jobs = 0usize;
+    let mut full = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--filter" => filters.push(value("--filter")?.parse::<FilterConfig>()?),
+            "--attrs" => attrs.push(value("--attrs")?.parse::<AttrConfig>()?),
+            "--linkage" => {
+                let name = value("--linkage")?;
+                linkage = cluster::Method::ALL
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .ok_or_else(|| format!("unknown linkage `{name}`"))?;
+            }
+            "--diffnlr" => {
+                let spec = value("--diffnlr")?;
+                let (p, t) = spec
+                    .split_once('.')
+                    .ok_or_else(|| format!("--diffnlr wants P.T, got `{spec}`"))?;
+                diffnlr = Some(TraceId::new(
+                    p.parse().map_err(|_| "bad process id")?,
+                    t.parse().map_err(|_| "bad thread id")?,
+                ));
+            }
+            "--jobs" => jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
+            "--full" => full = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` for `{cmd}`"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [normal, faulty] = positional.as_slice() else {
+        return Err(format!(
+            "usage: difftrace {cmd} <normal.dtts> <faulty.dtts> [options]"
+        ));
+    };
+    Ok(DiffOpts {
+        normal: normal.clone(),
+        faulty: faulty.clone(),
+        filters,
+        attrs,
+        linkage,
+        diffnlr,
+        jobs,
+        full,
+    })
+}
+
+fn diff_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, "diff")?;
+    let normal = load(&opts.normal)?;
+    let faulty = load(&opts.faulty)?;
+    let filter = opts
+        .filters
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| FilterConfig::everything(10));
+    let attrs = opts.attrs.into_iter().next().unwrap_or(AttrConfig {
+        kind: AttrKind::Single,
+        freq: FreqMode::Actual,
+    });
+    let params = Params {
+        filter,
+        attrs,
+        linkage: opts.linkage,
+    };
+    let d = diff_runs(&normal, &faulty, &params);
+    if opts.full {
+        print!(
+            "{}",
+            difftrace::generate_report(&d, &difftrace::ReportOptions::default())
+        );
+        return Ok(());
+    }
+    println!(
+        "params: {} {} {}",
+        params.filter, params.attrs, params.linkage.name()
+    );
+    println!("B-score: {:.3}", d.bscore);
+    println!(
+        "suspicious processes: {:?}",
+        d.suspicious_processes
+    );
+    println!(
+        "suspicious threads:   {}",
+        d.suspicious_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let target = opts.diffnlr.or_else(|| d.suspicious_threads.first().copied());
+    if let Some(id) = target {
+        match d.diff_nlr(id) {
+            Some(dn) => println!("\n{dn}"),
+            None => println!("\n(no trace {id} in both runs)"),
+        }
+    }
+    Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    let mut rest = Vec::new();
+    let mut outdir = None;
+    // Reuse the diff option parser by peeling off the third positional.
+    let mut positional_seen = 0;
+    for a in args {
+        if !a.starts_with("--") && positional_seen == 2 && outdir.is_none() {
+            outdir = Some(a.clone());
+            continue;
+        }
+        if !a.starts_with("--") && rest.iter().filter(|x: &&String| !x.starts_with("--")).count() < 2
+        {
+            positional_seen += 1;
+        }
+        rest.push(a.clone());
+    }
+    let outdir = outdir.ok_or("usage: difftrace export <normal> <faulty> <outdir> [options]")?;
+    let opts = parse_opts(&rest, "export")?;
+    let normal = load(&opts.normal)?;
+    let faulty = load(&opts.faulty)?;
+    let params = difftrace::Params {
+        filter: opts
+            .filters
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| FilterConfig::everything(10)),
+        attrs: opts.attrs.into_iter().next().unwrap_or(AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        }),
+        linkage: opts.linkage,
+    };
+    let d = diff_runs(&normal, &faulty, &params);
+    let dir = PathBuf::from(&outdir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {outdir}: {e}"))?;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        std::fs::write(dir.join(name), content).map_err(|e| format!("{name}: {e}"))
+    };
+    for (tag, run) in [("normal", &d.normal), ("faulty", &d.faulty)] {
+        write(
+            &format!("{tag}.lattice.dot"),
+            run.lattice.to_dot(&run.context),
+        )?;
+        let ids = run.ids.clone();
+        write(
+            &format!("{tag}.dendrogram.dot"),
+            cluster::dendrogram_to_dot(&run.dendrogram, &|i| ids[i].to_string()),
+        )?;
+        write(&format!("{tag}.context.csv"), run.context.to_csv())?;
+        write(&format!("{tag}.jsm.csv"), run.jsm.to_csv())?;
+    }
+    write("jsm_d.csv", d.jsm_d.to_csv())?;
+    write(
+        "report.txt",
+        difftrace::generate_report(&d, &difftrace::ReportOptions::default()),
+    )?;
+    println!("wrote 10 artifacts to {outdir}");
+    Ok(())
+}
+
+fn sweep_cmd(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, "sweep")?;
+    let normal = load(&opts.normal)?;
+    let faulty = load(&opts.faulty)?;
+    let filters = if opts.filters.is_empty() {
+        vec![
+            FilterConfig::everything(10),
+            FilterConfig {
+                drop_returns: false,
+                ..FilterConfig::everything(10)
+            },
+        ]
+    } else {
+        opts.filters
+    };
+    let attrs = if opts.attrs.is_empty() {
+        AttrConfig::ALL.to_vec()
+    } else {
+        opts.attrs
+    };
+    let rows = sweep_parallel(&normal, &faulty, &filters, &attrs, opts.linkage, opts.jobs);
+    print!("{}", render_ranking(&rows));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&s(&["help"])).is_ok());
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parse_opts_full() {
+        let o = parse_opts(
+            &s(&[
+                "n.dtts", "f.dtts", "--filter", "11.mpiall.K10", "--attrs", "doub.noFreq",
+                "--linkage", "average", "--diffnlr", "6.4", "--jobs", "3",
+            ]),
+            "diff",
+        )
+        .unwrap();
+        assert_eq!(o.normal, "n.dtts");
+        assert_eq!(o.faulty, "f.dtts");
+        assert_eq!(o.filters.len(), 1);
+        assert_eq!(o.attrs.len(), 1);
+        assert_eq!(o.linkage.name(), "average");
+        assert_eq!(o.diffnlr, Some(TraceId::new(6, 4)));
+        assert_eq!(o.jobs, 3);
+    }
+
+    #[test]
+    fn parse_opts_rejects_garbage() {
+        assert!(parse_opts(&s(&["only-one.dtts"]), "diff").is_err());
+        assert!(parse_opts(&s(&["a", "b", "--filter", "zz"]), "diff").is_err());
+        assert!(parse_opts(&s(&["a", "b", "--linkage", "quantum"]), "diff").is_err());
+        assert!(parse_opts(&s(&["a", "b", "--bogus"]), "diff").is_err());
+        assert!(parse_opts(&s(&["a", "b", "--diffnlr", "64"]), "diff").is_err());
+    }
+
+    #[test]
+    fn end_to_end_demo_info_diff_sweep() {
+        let dir = std::env::temp_dir().join("difftrace_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+        dispatch(&s(&["info", &n])).unwrap();
+        dispatch(&s(&["filters", &n])).unwrap();
+        dispatch(&s(&["single", &f, "--attrs", "sing.actual"])).unwrap();
+        let exp = format!("{dirs}/artifacts");
+        dispatch(&s(&["export", &n, &f, &exp, "--filter", "11.mpiall.K10"])).unwrap();
+        for artifact in [
+            "normal.lattice.dot",
+            "faulty.dendrogram.dot",
+            "normal.context.csv",
+            "jsm_d.csv",
+            "report.txt",
+        ] {
+            assert!(
+                std::path::Path::new(&exp).join(artifact).exists(),
+                "{artifact} missing"
+            );
+        }
+        dispatch(&s(&["diff", &n, &f, "--filter", "11.mpiall.K10"])).unwrap();
+        dispatch(&s(&["diff", &n, &f, "--filter", "11.mpiall.K10", "--full"])).unwrap();
+        dispatch(&s(&[
+            "sweep", &n, &f, "--filter", "11.mpiall.K10", "--attrs", "sing.actual", "--jobs", "2",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_knows_all_workloads() {
+        // Just validate the dispatch table (without running the heavy
+        // ones): unknown workloads error out.
+        let reg = Arc::new(FunctionRegistry::new());
+        assert!(run_demo_pair("nope", &reg).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! `difftrace` — command-line front end.
+//!
+//! ```text
+//! difftrace demo <workload> <outdir>     record a normal/faulty trace pair
+//! difftrace info <file.dtts>             trace-file statistics
+//! difftrace diff <normal> <faulty> [...] one DiffTrace iteration
+//! difftrace sweep <normal> <faulty> [...] full ranking table
+//! ```
+//!
+//! See `difftrace help` for the options of each command.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("difftrace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

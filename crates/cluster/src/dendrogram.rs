@@ -1,0 +1,223 @@
+//! Dendrograms (SciPy `Z`-matrix convention) and flat cuts.
+
+/// One agglomeration step: clusters `a` and `b` merge at `distance`
+/// into a cluster of `size` observations. Cluster IDs follow SciPy:
+/// `0..n` are leaves; merge `i` creates cluster `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Smaller cluster ID of the pair.
+    pub a: usize,
+    /// Larger cluster ID of the pair.
+    pub b: usize,
+    /// Merge height (cophenetic distance of the pair).
+    pub distance: f64,
+    /// Observations in the new cluster.
+    pub size: usize,
+}
+
+/// The full merge history of an agglomerative clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Wrap a merge sequence over `n` observations.
+    pub fn new(n: usize, merges: Vec<Merge>) -> Dendrogram {
+        assert!(
+            merges.len() == n.saturating_sub(1),
+            "a dendrogram over {n} observations needs {} merges, got {}",
+            n.saturating_sub(1),
+            merges.len()
+        );
+        Dendrogram { n, merges }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps in order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Resolve a cluster ID (leaf or internal) to its member leaves.
+    pub fn members(&self, id: usize) -> Vec<usize> {
+        if id < self.n {
+            return vec![id];
+        }
+        let m = &self.merges[id - self.n];
+        let mut out = self.members(m.a);
+        out.extend(self.members(m.b));
+        out
+    }
+
+    /// Cophenetic distance between two leaves: the height of their
+    /// lowest common merge.
+    #[allow(clippy::needless_range_loop)]
+    pub fn cophenetic(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        // Walk merges in order; the first merge joining the two leaves'
+        // current clusters gives the height.
+        let mut label: Vec<usize> = (0..self.n).collect();
+        for (step, m) in self.merges.iter().enumerate() {
+            let new_id = self.n + step;
+            for l in label.iter_mut() {
+                if *l == m.a || *l == m.b {
+                    *l = new_id;
+                }
+            }
+            if label[i] == label[j] {
+                return m.distance;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Flat clustering with exactly `k` clusters (SciPy
+/// `fcluster(criterion='maxclust')`): apply the first `n − k` merges.
+/// Returns dense labels `0..k` in order of first appearance.
+pub fn fcluster_maxclust(dend: &Dendrogram, k: usize) -> Vec<usize> {
+    let n = dend.len();
+    let k = k.clamp(1, n.max(1));
+    cut(dend, n.saturating_sub(k))
+}
+
+/// Flat clustering cutting at `height`: apply every merge with
+/// `distance ≤ height` (SciPy `fcluster(criterion='distance')`).
+pub fn fcluster_distance(dend: &Dendrogram, height: f64) -> Vec<usize> {
+    let steps = dend
+        .merges()
+        .iter()
+        .take_while(|m| m.distance <= height)
+        .count();
+    cut(dend, steps)
+}
+
+#[allow(clippy::needless_range_loop)]
+fn cut(dend: &Dendrogram, steps: usize) -> Vec<usize> {
+    let n = dend.len();
+    // Union-find over cluster IDs.
+    let mut parent: Vec<usize> = (0..n + steps).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (step, m) in dend.merges().iter().take(steps).enumerate() {
+        let new_id = n + step;
+        let ra = find(&mut parent, m.a);
+        let rb = find(&mut parent, m.b);
+        parent[ra] = new_id;
+        parent[rb] = new_id;
+    }
+    // Dense labels in order of first appearance.
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut seen: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let l = *seen.entry(r).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        labels[i] = l;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dendrogram over 4 leaves: (0,1)@1 → 4; (2,3)@2 → 5; (4,5)@3 → 6.
+    fn sample() -> Dendrogram {
+        Dendrogram::new(
+            4,
+            vec![
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    distance: 3.0,
+                    size: 4,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn members_resolve_recursively() {
+        let d = sample();
+        assert_eq!(d.members(0), vec![0]);
+        assert_eq!(d.members(4), vec![0, 1]);
+        let mut all = d.members(6);
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn maxclust_cuts() {
+        let d = sample();
+        assert_eq!(fcluster_maxclust(&d, 4), vec![0, 1, 2, 3]);
+        let two = fcluster_maxclust(&d, 2);
+        assert_eq!(two[0], two[1]);
+        assert_eq!(two[2], two[3]);
+        assert_ne!(two[0], two[2]);
+        let one = fcluster_maxclust(&d, 1);
+        assert!(one.iter().all(|&l| l == one[0]));
+        // k larger than n clamps to n.
+        assert_eq!(fcluster_maxclust(&d, 99), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distance_cuts() {
+        let d = sample();
+        assert_eq!(fcluster_distance(&d, 0.5), vec![0, 1, 2, 3]);
+        let at1 = fcluster_distance(&d, 1.0);
+        assert_eq!(at1[0], at1[1]);
+        assert_ne!(at1[2], at1[3]);
+        let at3 = fcluster_distance(&d, 3.0);
+        assert!(at3.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn cophenetic_heights() {
+        let d = sample();
+        assert_eq!(d.cophenetic(0, 1), 1.0);
+        assert_eq!(d.cophenetic(2, 3), 2.0);
+        assert_eq!(d.cophenetic(0, 3), 3.0);
+        assert_eq!(d.cophenetic(2, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_merge_count_panics() {
+        Dendrogram::new(4, vec![]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Condensed (upper-triangle) pairwise dissimilarity matrices.
+
+/// Pairwise dissimilarities over `n` observations, stored as the strict
+/// upper triangle in row-major order (SciPy's `pdist` convention):
+/// entry `(i, j)` with `i < j` lives at
+/// `i·n − i·(i+1)/2 + (j − i − 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CondensedMatrix {
+    /// Zero matrix for `n` observations.
+    pub fn zeros(n: usize) -> CondensedMatrix {
+        CondensedMatrix {
+            n,
+            data: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Build from a function of index pairs (`i < j`).
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> CondensedMatrix {
+        let mut m = CondensedMatrix::zeros(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let v = f(i, j);
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Build from a full square matrix (symmetry is assumed; the upper
+    /// triangle is read).
+    pub fn from_full(full: &[Vec<f64>]) -> CondensedMatrix {
+        let n = full.len();
+        CondensedMatrix::from_fn(n, |i, j| full[i][j])
+    }
+
+    /// Convert a *similarity* matrix in `[0, 1]` (e.g. a Jaccard
+    /// similarity matrix) to dissimilarities `1 − s`.
+    pub fn from_similarity(full: &[Vec<f64>]) -> CondensedMatrix {
+        let n = full.len();
+        CondensedMatrix::from_fn(n, |i, j| 1.0 - full[i][j])
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Dissimilarity between `i` and `j` (0 on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.data[self.index(i, j)]
+    }
+
+    /// Set the dissimilarity between `i ≠ j`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i != j, "diagonal is fixed at 0");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let idx = self.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// The raw condensed buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_scipy_layout() {
+        // n = 4 → condensed order: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3)
+        let m = CondensedMatrix::from_fn(4, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 12.0, 13.0, 23.0]);
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.get(3, 2), 23.0); // symmetric access
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_similarity_inverts() {
+        let s = vec![vec![1.0, 0.25], vec![0.25, 1.0]];
+        let d = CondensedMatrix::from_similarity(&s);
+        assert!((d.get(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = CondensedMatrix::zeros(5);
+        m.set(3, 1, 7.5);
+        assert_eq!(m.get(1, 3), 7.5);
+        assert_eq!(m.get(3, 1), 7.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn setting_diagonal_panics() {
+        let mut m = CondensedMatrix::zeros(3);
+        m.set(1, 1, 1.0);
+    }
+}

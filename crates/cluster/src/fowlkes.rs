@@ -1,0 +1,143 @@
+//! Fowlkes–Mallows comparison of clusterings, and the paper's B-score.
+//!
+//! Fowlkes & Mallows (JASA 1983) compare two hierarchical clusterings by
+//! cutting both into `k` clusters and computing
+//!
+//! ```text
+//! B_k = T_k / sqrt(P_k · Q_k)
+//! T_k = Σ_ij m_ij² − n      (m = contingency matrix of the two cuts)
+//! P_k = Σ_i m_i·² − n
+//! Q_k = Σ_j m_·j² − n
+//! ```
+//!
+//! `B_k = 1` when the cuts agree perfectly. DiffTrace sorts its ranking
+//! tables by "the B-score of DiffJSMs"; we define (see DESIGN.md) the
+//! [`bscore`] of two dendrograms as `1 − mean_{k=2..n−1} B_k`: zero when
+//! the fault did not change the clustering structure at any granularity,
+//! growing as the hierarchies diverge.
+
+use crate::dendrogram::{fcluster_maxclust, Dendrogram};
+use std::collections::HashMap;
+
+/// The Fowlkes–Mallows index of two flat clusterings (label vectors of
+/// equal length). Returns 1.0 for identical partitions (up to label
+/// permutation), 0.0 when no pair of observations is co-clustered in
+/// both.
+pub fn fowlkes_mallows(labels_a: &[usize], labels_b: &[usize]) -> f64 {
+    assert_eq!(
+        labels_a.len(),
+        labels_b.len(),
+        "clusterings must label the same observations"
+    );
+    let n = labels_a.len() as f64;
+    if labels_a.is_empty() {
+        return 1.0;
+    }
+    let mut contingency: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut row: HashMap<usize, f64> = HashMap::new();
+    let mut col: HashMap<usize, f64> = HashMap::new();
+    for (&a, &b) in labels_a.iter().zip(labels_b) {
+        *contingency.entry((a, b)).or_insert(0.0) += 1.0;
+        *row.entry(a).or_insert(0.0) += 1.0;
+        *col.entry(b).or_insert(0.0) += 1.0;
+    }
+    let t: f64 = contingency.values().map(|v| v * v).sum::<f64>() - n;
+    let p: f64 = row.values().map(|v| v * v).sum::<f64>() - n;
+    let q: f64 = col.values().map(|v| v * v).sum::<f64>() - n;
+    if p == 0.0 || q == 0.0 {
+        // One of the cuts is all-singletons: define agreement as 1 if
+        // both are (no information to contradict), else 0.
+        return if p == q { 1.0 } else { 0.0 };
+    }
+    t / (p * q).sqrt()
+}
+
+/// The paper's ranking-table sort key: `1 − mean_{k} B_k` over all
+/// non-trivial cut levels `k = 2..n−1` of the two dendrograms.
+///
+/// 0.0 ⇒ the two hierarchies (normal vs. faulty) are structurally
+/// identical; larger ⇒ the fault perturbed the clustering more.
+pub fn bscore(a: &Dendrogram, b: &Dendrogram) -> f64 {
+    assert_eq!(a.len(), b.len(), "dendrograms must cover the same traces");
+    let n = a.len();
+    if n <= 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for k in 2..n {
+        let la = fcluster_maxclust(a, k);
+        let lb = fcluster_maxclust(b, k);
+        sum += fowlkes_mallows(&la, &lb);
+        count += 1;
+    }
+    1.0 - sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::CondensedMatrix;
+    use crate::linkage::{linkage, Method};
+
+    #[test]
+    fn identical_partitions_score_one() {
+        assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        // Label permutation is irrelevant.
+        assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_zero() {
+        // No pair co-clustered in both.
+        assert_eq!(fowlkes_mallows(&[0, 0, 1, 1], &[0, 1, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_partial_agreement() {
+        // A: {0,1},{2,3}  B: {0,1},{2},{3}
+        // T = 1 (pair (0,1)), P = 2, Q = 1 → 1/sqrt(2).
+        let v = fowlkes_mallows(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((v - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_edge_case() {
+        assert_eq!(fowlkes_mallows(&[0, 1, 2], &[2, 1, 0]), 1.0);
+        assert_eq!(fowlkes_mallows(&[0, 1, 2], &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn bscore_zero_for_identical_hierarchies() {
+        let pos = [0.0f64, 1.0, 5.0, 6.0, 20.0];
+        let d = CondensedMatrix::from_fn(5, |i, j| (pos[i] - pos[j]).abs());
+        let z1 = linkage(&d, Method::Ward);
+        let z2 = linkage(&d, Method::Ward);
+        assert_eq!(bscore(&z1, &z2), 0.0);
+    }
+
+    #[test]
+    fn bscore_grows_with_structural_change() {
+        let pos_normal = [0.0f64, 1.0, 5.0, 6.0, 20.0, 21.0];
+        // Fault: observation 2 teleports next to the outliers.
+        let pos_faulty = [0.0f64, 1.0, 20.5, 6.0, 20.0, 21.0];
+        let dn = CondensedMatrix::from_fn(6, |i, j| (pos_normal[i] - pos_normal[j]).abs());
+        let df = CondensedMatrix::from_fn(6, |i, j| (pos_faulty[i] - pos_faulty[j]).abs());
+        let zn = linkage(&dn, Method::Ward);
+        let zf = linkage(&df, Method::Ward);
+        let small_change = bscore(&zn, &zn);
+        let big_change = bscore(&zn, &zf);
+        assert_eq!(small_change, 0.0);
+        assert!(big_change > 0.1, "bscore {big_change} should reflect the move");
+    }
+
+    #[test]
+    fn bscore_tiny_inputs() {
+        let d = CondensedMatrix::zeros(2);
+        let z = linkage(&d, Method::Single);
+        assert_eq!(bscore(&z, &z), 0.0);
+        let d1 = CondensedMatrix::zeros(1);
+        let z1 = linkage(&d1, Method::Single);
+        assert_eq!(bscore(&z1, &z1), 0.0);
+    }
+}

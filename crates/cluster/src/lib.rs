@@ -1,0 +1,48 @@
+//! `cluster` — agglomerative hierarchical clustering and clustering
+//! comparison, re-implementing the SciPy facilities the DiffTrace paper
+//! uses (`scipy.cluster.hierarchy`, SciPy 1.3.0).
+//!
+//! DiffTrace turns the diffed Jaccard similarity matrix into
+//! dissimilarities, builds a dendrogram with a configurable *linkage*
+//! (the paper's experiments use **ward**; single, complete, average,
+//! weighted, centroid and median are available as the "alter the
+//! linkage method" knob of the iterative loop), flattens it into
+//! clusters, and ranks parameter combinations by the **B-score** —
+//! Fowlkes & Mallows' method for comparing two hierarchical
+//! clusterings (JASA 1983).
+//!
+//! * [`CondensedMatrix`] — upper-triangle pairwise dissimilarities.
+//! * [`linkage()`] — Lance–Williams agglomeration producing a
+//!   [`Dendrogram`] (SciPy `Z`-matrix convention: leaves `0..n`,
+//!   merge `i` creates cluster `n+i`).
+//! * [`fcluster_maxclust`] / [`fcluster_distance`] — flat cuts.
+//! * [`fowlkes_mallows`] — the `B_k` index of two flat clusterings;
+//!   [`bscore`] aggregates `1 − mean_k B_k` over all cut levels, the
+//!   sort key of the paper's ranking tables (0 = identical hierarchies).
+//!
+//! ```
+//! use cluster::{CondensedMatrix, linkage, Method, fcluster_maxclust};
+//!
+//! // Three nearby points and one far outlier.
+//! let pos = [0.0f64, 1.0, 1.5, 10.0];
+//! let d = CondensedMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs());
+//! let dend = linkage(&d, Method::Average);
+//! let labels = fcluster_maxclust(&dend, 2);
+//! assert_eq!(labels[0], labels[1]);
+//! assert_eq!(labels[1], labels[2]);
+//! assert_ne!(labels[0], labels[3]); // the outlier is its own cluster
+//! ```
+
+pub mod dendrogram;
+pub mod dist;
+pub mod fowlkes;
+pub mod linkage;
+pub mod nnchain;
+pub mod render;
+
+pub use dendrogram::{fcluster_distance, fcluster_maxclust, Dendrogram, Merge};
+pub use dist::CondensedMatrix;
+pub use fowlkes::{bscore, fowlkes_mallows};
+pub use linkage::{linkage, Method};
+pub use nnchain::{is_reducible, linkage_nn_chain};
+pub use render::{cophenetic_correlation, dendrogram_to_dot, render_dendrogram};

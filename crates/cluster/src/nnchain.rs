@@ -1,0 +1,255 @@
+//! Nearest-neighbour-chain agglomeration — `O(n²)` linkage for
+//! *reducible* Lance–Williams methods (single, complete, average,
+//! weighted, ward). Produces the same dendrogram as the naive
+//! `O(n³)` search (verified by equivalence tests); useful when the
+//! number of traces grows beyond the paper's 8×5 scale.
+//!
+//! The NN-chain invariant: follow nearest-neighbour links until two
+//! clusters are mutually nearest, merge them, and continue from the
+//! previous stack element. Reducibility guarantees a merge never
+//! invalidates the chain below it. Merges emerge out of height order,
+//! so they are sorted and relabelled to the SciPy convention at the
+//! end.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::dist::CondensedMatrix;
+use crate::linkage::Method;
+
+/// Is `method` reducible (NN-chain-safe)?
+pub fn is_reducible(method: Method) -> bool {
+    !matches!(method, Method::Centroid | Method::Median)
+}
+
+/// NN-chain linkage. Panics if `method` is not reducible — callers
+/// fall back to [`crate::linkage()`] for centroid/median.
+#[allow(clippy::needless_range_loop)] // square working-matrix indexing
+pub fn linkage_nn_chain(dist: &CondensedMatrix, method: Method) -> Dendrogram {
+    assert!(
+        is_reducible(method),
+        "{} is not reducible; use cluster::linkage",
+        method.name()
+    );
+    let n = dist.len();
+    assert!(n >= 1, "cannot cluster zero observations");
+    if n == 1 {
+        return Dendrogram::new(n, Vec::new());
+    }
+
+    let sq = matches!(method, Method::Ward);
+    // Working distances between slots (slot = original leaf index; a
+    // merged cluster lives in one of its two slots).
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = dist.get(i, j);
+            let v = if sq { v * v } else { v };
+            d[i][j] = v;
+            d[j][i] = v;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut sizes: Vec<f64> = vec![1.0; n];
+    // Members of the cluster in each slot (leaf indices), for final
+    // relabelling.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    // Raw merges: (leaf-member snapshot of a, of b, height).
+    let mut raw: Vec<(Vec<usize>, Vec<usize>, f64)> = Vec::with_capacity(n - 1);
+
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("clusters remain");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().unwrap();
+            // Nearest active neighbour of `top` (deterministic
+            // tie-break toward the smallest slot).
+            let mut nearest = None;
+            for j in 0..n {
+                if j == top || !active[j] {
+                    continue;
+                }
+                let better = match nearest {
+                    None => true,
+                    Some(k) => d[top][j] < d[top][k],
+                };
+                if better {
+                    nearest = Some(j);
+                }
+            }
+            let nearest = nearest.expect("at least two active clusters");
+            if chain.len() >= 2 && chain[chain.len() - 2] == nearest {
+                // Mutual nearest neighbours: merge.
+                let b = chain.pop().unwrap();
+                let a = chain.pop().unwrap();
+                let dij = d[a][b];
+                let height = if sq { dij.max(0.0).sqrt() } else { dij };
+                raw.push((members[a].clone(), members[b].clone(), height));
+                // Lance–Williams update into slot a.
+                for k in 0..n {
+                    if !active[k] || k == a || k == b {
+                        continue;
+                    }
+                    let v = lw(method, d[k][a], d[k][b], dij, sizes[a], sizes[b], sizes[k]);
+                    d[k][a] = v;
+                    d[a][k] = v;
+                }
+                active[b] = false;
+                sizes[a] += sizes[b];
+                let moved = std::mem::take(&mut members[b]);
+                members[a].extend(moved);
+                remaining -= 1;
+                break;
+            }
+            chain.push(nearest);
+        }
+    }
+
+    // Sort merges by height (stable: ties keep chain order) and
+    // relabel to SciPy cluster IDs via union-find over leaves.
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&x, &y| raw[x].2.partial_cmp(&raw[y].2).unwrap().then(x.cmp(&y)));
+
+    let mut parent: Vec<usize> = (0..2 * n - 1).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    // leaf → current cluster id mapping happens through parent links:
+    // each merge creates id n+step and parents both roots to it.
+    let mut merges = Vec::with_capacity(raw.len());
+    for (step, &ri) in order.iter().enumerate() {
+        let (ma, mb, h) = &raw[ri];
+        let ra = find(&mut parent, ma[0]);
+        let rb = find(&mut parent, mb[0]);
+        let new_id = n + step;
+        parent[ra] = new_id;
+        parent[rb] = new_id;
+        merges.push(Merge {
+            a: ra.min(rb),
+            b: ra.max(rb),
+            distance: *h,
+            size: ma.len() + mb.len(),
+        });
+    }
+    Dendrogram::new(n, merges)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lw(method: Method, dki: f64, dkj: f64, dij: f64, ni: f64, nj: f64, nk: f64) -> f64 {
+    match method {
+        Method::Single => dki.min(dkj),
+        Method::Complete => dki.max(dkj),
+        Method::Average => (ni * dki + nj * dkj) / (ni + nj),
+        Method::Weighted => 0.5 * (dki + dkj),
+        Method::Ward => {
+            let t = ni + nj + nk;
+            ((ni + nk) * dki + (nj + nk) * dkj - nk * dij) / t
+        }
+        Method::Centroid | Method::Median => unreachable!("not reducible"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dendrogram::fcluster_maxclust;
+    use crate::fowlkes::fowlkes_mallows;
+    use crate::linkage::linkage;
+
+    /// Distinct pseudo-random distances (general position — no ties, so
+    /// both algorithms must agree exactly).
+    fn random_matrix(n: usize, seed: u64) -> CondensedMatrix {
+        let mut x = seed | 1;
+        CondensedMatrix::from_fn(n, |i, j| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let noise = (x % 1_000_000) as f64 / 1_000_000.0;
+            (i + j) as f64 + noise * 10.0
+        })
+    }
+
+    #[test]
+    fn heights_match_naive_for_all_reducible_methods() {
+        for method in [
+            Method::Single,
+            Method::Complete,
+            Method::Average,
+            Method::Weighted,
+            Method::Ward,
+        ] {
+            for seed in [3u64, 17, 99] {
+                for n in [2usize, 5, 12, 25] {
+                    let d = random_matrix(n, seed);
+                    let a = linkage(&d, method);
+                    let b = linkage_nn_chain(&d, method);
+                    let ha: Vec<f64> = a.merges().iter().map(|m| m.distance).collect();
+                    let hb: Vec<f64> = b.merges().iter().map(|m| m.distance).collect();
+                    for (x, y) in ha.iter().zip(&hb) {
+                        assert!(
+                            (x - y).abs() < 1e-9,
+                            "{} n={n} seed={seed}: {ha:?} vs {hb:?}",
+                            method.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_cuts_match_naive() {
+        for method in [Method::Average, Method::Ward, Method::Single] {
+            let d = random_matrix(20, 7);
+            let a = linkage(&d, method);
+            let b = linkage_nn_chain(&d, method);
+            for k in 1..=20 {
+                let la = fcluster_maxclust(&a, k);
+                let lb = fcluster_maxclust(&b, k);
+                assert!(
+                    (fowlkes_mallows(&la, &lb) - 1.0).abs() < 1e-12,
+                    "{} cut at k={k} differs",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        let d = random_matrix(15, 5);
+        let z = linkage_nn_chain(&d, Method::Ward);
+        assert_eq!(z.merges().len(), 14);
+        assert_eq!(z.merges().last().unwrap().size, 15);
+        let mut hs: Vec<f64> = z.merges().iter().map(|m| m.distance).collect();
+        let sorted = {
+            let mut s = hs.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        assert_eq!(hs.len(), sorted.len());
+        hs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(hs, sorted);
+    }
+
+    #[test]
+    #[should_panic]
+    fn centroid_is_rejected() {
+        let d = random_matrix(5, 1);
+        let _ = linkage_nn_chain(&d, Method::Centroid);
+    }
+
+    #[test]
+    fn singleton_input() {
+        let d = CondensedMatrix::zeros(1);
+        let z = linkage_nn_chain(&d, Method::Ward);
+        assert!(z.merges().is_empty());
+    }
+}

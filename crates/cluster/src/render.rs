@@ -1,0 +1,216 @@
+//! Dendrogram text rendering and the cophenetic correlation
+//! coefficient (how faithfully a dendrogram preserves the original
+//! distances — SciPy's `cophenet`).
+
+use crate::dendrogram::Dendrogram;
+use crate::dist::CondensedMatrix;
+
+/// Pearson correlation between the original pairwise distances and the
+/// cophenetic distances of `dend` (SciPy `cophenet(Z, Y)[0]`). Returns
+/// `None` for degenerate inputs (fewer than 2 observations or zero
+/// variance).
+pub fn cophenetic_correlation(dend: &Dendrogram, dist: &CondensedMatrix) -> Option<f64> {
+    let n = dist.len();
+    if n < 3 {
+        return None;
+    }
+    let mut xs = Vec::with_capacity(n * (n - 1) / 2);
+    let mut ys = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            xs.push(dist.get(i, j));
+            ys.push(dend.cophenetic(i, j));
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mx, my) = (mean(&xs), mean(&ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx < 1e-24 || vy < 1e-24 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Export a dendrogram as a Graphviz DOT digraph (leaves labelled via
+/// `label`, internal nodes by merge height).
+pub fn dendrogram_to_dot<F: Fn(usize) -> String>(dend: &Dendrogram, label: &F) -> String {
+    let n = dend.len();
+    let mut out = String::from("digraph dendrogram {\n  rankdir=BT;\n");
+    for i in 0..n {
+        out.push_str(&format!(
+            "  n{i} [shape=box, label=\"{}\"];\n",
+            label(i).replace('"', "'")
+        ));
+    }
+    for (step, m) in dend.merges().iter().enumerate() {
+        let id = n + step;
+        out.push_str(&format!(
+            "  n{id} [shape=ellipse, label=\"h={:.2}\"];\n",
+            m.distance
+        ));
+        out.push_str(&format!("  n{} -> n{id};\n", m.a));
+        out.push_str(&format!("  n{} -> n{id};\n", m.b));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a dendrogram as ASCII art, labels resolved by `label`:
+///
+/// ```text
+/// ── h=3.00 ─┬─ h=1.00 ─┬─ T0
+///            │          └─ T1
+///            └─ h=2.00 ─┬─ T2
+///                       └─ T3
+/// ```
+pub fn render_dendrogram<F: Fn(usize) -> String>(dend: &Dendrogram, label: &F) -> String {
+    if dend.is_empty() {
+        return String::new();
+    }
+    let root = if dend.merges().is_empty() {
+        0
+    } else {
+        dend.len() + dend.merges().len() - 1
+    };
+    let mut out = String::new();
+    render_node(dend, root, "", "── ", &mut out, label);
+    out
+}
+
+fn render_node<F: Fn(usize) -> String>(
+    dend: &Dendrogram,
+    id: usize,
+    indent: &str,
+    connector: &str,
+    out: &mut String,
+    label: &F,
+) {
+    if id < dend.len() {
+        out.push_str(indent);
+        out.push_str(connector);
+        out.push_str(&label(id));
+        out.push('\n');
+        return;
+    }
+    let m = dend.merges()[id - dend.len()];
+    let header = format!("{connector}h={:.2} ", m.distance);
+    out.push_str(indent);
+    out.push_str(&header);
+    // First child continues on the same line via a ┬ connector.
+    let child_indent = format!("{indent}{}", " ".repeat(header.chars().count() - 3));
+    // Render first child inline-ish: use recursive calls with the drawn
+    // tree characters.
+    let first_conn = "┬─ ";
+    let rest_conn = "└─ ";
+    let pass_indent = format!("{child_indent}│  ");
+    let last_indent = format!("{child_indent}   ");
+    // Children, larger side first for stable display.
+    let (a, b) = (m.a, m.b);
+    render_inline(dend, a, &header, indent, first_conn, &pass_indent, out, label);
+    render_node(dend, b, &child_indent, rest_conn, out, label);
+    let _ = last_indent;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_inline<F: Fn(usize) -> String>(
+    dend: &Dendrogram,
+    id: usize,
+    _header: &str,
+    _indent: &str,
+    connector: &str,
+    pass_indent: &str,
+    out: &mut String,
+    label: &F,
+) {
+    if id < dend.len() {
+        out.push_str(connector);
+        out.push_str(&label(id));
+        out.push('\n');
+        return;
+    }
+    let m = dend.merges()[id - dend.len()];
+    let header = format!("{connector}h={:.2} ", m.distance);
+    out.push_str(&header);
+    let child_indent = format!("{pass_indent}{}", " ".repeat(header.chars().count() - 3));
+    render_inline(
+        dend,
+        m.a,
+        &header,
+        pass_indent,
+        "┬─ ",
+        &format!("{child_indent}│  "),
+        out,
+        label,
+    );
+    render_node(dend, m.b, &child_indent, "└─ ", out, label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::{linkage, Method};
+
+    fn two_pairs() -> (CondensedMatrix, Dendrogram) {
+        let pos = [0.0f64, 1.0, 10.0, 11.5];
+        let d = CondensedMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs());
+        let z = linkage(&d, Method::Average);
+        (d, z)
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_for_clean_structure() {
+        let (d, z) = two_pairs();
+        let c = cophenetic_correlation(&z, &d).unwrap();
+        assert!(c > 0.9, "clean two-cluster data should correlate: {c}");
+        assert!(c <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn cophenetic_correlation_degenerate_cases() {
+        let d = CondensedMatrix::zeros(2);
+        let z = linkage(&d, Method::Single);
+        assert!(cophenetic_correlation(&z, &d).is_none()); // n < 3
+        let d3 = CondensedMatrix::zeros(3); // zero variance
+        let z3 = linkage(&d3, Method::Single);
+        assert!(cophenetic_correlation(&z3, &d3).is_none());
+    }
+
+    #[test]
+    fn render_contains_all_leaves_and_heights() {
+        let (_, z) = two_pairs();
+        let s = render_dendrogram(&z, &|i| format!("T{i}"));
+        for t in ["T0", "T1", "T2", "T3"] {
+            assert!(s.contains(t), "{t} missing:\n{s}");
+        }
+        assert!(s.contains("h=1.00"), "{s}");
+        assert!(s.contains("h=1.50"), "{s}");
+        // Every leaf on its own line.
+        assert_eq!(s.lines().count(), 4, "{s}");
+    }
+
+    #[test]
+    fn dot_export_structure() {
+        let (_, z) = two_pairs();
+        let dot = dendrogram_to_dot(&z, &|i| format!("T{i}"));
+        assert!(dot.starts_with("digraph dendrogram {"));
+        // 4 leaves + 3 merges = 7 nodes, 6 edges.
+        assert_eq!(dot.matches("label=").count(), 7);
+        assert_eq!(dot.matches("->").count(), 6);
+        assert!(dot.contains("T3"));
+        assert!(dot.contains("h=1.00"));
+    }
+
+    #[test]
+    fn render_single_leaf() {
+        let z = Dendrogram::new(1, vec![]);
+        let s = render_dendrogram(&z, &|i| format!("only{i}"));
+        assert!(s.contains("only0"));
+    }
+}

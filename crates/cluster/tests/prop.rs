@@ -1,0 +1,154 @@
+//! Property tests for hierarchical clustering and clustering
+//! comparison.
+
+use cluster::{
+    bscore, fcluster_distance, fcluster_maxclust, fowlkes_mallows, linkage, CondensedMatrix,
+    Method,
+};
+use proptest::prelude::*;
+
+fn dist_matrix() -> impl Strategy<Value = CondensedMatrix> {
+    (2usize..12).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..10.0, n * (n - 1) / 2).prop_map(move |data| {
+            let mut m = CondensedMatrix::zeros(n);
+            let mut it = data.into_iter();
+            for i in 0..n {
+                for j in i + 1..n {
+                    m.set(i, j, it.next().unwrap());
+                }
+            }
+            m
+        })
+    })
+}
+
+fn any_method() -> impl Strategy<Value = Method> {
+    proptest::sample::select(Method::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every linkage produces exactly n−1 merges ending in one cluster
+    /// of size n, with non-negative heights.
+    #[test]
+    fn merge_sequence_well_formed(d in dist_matrix(), m in any_method()) {
+        let n = d.len();
+        let z = linkage(&d, m);
+        prop_assert_eq!(z.merges().len(), n - 1);
+        prop_assert_eq!(z.merges().last().unwrap().size, n);
+        for merge in z.merges() {
+            prop_assert!(merge.distance >= -1e-9, "{merge:?}");
+            prop_assert!(merge.a < merge.b);
+        }
+    }
+
+    /// A maxclust cut with k ≤ n yields exactly k dense labels.
+    #[test]
+    fn maxclust_yields_exactly_k(d in dist_matrix(), m in any_method(), k in 1usize..12) {
+        let n = d.len();
+        let z = linkage(&d, m);
+        let k = k.min(n);
+        let labels = fcluster_maxclust(&z, k);
+        prop_assert_eq!(labels.len(), n);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k);
+        for &l in &labels {
+            prop_assert!(l < k);
+        }
+    }
+
+    /// Distance cuts refine monotonically: a larger height never
+    /// produces more clusters.
+    #[test]
+    fn distance_cut_monotone(d in dist_matrix(), m in any_method(), h1 in 0.0f64..12.0, h2 in 0.0f64..12.0) {
+        let z = linkage(&d, m);
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let count = |h: f64| {
+            fcluster_distance(&z, h)
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        prop_assert!(count(lo) >= count(hi));
+    }
+
+    /// Fowlkes–Mallows is bounded, symmetric, and 1 on identity.
+    #[test]
+    fn fm_properties(labels_a in proptest::collection::vec(0usize..4, 2..12)) {
+        let labels_b: Vec<usize> = labels_a.iter().map(|&l| (l + 1) % 4).collect();
+        let v = fowlkes_mallows(&labels_a, &labels_b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        prop_assert!((fowlkes_mallows(&labels_b, &labels_a) - v).abs() < 1e-12);
+        prop_assert_eq!(fowlkes_mallows(&labels_a, &labels_a), 1.0);
+    }
+
+    /// B-score is 0 against itself and within [0, 1] against anything.
+    #[test]
+    fn bscore_properties(d1 in dist_matrix(), m in any_method()) {
+        let z1 = linkage(&d1, m);
+        prop_assert_eq!(bscore(&z1, &z1), 0.0);
+        // Perturb the matrix and compare.
+        let n = d1.len();
+        let mut d2 = d1.clone();
+        if n >= 2 {
+            d2.set(0, 1, d1.get(0, 1) + 5.0);
+        }
+        let z2 = linkage(&d2, m);
+        let b = bscore(&z1, &z2);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&b), "b = {b}");
+    }
+
+    /// Cophenetic distance is symmetric, zero on the diagonal, and an
+    /// ultrametric for monotone (reducible) linkages.
+    #[test]
+    fn cophenetic_ultrametric(d in dist_matrix()) {
+        let z = linkage(&d, Method::Average);
+        let n = d.len();
+        for i in 0..n {
+            prop_assert_eq!(z.cophenetic(i, i), 0.0);
+            for j in 0..n {
+                let cij = z.cophenetic(i, j);
+                prop_assert!((cij - z.cophenetic(j, i)).abs() < 1e-12);
+                for k in 0..n {
+                    // Ultrametric inequality.
+                    prop_assert!(
+                        cij <= z.cophenetic(i, k).max(z.cophenetic(k, j)) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NN-chain and the naive search agree on merge heights for every
+    /// reducible method (random continuous distances — ties have
+    /// probability ~0).
+    #[test]
+    fn nn_chain_matches_naive(d in dist_matrix(), mi in 0usize..5) {
+        use cluster::linkage_nn_chain;
+        let method = [
+            Method::Single,
+            Method::Complete,
+            Method::Average,
+            Method::Weighted,
+            Method::Ward,
+        ][mi];
+        let a = linkage(&d, method);
+        let b = linkage_nn_chain(&d, method);
+        for (x, y) in a.merges().iter().zip(b.merges()) {
+            prop_assert!((x.distance - y.distance).abs() < 1e-9);
+        }
+        // Cuts agree at every granularity.
+        for k in 1..=d.len() {
+            let fm = fowlkes_mallows(
+                &fcluster_maxclust(&a, k),
+                &fcluster_maxclust(&b, k),
+            );
+            prop_assert!((fm - 1.0).abs() < 1e-12, "k={k} differs");
+        }
+    }
+}

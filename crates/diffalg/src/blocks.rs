@@ -1,0 +1,124 @@
+//! Grouping edit scripts into aligned blocks for side-by-side display.
+//!
+//! diffNLR shows a *main stem* of common blocks with left-only (normal)
+//! and right-only (faulty) blocks hanging off it. [`align_blocks`]
+//! produces that structure from an edit script plus the two sequences.
+
+use crate::script::{EditScript, Op};
+
+/// Which side(s) a block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Present in both sequences (the "main stem", green in Figure 5).
+    Common,
+    /// Present only in the left/first sequence (normal run; blue).
+    LeftOnly,
+    /// Present only in the right/second sequence (faulty run; red).
+    RightOnly,
+}
+
+/// A contiguous block of elements with one kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block<T> {
+    /// The side.
+    pub kind: BlockKind,
+    /// The elements (cloned out of the input sequences).
+    pub items: Vec<T>,
+}
+
+/// Align `a` (left) and `b` (right) into blocks according to `script`.
+///
+/// Adjacent Delete+Insert runs appear as a LeftOnly block followed by a
+/// RightOnly block — the "replace" shape of Figure 5b.
+pub fn align_blocks<T: Clone + PartialEq>(
+    script: &EditScript,
+    a: &[T],
+    b: &[T],
+) -> Vec<Block<T>> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    for r in script.ops() {
+        match r.op {
+            Op::Keep => {
+                out.push(Block {
+                    kind: BlockKind::Common,
+                    items: a[i..i + r.len].to_vec(),
+                });
+                i += r.len;
+                j += r.len;
+            }
+            Op::Delete => {
+                out.push(Block {
+                    kind: BlockKind::LeftOnly,
+                    items: a[i..i + r.len].to_vec(),
+                });
+                i += r.len;
+            }
+            Op::Insert => {
+                out.push(Block {
+                    kind: BlockKind::RightOnly,
+                    items: b[j..j + r.len].to_vec(),
+                });
+                j += r.len;
+            }
+        }
+    }
+    debug_assert_eq!(i, a.len());
+    debug_assert_eq!(j, b.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::myers::diff;
+
+    #[test]
+    fn replace_shape() {
+        let a = ["Init", "L1^16", "Finalize"];
+        let b = ["Init", "L1^7", "L0^9", "Finalize"];
+        let blocks = align_blocks(&diff(&a, &b), &a, &b);
+        let kinds: Vec<BlockKind> = blocks.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Common,
+                BlockKind::LeftOnly,
+                BlockKind::RightOnly,
+                BlockKind::Common
+            ]
+        );
+        assert_eq!(blocks[1].items, vec!["L1^16"]);
+        assert_eq!(blocks[2].items, vec!["L1^7", "L0^9"]);
+    }
+
+    #[test]
+    fn truncation_shape() {
+        // dlBug: faulty stops early — trailing LeftOnly block.
+        let a = ["Init", "L1^16", "Finalize"];
+        let b = ["Init", "L1^7"];
+        let blocks = align_blocks(&diff(&a, &b), &a, &b);
+        assert_eq!(blocks.first().unwrap().kind, BlockKind::Common);
+        assert!(blocks
+            .iter()
+            .any(|bl| bl.kind == BlockKind::LeftOnly && bl.items.contains(&"Finalize")));
+    }
+
+    #[test]
+    fn identical_sequences_single_common_block() {
+        let a = [1, 2, 3];
+        let blocks = align_blocks(&diff(&a, &a), &a, &a);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, BlockKind::Common);
+        assert_eq!(blocks[0].items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fully_disjoint() {
+        let a = [1, 2];
+        let b = [3, 4];
+        let blocks = align_blocks(&diff(&a, &b), &a, &b);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|bl| bl.kind != BlockKind::Common));
+    }
+}

@@ -1,0 +1,31 @@
+//! `diffalg` — Myers' O(ND) difference algorithm.
+//!
+//! diffNLR (§II-F-1 of the DiffTrace paper) visualizes the differences
+//! between a normal and a faulty trace using "the diff algorithm …
+//! used in the GNU diff utility and in git" — Myers, *An O(ND)
+//! Difference Algorithm and Its Variations* (Algorithmica 1986). This
+//! crate implements the greedy forward variant over arbitrary
+//! `PartialEq` element types (diffNLR diffs *NLR elements*, not lines of
+//! text), producing a minimal edit script which is then grouped into
+//! common / left-only / right-only **blocks** for side-by-side
+//! rendering.
+//!
+//! ```
+//! use diffalg::{diff, Op};
+//!
+//! let a = ["Init", "L1^16", "Finalize"];
+//! let b = ["Init", "L1^7", "L0^9", "Finalize"];
+//! let script = diff(&a, &b);
+//! assert_eq!(script.distance(), 3); // delete L1^16, insert L1^7, L0^9
+//! assert_eq!(script.apply_with(&a, &b), b.to_vec());
+//! let kinds: Vec<Op> = script.ops().iter().map(|r| r.op).collect();
+//! assert_eq!(kinds, [Op::Keep, Op::Delete, Op::Insert, Op::Keep]);
+//! ```
+
+pub mod blocks;
+pub mod myers;
+pub mod script;
+
+pub use blocks::{align_blocks, Block, BlockKind};
+pub use myers::diff;
+pub use script::{EditScript, Op, Run};

@@ -1,0 +1,200 @@
+//! The greedy forward O(ND) algorithm with full traceback.
+
+use crate::script::{EditScript, Op, Run};
+
+/// Compute a minimal edit script turning `a` into `b`.
+///
+/// Time `O((N+M)·D)`, space `O(D²)` for the traceback (the per-`d`
+/// furthest-reaching frontier snapshots). Trace inputs are
+/// NLR-summarized, so `N`, `M`, and especially `D` are small.
+pub fn diff<T: PartialEq>(a: &[T], b: &[T]) -> EditScript {
+    let n = a.len();
+    let m = b.len();
+    let max = n + m;
+    if max == 0 {
+        return EditScript::default();
+    }
+    let offset = max;
+    // v[k + offset] = furthest x on diagonal k.
+    let mut v = vec![0usize; 2 * max + 1];
+    let mut snapshots: Vec<Vec<usize>> = Vec::new();
+
+    'outer: {
+        for d in 0..=max as isize {
+            snapshots.push(v.clone());
+            let mut k = -d;
+            while k <= d {
+                let ki = (k + offset as isize) as usize;
+                let mut x = if k == -d || (k != d && v[ki - 1] < v[ki + 1]) {
+                    v[ki + 1] // move down (insert from b)
+                } else {
+                    v[ki - 1] + 1 // move right (delete from a)
+                };
+                let mut y = (x as isize - k) as usize;
+                while x < n && y < m && a[x] == b[y] {
+                    x += 1;
+                    y += 1;
+                }
+                v[ki] = x;
+                if x >= n && y >= m {
+                    break 'outer;
+                }
+                k += 2;
+            }
+        }
+        unreachable!("diff always terminates within n+m steps");
+    }
+
+    // Traceback from (n, m) through the snapshots.
+    let mut ops_rev: Vec<Run> = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (1..snapshots.len()).rev() {
+        let vprev = &snapshots[d];
+        let d = d as isize;
+        let k = x as isize - y as isize;
+        let ki = (k + offset as isize) as usize;
+        let went_down = k == -d || (k != d && vprev[ki - 1] < vprev[ki + 1]);
+        let (prev_k, edit) = if went_down {
+            (k + 1, Op::Insert)
+        } else {
+            (k - 1, Op::Delete)
+        };
+        let prev_x = vprev[(prev_k + offset as isize) as usize];
+        let prev_y = (prev_x as isize - prev_k) as usize;
+        // Snake (common run) after the edit step.
+        let after_edit_x = if went_down { prev_x } else { prev_x + 1 };
+        let snake = x - after_edit_x;
+        if snake > 0 {
+            ops_rev.push(Run {
+                op: Op::Keep,
+                len: snake,
+            });
+        }
+        ops_rev.push(Run { op: edit, len: 1 });
+        x = prev_x;
+        y = prev_y;
+    }
+    // Leading snake at d = 0.
+    debug_assert_eq!(x, y);
+    if x > 0 {
+        ops_rev.push(Run {
+            op: Op::Keep,
+            len: x,
+        });
+    }
+    ops_rev.reverse();
+    EditScript::from_runs(ops_rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference LCS length by dynamic programming.
+    fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+        let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                dp[i][j] = if a[i - 1] == b[j - 1] {
+                    dp[i - 1][j - 1] + 1
+                } else {
+                    dp[i - 1][j].max(dp[i][j - 1])
+                };
+            }
+        }
+        dp[a.len()][b.len()]
+    }
+
+    fn check(a: &[u32], b: &[u32]) {
+        let s = diff(a, b);
+        assert_eq!(s.apply_with(a, b), b.to_vec(), "a={a:?} b={b:?}");
+        let expected_d = a.len() + b.len() - 2 * lcs_len(a, b);
+        assert_eq!(
+            s.distance(),
+            expected_d,
+            "non-minimal script for a={a:?} b={b:?}: {s:?}"
+        );
+    }
+
+    #[test]
+    fn trivial_cases() {
+        check(&[], &[]);
+        check(&[1], &[]);
+        check(&[], &[1]);
+        check(&[1, 2, 3], &[1, 2, 3]);
+        check(&[1, 2, 3], &[4, 5, 6]);
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA → CBABAC (the paper's running example), D = 5.
+        let a = [b'A', b'B', b'C', b'A', b'B', b'B', b'A'].map(u32::from);
+        let b = [b'C', b'B', b'A', b'B', b'A', b'C'].map(u32::from);
+        let s = diff(&a, &b);
+        assert_eq!(s.distance(), 5);
+        assert_eq!(s.apply_with(&a, &b), b.to_vec());
+    }
+
+    #[test]
+    fn swap_bug_shape() {
+        // Figure 5 of DiffTrace: common stem, one block replaced.
+        let a = [0u32, 1, 99, 2];
+        let b = [0u32, 1, 50, 51, 2];
+        let s = diff(&a, &b);
+        assert_eq!(s.distance(), 3);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn truncation_shape() {
+        // Figure 6: faulty trace is a prefix that stops early.
+        let a = [0u32, 1, 2, 3, 4, 5];
+        let b = [0u32, 1, 2];
+        let s = diff(&a, &b);
+        assert_eq!(s.distance(), 3);
+        assert_eq!(s.common_len(), 3);
+        check(&a, &b);
+    }
+
+    #[test]
+    fn exhaustive_small_alphabet() {
+        // All sequence pairs over {0,1} up to length 4: minimality and
+        // reconstruction must hold everywhere.
+        fn seqs(len: usize) -> Vec<Vec<u32>> {
+            let mut out = vec![vec![]];
+            for _ in 0..len {
+                out = out
+                    .into_iter()
+                    .flat_map(|s| {
+                        [0u32, 1].iter().map(move |&c| {
+                            let mut t = s.clone();
+                            t.push(c);
+                            t
+                        })
+                    })
+                    .collect();
+            }
+            out
+        }
+        let mut all = Vec::new();
+        for l in 0..=4 {
+            all.extend(seqs(l));
+        }
+        for a in &all {
+            for b in &all {
+                check(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn long_common_prefix_suffix() {
+        let mut a: Vec<u32> = (0..500).collect();
+        let mut b = a.clone();
+        a.insert(250, 9999);
+        b.insert(250, 8888);
+        b.insert(251, 8887);
+        check(&a, &b);
+    }
+}

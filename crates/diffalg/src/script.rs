@@ -1,0 +1,161 @@
+//! Edit scripts: run-length-grouped Keep/Delete/Insert sequences.
+
+/// Kind of an edit run, relative to transforming `a` into `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Elements common to both sequences.
+    Keep,
+    /// Elements present only in `a` (removed).
+    Delete,
+    /// Elements present only in `b` (added).
+    Insert,
+}
+
+/// A maximal run of one edit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The kind.
+    pub op: Op,
+    /// Number of consecutive elements.
+    pub len: usize,
+}
+
+/// A minimal edit script from `a` to `b`, as produced by
+/// [`crate::myers::diff`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EditScript {
+    runs: Vec<Run>,
+}
+
+impl EditScript {
+    /// Build from raw runs, merging adjacent runs of equal kind and
+    /// dropping empty ones.
+    pub fn from_runs<I: IntoIterator<Item = Run>>(runs: I) -> EditScript {
+        let mut out: Vec<Run> = Vec::new();
+        for r in runs {
+            if r.len == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.op == r.op => last.len += r.len,
+                _ => out.push(r),
+            }
+        }
+        EditScript { runs: out }
+    }
+
+    /// The runs in order.
+    pub fn ops(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Edit distance: total inserted + deleted elements (the `D` of
+    /// Myers' O(ND)).
+    pub fn distance(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.op != Op::Keep)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Number of common elements (length of the implied LCS).
+    pub fn common_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.op == Op::Keep)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Reconstruct `b` from `a` plus the original `b` (structure check:
+    /// walks both cursors and asserts consistency). Primarily a testing
+    /// and verification aid.
+    pub fn apply_with<T: Clone + PartialEq>(&self, a: &[T], b: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        for r in &self.runs {
+            match r.op {
+                Op::Keep => {
+                    for _ in 0..r.len {
+                        assert!(a[i] == b[j], "Keep run over unequal elements");
+                        out.push(a[i].clone());
+                        i += 1;
+                        j += 1;
+                    }
+                }
+                Op::Delete => {
+                    i += r.len;
+                }
+                Op::Insert => {
+                    for _ in 0..r.len {
+                        out.push(b[j].clone());
+                        j += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(i, a.len(), "script does not consume all of a");
+        assert_eq!(j, b.len(), "script does not produce all of b");
+        out
+    }
+
+    /// Lengths consumed on the `a` side and produced on the `b` side.
+    pub fn side_lens(&self) -> (usize, usize) {
+        let mut a = 0;
+        let mut b = 0;
+        for r in &self.runs {
+            match r.op {
+                Op::Keep => {
+                    a += r.len;
+                    b += r.len;
+                }
+                Op::Delete => a += r.len,
+                Op::Insert => b += r.len,
+            }
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_runs_merges_and_drops() {
+        let s = EditScript::from_runs([
+            Run { op: Op::Keep, len: 2 },
+            Run { op: Op::Keep, len: 3 },
+            Run { op: Op::Delete, len: 0 },
+            Run { op: Op::Insert, len: 1 },
+        ]);
+        assert_eq!(
+            s.ops(),
+            &[Run { op: Op::Keep, len: 5 }, Run { op: Op::Insert, len: 1 }]
+        );
+        assert_eq!(s.distance(), 1);
+        assert_eq!(s.common_len(), 5);
+        assert_eq!(s.side_lens(), (5, 6));
+    }
+
+    #[test]
+    fn apply_with_reconstructs() {
+        let s = EditScript::from_runs([
+            Run { op: Op::Keep, len: 1 },
+            Run { op: Op::Delete, len: 1 },
+            Run { op: Op::Insert, len: 2 },
+            Run { op: Op::Keep, len: 1 },
+        ]);
+        let a = ["x", "dead", "z"];
+        let b = ["x", "n1", "n2", "z"];
+        assert_eq!(s.apply_with(&a, &b), b.to_vec());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_script_panics() {
+        let s = EditScript::from_runs([Run { op: Op::Keep, len: 2 }]);
+        let _ = s.apply_with(&["a"], &["a"]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: Myers diff minimality (against DP LCS) and
+//! reconstruction on random sequences.
+
+use diffalg::{align_blocks, diff, BlockKind};
+use proptest::prelude::*;
+
+fn lcs_len(a: &[u8], b: &[u8]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn minimal_and_reconstructs(
+        a in proptest::collection::vec(0u8..4, 0..40),
+        b in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let s = diff(&a, &b);
+        prop_assert_eq!(s.apply_with(&a, &b), b.clone());
+        let expected = a.len() + b.len() - 2 * lcs_len(&a, &b);
+        prop_assert_eq!(s.distance(), expected);
+        prop_assert_eq!(s.common_len(), lcs_len(&a, &b));
+    }
+
+    #[test]
+    fn blocks_partition_both_sides(
+        a in proptest::collection::vec(0u8..6, 0..30),
+        b in proptest::collection::vec(0u8..6, 0..30),
+    ) {
+        let s = diff(&a, &b);
+        let blocks = align_blocks(&s, &a, &b);
+        let left: Vec<u8> = blocks
+            .iter()
+            .filter(|bl| bl.kind != BlockKind::RightOnly)
+            .flat_map(|bl| bl.items.iter().copied())
+            .collect();
+        let right: Vec<u8> = blocks
+            .iter()
+            .filter(|bl| bl.kind != BlockKind::LeftOnly)
+            .flat_map(|bl| bl.items.iter().copied())
+            .collect();
+        prop_assert_eq!(left, a);
+        prop_assert_eq!(right, b);
+    }
+
+    #[test]
+    fn diff_against_self_is_all_common(a in proptest::collection::vec(0u8..6, 0..50)) {
+        let s = diff(&a, &a);
+        prop_assert_eq!(s.distance(), 0);
+        prop_assert_eq!(s.common_len(), a.len());
+    }
+
+    #[test]
+    fn prefix_suffix_edits_stay_local(
+        pre in proptest::collection::vec(0u8..4, 0..20),
+        mid_a in proptest::collection::vec(10u8..14, 0..5),
+        mid_b in proptest::collection::vec(20u8..24, 0..5),
+        post in proptest::collection::vec(0u8..4, 0..20),
+    ) {
+        // a = pre ∥ mid_a ∥ post, b = pre ∥ mid_b ∥ post: distance is
+        // at most |mid_a| + |mid_b|.
+        let a: Vec<u8> = pre.iter().chain(&mid_a).chain(&post).copied().collect();
+        let b: Vec<u8> = pre.iter().chain(&mid_b).chain(&post).copied().collect();
+        let s = diff(&a, &b);
+        prop_assert!(s.distance() <= mid_a.len() + mid_b.len());
+    }
+}

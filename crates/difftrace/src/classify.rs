@@ -1,0 +1,335 @@
+//! Bug classification from DiffTrace features.
+//!
+//! The paper's future work (§VII-3) proposes "systematic bug-injection
+//! to see whether concept lattices and loop structures can be used as
+//! elevated features for precise bug classifications via machine
+//! learning". This module implements that pipeline:
+//!
+//! * [`extract_features`] turns one [`DiffRun`] into a fixed-length
+//!   [`FeatureVector`] of exactly the "elevated features" the paper
+//!   names — clustering distortion (B-score), JSM_D statistics,
+//!   truncation evidence, loop-structure drift, and attribute novelty
+//!   from the concept lattices.
+//! * [`NearestCentroid`] is a deliberately simple, deterministic
+//!   classifier (z-normalized nearest class centroid): the point is to
+//!   show the features separate bug classes, not to ship a deep model.
+//!
+//! The bench crate's systematic injection campaign (experiment `e10`)
+//! trains on labelled fault injections across all three workloads and
+//! evaluates with leave-one-out cross-validation.
+
+use crate::pipeline::DiffRun;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of features in a [`FeatureVector`].
+pub const NUM_FEATURES: usize = 8;
+
+/// Human-readable names of the features, index-aligned.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "bscore",
+    "frac_truncated",
+    "jsm_d_mean",
+    "jsm_d_max",
+    "suspect_concentration",
+    "loop_drift",
+    "attr_missing_frac",
+    "attr_novel_frac",
+];
+
+/// The elevated features of one normal/faulty diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector(pub [f64; NUM_FEATURES]);
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in FEATURE_NAMES.iter().zip(&self.0) {
+            writeln!(f, "  {name:<22} {v:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Total loop iterations summed over a trace's NLR elements.
+fn total_loop_iterations(nlr: &nlr::Nlr) -> f64 {
+    nlr.elements()
+        .iter()
+        .filter_map(|e| match e {
+            nlr::Element::Loop { count, .. } => Some(*count as f64),
+            nlr::Element::Sym(_) => None,
+        })
+        .sum()
+}
+
+/// Extract the feature vector of a completed diff.
+pub fn extract_features(d: &DiffRun) -> FeatureVector {
+    let n = d.jsm_d.len().max(1);
+
+    // JSM_D statistics (off-diagonal).
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..d.jsm_d.len() {
+        for j in 0..d.jsm_d.len() {
+            if i != j {
+                sum += d.jsm_d.m[i][j];
+                max = max.max(d.jsm_d.m[i][j]);
+                count += 1;
+            }
+        }
+    }
+    let jsm_d_mean = if count == 0 { 0.0 } else { sum / count as f64 };
+
+    // Truncation evidence from the faulty run.
+    let truncated = d
+        .faulty
+        .nlrs
+        .truncated
+        .values()
+        .filter(|&&t| t)
+        .count() as f64;
+    let frac_truncated = truncated / n as f64;
+
+    // How concentrated is the suspicion? 1 → a single culprit,
+    // → 0 as everything is equally implicated.
+    let scores = d.jsm_d.row_scores();
+    let total: f64 = scores.iter().map(|(_, s)| s).sum();
+    let top = scores
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(0.0f64, f64::max);
+    let suspect_concentration = if total > 0.0 { top / total } else { 0.0 };
+
+    // Loop-structure drift: mean |Δ total loop iterations| relative.
+    let mut drift = 0.0;
+    let mut drift_n = 0usize;
+    for (id, nn) in &d.normal.nlrs.nlrs {
+        if let Some(fn_) = d.faulty.nlrs.get(*id) {
+            let a = total_loop_iterations(nn);
+            let b = total_loop_iterations(fn_);
+            if a.max(b) > 0.0 {
+                drift += (a - b).abs() / a.max(b);
+                drift_n += 1;
+            }
+        }
+    }
+    let loop_drift = if drift_n == 0 { 0.0 } else { drift / drift_n as f64 };
+
+    // Attribute-set movement between the two concept lattices: which
+    // attributes vanished / appeared (union over objects).
+    let attr_set = |run: &crate::pipeline::AnalysisRun| -> std::collections::BTreeSet<String> {
+        (0..run.context.num_attrs())
+            .map(|m| run.context.attr_name(fca::AttrId(m as u32)).to_string())
+            .collect()
+    };
+    let na = attr_set(&d.normal);
+    let fa = attr_set(&d.faulty);
+    let union = na.union(&fa).count().max(1) as f64;
+    let attr_missing_frac = na.difference(&fa).count() as f64 / union;
+    let attr_novel_frac = fa.difference(&na).count() as f64 / union;
+
+    FeatureVector([
+        d.bscore,
+        frac_truncated,
+        jsm_d_mean,
+        max,
+        suspect_concentration,
+        loop_drift,
+        attr_missing_frac,
+        attr_novel_frac,
+    ])
+}
+
+/// A labelled training sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Bug-class label (e.g. `"hang"`, `"missing-sync"`).
+    pub label: String,
+    /// Its features.
+    pub features: FeatureVector,
+}
+
+/// Z-normalized nearest-centroid classifier.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    centroids: BTreeMap<String, [f64; NUM_FEATURES]>,
+    mean: [f64; NUM_FEATURES],
+    std: [f64; NUM_FEATURES],
+}
+
+impl NearestCentroid {
+    /// Train on labelled samples. Panics on an empty training set.
+    pub fn train(samples: &[Sample]) -> NearestCentroid {
+        assert!(!samples.is_empty(), "cannot train on zero samples");
+        // Global normalization statistics.
+        let mut mean = [0.0; NUM_FEATURES];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(&s.features.0) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= samples.len() as f64;
+        }
+        let mut std = [0.0; NUM_FEATURES];
+        for s in samples {
+            for ((sd, v), m) in std.iter_mut().zip(&s.features.0).zip(&mean) {
+                *sd += (v - m).powi(2);
+            }
+        }
+        for sd in &mut std {
+            *sd = (*sd / samples.len() as f64).sqrt();
+            if *sd < 1e-12 {
+                *sd = 1.0; // constant feature: don't divide by ~0
+            }
+        }
+        // Per-class centroids in normalized space.
+        let mut sums: BTreeMap<String, ([f64; NUM_FEATURES], usize)> = BTreeMap::new();
+        for s in samples {
+            let entry = sums
+                .entry(s.label.clone())
+                .or_insert(([0.0; NUM_FEATURES], 0));
+            for (i, v) in s.features.0.iter().enumerate() {
+                entry.0[i] += (v - mean[i]) / std[i];
+            }
+            entry.1 += 1;
+        }
+        let centroids = sums
+            .into_iter()
+            .map(|(label, (mut acc, n))| {
+                for a in &mut acc {
+                    *a /= n as f64;
+                }
+                (label, acc)
+            })
+            .collect();
+        NearestCentroid {
+            centroids,
+            mean,
+            std,
+        }
+    }
+
+    /// The trained class labels.
+    pub fn labels(&self) -> Vec<&str> {
+        self.centroids.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Classify a feature vector: `(label, distance)` of the nearest
+    /// centroid (ties break toward the lexicographically first label).
+    pub fn classify(&self, features: &FeatureVector) -> (String, f64) {
+        let mut best: Option<(&str, f64)> = None;
+        for (label, c) in &self.centroids {
+            let mut dist = 0.0;
+            for (i, ci) in c.iter().enumerate() {
+                let z = (features.0[i] - self.mean[i]) / self.std[i];
+                dist += (z - ci).powi(2);
+            }
+            let dist = dist.sqrt();
+            if best.is_none() || dist < best.unwrap().1 {
+                best = Some((label, dist));
+            }
+        }
+        let (l, d) = best.expect("trained classifier has centroids");
+        (l.to_string(), d)
+    }
+}
+
+/// Leave-one-out accuracy of nearest-centroid on `samples`; returns
+/// `(correct, total, per-sample predictions)`.
+pub fn leave_one_out(samples: &[Sample]) -> (usize, usize, Vec<(String, String)>) {
+    let mut correct = 0;
+    let mut predictions = Vec::new();
+    for i in 0..samples.len() {
+        let train: Vec<Sample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let model = NearestCentroid::train(&train);
+        let (pred, _) = model.classify(&samples[i].features);
+        if pred == samples[i].label {
+            correct += 1;
+        }
+        predictions.push((samples[i].label.clone(), pred));
+    }
+    (correct, samples.len(), predictions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(seed: f64) -> FeatureVector {
+        FeatureVector([
+            seed,
+            seed * 0.5,
+            0.1,
+            0.2,
+            1.0 - seed,
+            0.0,
+            0.0,
+            0.0,
+        ])
+    }
+
+    fn sample(label: &str, seed: f64) -> Sample {
+        Sample {
+            label: label.to_string(),
+            features: fv(seed),
+        }
+    }
+
+    #[test]
+    fn centroid_classifier_separates_classes() {
+        let samples = vec![
+            sample("hang", 0.9),
+            sample("hang", 0.85),
+            sample("hang", 0.95),
+            sample("silent", 0.1),
+            sample("silent", 0.15),
+            sample("silent", 0.05),
+        ];
+        let model = NearestCentroid::train(&samples);
+        assert_eq!(model.labels(), vec!["hang", "silent"]);
+        assert_eq!(model.classify(&fv(0.88)).0, "hang");
+        assert_eq!(model.classify(&fv(0.12)).0, "silent");
+    }
+
+    #[test]
+    fn loo_perfect_on_separable_data() {
+        let samples = vec![
+            sample("a", 0.9),
+            sample("a", 0.8),
+            sample("a", 0.95),
+            sample("b", 0.1),
+            sample("b", 0.2),
+            sample("b", 0.05),
+        ];
+        let (correct, total, _) = leave_one_out(&samples);
+        assert_eq!((correct, total), (6, 6));
+    }
+
+    #[test]
+    fn constant_features_do_not_poison_normalization() {
+        let samples = vec![sample("a", 0.5), sample("b", 0.5)];
+        let model = NearestCentroid::train(&samples);
+        let (_, d) = model.classify(&fv(0.5));
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn feature_vector_display_names_everything() {
+        let s = fv(0.3).to_string();
+        for n in FEATURE_NAMES {
+            assert!(s.contains(n), "{n} missing from {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn training_on_empty_set_panics() {
+        let _ = NearestCentroid::train(&[]);
+    }
+}

@@ -1,0 +1,207 @@
+//! diffNLR — the paper's visual diff of loop-summarized traces
+//! (§II-F-1, Figures 5–7).
+//!
+//! `diffNLR(x) ≡ diffNLR(T_x, T'_x)`: the Myers diff of the NLR of
+//! thread `x`'s normal trace against its faulty trace, grouped into a
+//! *main stem* of common blocks plus normal-only and faulty-only
+//! blocks. The text rendering uses `=` for the stem, `-` for
+//! normal-only (blue in the paper), `+` for faulty-only (red).
+
+use diffalg::{align_blocks, diff, Block, BlockKind};
+use dt_trace::TraceId;
+use std::fmt;
+
+/// A rendered diffNLR view of one thread.
+#[derive(Debug, Clone)]
+pub struct DiffNlr {
+    /// Which thread is being compared.
+    pub id: TraceId,
+    /// Aligned blocks over the rendered NLR entries.
+    pub blocks: Vec<Block<String>>,
+    /// Was the faulty trace truncated (thread killed mid-call)?
+    pub faulty_truncated: bool,
+}
+
+impl DiffNlr {
+    /// Diff two rendered NLR sequences (e.g. `["MPI_Init", "L1 ^ 16",
+    /// "MPI_Finalize"]`).
+    pub fn new(
+        id: TraceId,
+        normal: Vec<String>,
+        faulty: Vec<String>,
+        faulty_truncated: bool,
+    ) -> DiffNlr {
+        let script = diff(&normal, &faulty);
+        DiffNlr {
+            id,
+            blocks: align_blocks(&script, &normal, &faulty),
+            faulty_truncated,
+        }
+    }
+
+    /// True when normal and faulty are identical.
+    pub fn is_identical(&self) -> bool {
+        self.blocks.iter().all(|b| b.kind == BlockKind::Common)
+    }
+
+    /// Entries present only in the normal run.
+    pub fn normal_only(&self) -> Vec<&str> {
+        self.side(BlockKind::LeftOnly)
+    }
+
+    /// Entries present only in the faulty run.
+    pub fn faulty_only(&self) -> Vec<&str> {
+        self.side(BlockKind::RightOnly)
+    }
+
+    fn side(&self, kind: BlockKind) -> Vec<&str> {
+        self.blocks
+            .iter()
+            .filter(|b| b.kind == kind)
+            .flat_map(|b| b.items.iter().map(|s| s.as_str()))
+            .collect()
+    }
+
+    /// Render side-by-side (normal | faulty) like the paper's Figures
+    /// 5–7: the common stem spans both columns, one-sided blocks leave
+    /// the other column blank.
+    pub fn render_side_by_side(&self) -> String {
+        let width = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.items.iter().map(|s| s.chars().count()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = format!(
+            "diffNLR({})\n{:<width$} | {:<width$}\n{}\n",
+            self.id,
+            "normal",
+            "faulty",
+            "-".repeat(width * 2 + 3),
+        );
+        for b in &self.blocks {
+            for item in &b.items {
+                let line = match b.kind {
+                    BlockKind::Common => format!("{item:<width$} | {item:<width$}"),
+                    BlockKind::LeftOnly => format!("{item:<width$} | {:<width$}", ""),
+                    BlockKind::RightOnly => format!("{:<width$} | {item:<width$}", ""),
+                };
+                out.push_str(line.trim_end());
+                out.push('\n');
+            }
+        }
+        if self.faulty_truncated {
+            out.push_str(&format!(
+                "{:<width$} | <truncated: last call never returned>\n",
+                ""
+            ));
+        }
+        out
+    }
+
+    /// Render the two-column text view.
+    pub fn render(&self) -> String {
+        let mut out = format!("diffNLR({})  [= common | - normal only | + faulty only]\n", self.id);
+        for b in &self.blocks {
+            let mark = match b.kind {
+                BlockKind::Common => '=',
+                BlockKind::LeftOnly => '-',
+                BlockKind::RightOnly => '+',
+            };
+            for item in &b.items {
+                out.push_str(&format!("  {mark} {item}\n"));
+            }
+        }
+        if self.faulty_truncated {
+            out.push_str("  ! faulty trace truncated: the last call above never returned\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for DiffNlr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn swap_bug_figure_5b() {
+        // T5: L1^16; T'5: L1^7 L0^9 — both reach MPI_Finalize.
+        let d = DiffNlr::new(
+            TraceId::master(5),
+            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
+            false,
+        );
+        assert!(!d.is_identical());
+        assert_eq!(d.normal_only(), vec!["L1 ^ 16"]);
+        assert_eq!(d.faulty_only(), vec!["L1 ^ 7", "L0 ^ 9"]);
+        let r = d.render();
+        assert!(r.contains("= MPI_Init"));
+        assert!(r.contains("- L1 ^ 16"));
+        assert!(r.contains("+ L0 ^ 9"));
+        assert!(r.contains("= MPI_Finalize"));
+        assert!(!r.contains('!'));
+    }
+
+    #[test]
+    fn dl_bug_figure_6_truncation() {
+        // T'5 never reaches MPI_Finalize.
+        let d = DiffNlr::new(
+            TraceId::master(5),
+            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            v(&["MPI_Init", "L1 ^ 7", "MPI_Recv"]),
+            true,
+        );
+        assert!(d.normal_only().contains(&"MPI_Finalize"));
+        assert!(d.render().contains("truncated"));
+    }
+
+    #[test]
+    fn side_by_side_layout() {
+        let d = DiffNlr::new(
+            TraceId::master(5),
+            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
+            false,
+        );
+        let s = d.render_side_by_side();
+        // Common rows have the item in both columns.
+        let init_row = s.lines().find(|l| l.contains("MPI_Init")).unwrap();
+        assert_eq!(init_row.matches("MPI_Init").count(), 2);
+        // Left-only rows have an empty right column.
+        let left = s.lines().find(|l| l.contains("L1 ^ 16")).unwrap();
+        assert!(left.trim_end().ends_with('|'), "{left:?}");
+        // Right-only rows start blank.
+        let right = s.lines().find(|l| l.contains("L0 ^ 9")).unwrap();
+        assert!(right.starts_with(' '), "{right:?}");
+        assert!(!s.contains("truncated"));
+        // Truncation note appears when flagged.
+        let d2 = DiffNlr::new(TraceId::master(5), v(&["a"]), v(&["b"]), true);
+        assert!(d2.render_side_by_side().contains("truncated"));
+    }
+
+    #[test]
+    fn identical_traces() {
+        let d = DiffNlr::new(
+            TraceId::new(1, 2),
+            v(&["a", "b"]),
+            v(&["a", "b"]),
+            false,
+        );
+        assert!(d.is_identical());
+        assert!(d.normal_only().is_empty());
+        assert!(d.faulty_only().is_empty());
+        assert!(d.render().starts_with("diffNLR(1.2)"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Jaccard Similarity Matrices and their diffs.
+//!
+//! `JSM[i][j]` is the (weighted) Jaccard similarity of traces `i` and
+//! `j`; `JSM_D = |JSM_faulty − JSM_normal|` quantifies how much the
+//! fault changed each pairwise relation — the paper's "sky subtraction"
+//! (§II, footnote): asymmetries exist even in healthy runs (master vs
+//! worker), so it is the *change* of the similarity structure that
+//! matters, not the similarity itself.
+
+use dt_trace::TraceId;
+use fca::FormalContext;
+use std::fmt;
+
+/// A labelled pairwise similarity (or similarity-difference) matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsmMatrix {
+    /// Trace labels, in matrix order.
+    pub ids: Vec<TraceId>,
+    /// Symmetric matrix, `m[i][j] ∈ [0, 1]`.
+    pub m: Vec<Vec<f64>>,
+}
+
+impl JsmMatrix {
+    /// Compute from a formal context whose objects are the traces in
+    /// `ids` order.
+    pub fn from_context(ctx: &FormalContext, ids: Vec<TraceId>) -> JsmMatrix {
+        assert_eq!(ctx.num_objects(), ids.len());
+        JsmMatrix {
+            ids,
+            m: fca::jaccard_matrix(ctx),
+        }
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// `JSM_D = |self − other|`, elementwise. Panics if the two
+    /// matrices cover different trace sets — analyses of a pair must be
+    /// aligned first (see `pipeline`).
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix indexing
+    pub fn diff(&self, other: &JsmMatrix) -> JsmMatrix {
+        assert_eq!(self.ids, other.ids, "JSMs must cover the same traces");
+        let n = self.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i][j] = (self.m[i][j] - other.m[i][j]).abs();
+            }
+        }
+        JsmMatrix {
+            ids: self.ids.clone(),
+            m,
+        }
+    }
+
+    /// Per-trace change score: the row sum (how much this trace's
+    /// relations to everyone else changed). Used to rank suspects.
+    pub fn row_scores(&self) -> Vec<(TraceId, f64)> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, self.m[i].iter().sum::<f64>()))
+            .collect()
+    }
+
+    /// Render as CSV (header row + one line per trace).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("trace");
+        for id in &self.ids {
+            out.push_str(&format!(",{id}"));
+        }
+        out.push('\n');
+        for (i, id) in self.ids.iter().enumerate() {
+            out.push_str(&id.to_string());
+            for v in &self.m[i] {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// ASCII heatmap (Figure 4): darker glyph = higher value.
+    pub fn render_heatmap(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let mut out = String::new();
+        out.push_str("      ");
+        for id in &self.ids {
+            out.push_str(&format!("{:>5}", id.to_string()));
+        }
+        out.push('\n');
+        for (i, id) in self.ids.iter().enumerate() {
+            out.push_str(&format!("{:>5} ", id.to_string()));
+            for &v in &self.m[i] {
+                let idx = ((v.clamp(0.0, 1.0)) * (SHADES.len() - 1) as f64).round() as usize;
+                let c = SHADES[idx] as char;
+                out.push_str(&format!("  {c}{c} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for JsmMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_heatmap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(ids: Vec<TraceId>, m: Vec<Vec<f64>>) -> JsmMatrix {
+        JsmMatrix { ids, m }
+    }
+
+    fn ids(n: u32) -> Vec<TraceId> {
+        (0..n).map(TraceId::master).collect()
+    }
+
+    #[test]
+    fn from_context_matches_fca() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object_unweighted("0.0", ["a", "b"]);
+        ctx.add_object_unweighted("1.0", ["b", "c"]);
+        let j = JsmMatrix::from_context(&ctx, ids(2));
+        assert!((j.m[0][1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(j.m[0][0], 1.0);
+    }
+
+    #[test]
+    fn diff_is_elementwise_abs() {
+        let a = mk(ids(2), vec![vec![1.0, 0.8], vec![0.8, 1.0]]);
+        let b = mk(ids(2), vec![vec![1.0, 0.3], vec![0.3, 1.0]]);
+        let d = a.diff(&b);
+        assert!((d.m[0][1] - 0.5).abs() < 1e-12);
+        assert_eq!(d.m[0][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diff_requires_alignment() {
+        let a = mk(ids(2), vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let b = mk(
+            vec![TraceId::master(0), TraceId::master(5)],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        );
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    fn row_scores_rank_changed_traces() {
+        let d = mk(
+            ids(3),
+            vec![
+                vec![0.0, 0.1, 0.0],
+                vec![0.1, 0.0, 0.9],
+                vec![0.0, 0.9, 0.0],
+            ],
+        );
+        let scores = d.row_scores();
+        let max = scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(max.0, TraceId::master(1));
+    }
+
+    #[test]
+    fn renders() {
+        let j = mk(ids(2), vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
+        let csv = j.to_csv();
+        assert!(csv.starts_with("trace,0.0,1.0"));
+        assert!(csv.contains("0.5000"));
+        let hm = j.render_heatmap();
+        assert!(hm.contains('@'), "diagonal should be darkest: {hm}");
+    }
+}

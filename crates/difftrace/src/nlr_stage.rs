@@ -1,0 +1,92 @@
+//! Running NLR summarization over a filtered execution.
+//!
+//! One [`nlr::LoopTable`] is shared by **all** traces of an analysis —
+//! including both the normal and the faulty execution of a diff — so a
+//! loop ID (`L0`, `L1`, …) denotes the same loop body everywhere, as in
+//! the paper's Tables III/IV and diffNLR figures.
+
+use crate::filter::FilteredSet;
+use dt_trace::TraceId;
+use nlr::{LoopTable, Nlr, NlrBuilder};
+use std::collections::BTreeMap;
+
+/// NLR summaries of one execution's filtered traces.
+#[derive(Debug, Clone)]
+pub struct NlrSet {
+    /// Per-trace summaries.
+    pub nlrs: BTreeMap<TraceId, Nlr>,
+    /// Truncation flags carried through from filtering.
+    pub truncated: BTreeMap<TraceId, bool>,
+}
+
+impl NlrSet {
+    /// Summarize every trace of `set` with body bound `k`, interning
+    /// loops into the shared `table`.
+    pub fn build(set: &FilteredSet, k: usize, table: &mut LoopTable) -> NlrSet {
+        let builder = NlrBuilder::new(k);
+        let mut nlrs = BTreeMap::new();
+        let mut truncated = BTreeMap::new();
+        for t in &set.traces {
+            nlrs.insert(t.id, builder.build(&t.symbols, table));
+            truncated.insert(t.id, t.truncated);
+        }
+        NlrSet { nlrs, truncated }
+    }
+
+    /// Look up one summary.
+    pub fn get(&self, id: TraceId) -> Option<&Nlr> {
+        self.nlrs.get(&id)
+    }
+
+    /// Trace IDs in order.
+    pub fn ids(&self) -> Vec<TraceId> {
+        self.nlrs.keys().copied().collect()
+    }
+
+    /// Mean reduction factor across traces (the paper's §V metric).
+    pub fn mean_reduction_factor(&self) -> f64 {
+        if self.nlrs.is_empty() {
+            return 1.0;
+        }
+        self.nlrs.values().map(|n| n.reduction_factor()).sum::<f64>() / self.nlrs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{FilteredSet, FilteredTrace};
+
+    fn filtered(id: TraceId, symbols: Vec<u32>) -> FilteredTrace {
+        FilteredTrace {
+            id,
+            symbols,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn shared_loop_table_across_traces() {
+        let set = FilteredSet {
+            traces: vec![
+                filtered(TraceId::new(0, 0), vec![1, 2, 1, 2, 1, 2]),
+                filtered(TraceId::new(1, 0), vec![1, 2, 1, 2]),
+            ],
+        };
+        let mut table = LoopTable::new();
+        let ns = NlrSet::build(&set, 10, &mut table);
+        assert_eq!(table.len(), 1, "one shared loop body");
+        let a = ns.get(TraceId::new(0, 0)).unwrap().elements()[0];
+        let b = ns.get(TraceId::new(1, 0)).unwrap().elements()[0];
+        assert_eq!(a.loop_id(), b.loop_id());
+        assert!(ns.mean_reduction_factor() > 1.0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let mut table = LoopTable::new();
+        let ns = NlrSet::build(&FilteredSet::default(), 10, &mut table);
+        assert!(ns.ids().is_empty());
+        assert_eq!(ns.mean_reduction_factor(), 1.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The end-to-end DiffTrace pipeline for one parameter combination.
+
+use crate::attributes::{mine, AttrConfig};
+use crate::filter::{symbol_name, FilterConfig, FilteredTrace};
+use crate::jsm::JsmMatrix;
+use crate::nlr_stage::NlrSet;
+use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
+use dt_trace::{TraceId, TraceSet};
+use fca::{ConceptLattice, FormalContext};
+use nlr::LoopTable;
+use std::collections::BTreeMap;
+
+/// One point of the parameter space (the dashed box in Figure 1): the
+/// front-end filter (with its NLR K), the FCA attributes, and the
+/// linkage method.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Front-end filter.
+    pub filter: FilterConfig,
+    /// Attribute mining configuration.
+    pub attrs: AttrConfig,
+    /// Linkage for hierarchical clustering ("ward" in all the paper's
+    /// reported tables).
+    pub linkage: Method,
+}
+
+impl Params {
+    /// Ward-linkage params.
+    pub fn new(filter: FilterConfig, attrs: AttrConfig) -> Params {
+        Params {
+            filter,
+            attrs,
+            linkage: Method::Ward,
+        }
+    }
+}
+
+/// The analysis artifacts of a single execution.
+#[derive(Debug)]
+pub struct AnalysisRun {
+    /// The function-name table of the analyzed execution.
+    pub registry: std::sync::Arc<dt_trace::FunctionRegistry>,
+    /// Trace IDs in matrix/object order.
+    pub ids: Vec<TraceId>,
+    /// NLR summaries.
+    pub nlrs: NlrSet,
+    /// The mined formal context.
+    pub context: FormalContext,
+    /// Incrementally built concept lattice.
+    pub lattice: ConceptLattice,
+    /// Pairwise Jaccard similarity matrix.
+    pub jsm: JsmMatrix,
+    /// The dendrogram of `1 − JSM` under the configured linkage.
+    pub dendrogram: Dendrogram,
+}
+
+/// Analyze one execution under `params`, interning loops into the
+/// shared `table`. `id_universe` fixes the object set (pass the union
+/// of normal+faulty IDs when analyzing a pair so the matrices align;
+/// traces missing from `set` become empty objects — e.g. threads a
+/// fault prevented from spawning).
+pub fn analyze_aligned(
+    set: &TraceSet,
+    params: &Params,
+    table: &mut LoopTable,
+    id_universe: &[TraceId],
+) -> AnalysisRun {
+    let filtered = params.filter.apply(set);
+    let by_id: BTreeMap<TraceId, FilteredTrace> =
+        filtered.traces.into_iter().map(|t| (t.id, t)).collect();
+    let aligned = crate::filter::FilteredSet {
+        traces: id_universe
+            .iter()
+            .map(|&id| {
+                by_id.get(&id).cloned().unwrap_or(FilteredTrace {
+                    id,
+                    symbols: Vec::new(),
+                    truncated: false,
+                })
+            })
+            .collect(),
+    };
+    let nlrs = NlrSet::build(&aligned, params.filter.nlr_k, table);
+
+    let mut context = FormalContext::new();
+    let name = |s: u32| symbol_name(&set.registry, s);
+    for id in id_universe {
+        let nlr = nlrs.get(*id).expect("aligned");
+        let symbols: &[u32] = aligned
+            .traces
+            .iter()
+            .find(|t| t.id == *id)
+            .map(|t| t.symbols.as_slice())
+            .unwrap_or(&[]);
+        let attrs = mine(symbols, nlr, params.attrs, &name);
+        context.add_object(
+            &id.to_string(),
+            attrs.iter().map(|(k, w)| (k.as_str(), *w)),
+        );
+    }
+    let lattice = ConceptLattice::from_context(&context);
+    let jsm = JsmMatrix::from_context(&context, id_universe.to_vec());
+    let dendrogram = linkage(&CondensedMatrix::from_similarity(&jsm.m), params.linkage);
+    AnalysisRun {
+        registry: set.registry.clone(),
+        ids: id_universe.to_vec(),
+        nlrs,
+        context,
+        lattice,
+        jsm,
+        dendrogram,
+    }
+}
+
+/// Analyze a single execution (object set = its own traces).
+pub fn analyze(set: &TraceSet, params: &Params, table: &mut LoopTable) -> AnalysisRun {
+    let ids = set.ids();
+    analyze_aligned(set, params, table, &ids)
+}
+
+/// The result of diffing a normal and a faulty execution.
+#[derive(Debug)]
+pub struct DiffRun {
+    /// The parameter combination used.
+    pub params: Params,
+    /// Analysis of the fault-free execution.
+    pub normal: AnalysisRun,
+    /// Analysis of the faulty execution.
+    pub faulty: AnalysisRun,
+    /// `|JSM_faulty − JSM_normal|`.
+    pub jsm_d: JsmMatrix,
+    /// B-score of the two hierarchical clusterings (see DESIGN.md).
+    pub bscore: f64,
+    /// Suspicious processes, most-affected first.
+    pub suspicious_processes: Vec<u32>,
+    /// Suspicious threads (`p.t`), most-affected first.
+    pub suspicious_threads: Vec<TraceId>,
+    /// The shared loop table (normal + faulty).
+    pub table: LoopTable,
+}
+
+/// Fraction of the maximum change score a process/thread must reach to
+/// be listed as suspicious.
+const SUSPECT_THRESHOLD: f64 = 0.3;
+/// Maximum threads listed (the paper's tables show ≈6).
+const MAX_THREADS_LISTED: usize = 6;
+
+/// Run the full DiffTrace iteration on a (normal, faulty) pair.
+pub fn diff_runs(normal: &TraceSet, faulty: &TraceSet, params: &Params) -> DiffRun {
+    // Union of trace IDs: a fault may have killed threads before they
+    // traced anything, or spawned extra ones.
+    let mut ids: Vec<TraceId> = normal.ids();
+    for id in faulty.ids() {
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    ids.sort();
+
+    let mut table = LoopTable::new();
+    let normal_run = analyze_aligned(normal, params, &mut table, &ids);
+    let faulty_run = analyze_aligned(faulty, params, &mut table, &ids);
+    let jsm_d = faulty_run.jsm.diff(&normal_run.jsm);
+    let b = bscore(&normal_run.dendrogram, &faulty_run.dendrogram);
+
+    // Thread-level suspects: row sums of JSM_D.
+    let mut thread_scores = jsm_d.row_scores();
+    thread_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let tmax = thread_scores.first().map(|x| x.1).unwrap_or(0.0);
+    let suspicious_threads: Vec<TraceId> = thread_scores
+        .iter()
+        .filter(|(_, s)| tmax > 0.0 && *s >= SUSPECT_THRESHOLD * tmax)
+        .take(MAX_THREADS_LISTED)
+        .map(|(id, _)| *id)
+        .collect();
+
+    // Process-level: aggregate thread scores per rank.
+    let mut proc_scores: BTreeMap<u32, f64> = BTreeMap::new();
+    for (id, s) in &thread_scores {
+        *proc_scores.entry(id.process).or_insert(0.0) += s;
+    }
+    let mut proc_scores: Vec<(u32, f64)> = proc_scores.into_iter().collect();
+    proc_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let pmax = proc_scores.first().map(|x| x.1).unwrap_or(0.0);
+    let suspicious_processes: Vec<u32> = proc_scores
+        .iter()
+        .filter(|(_, s)| pmax > 0.0 && *s >= SUSPECT_THRESHOLD * pmax)
+        .map(|(p, _)| *p)
+        .collect();
+
+    DiffRun {
+        params: params.clone(),
+        normal: normal_run,
+        faulty: faulty_run,
+        jsm_d,
+        bscore: b,
+        suspicious_processes,
+        suspicious_threads,
+        table,
+    }
+}
+
+impl DiffRun {
+    /// The diffNLR view of trace `id` (normal vs faulty), cf. §II-F-1:
+    /// `diffNLR(x) ≡ diffNLR(T_x, T'_x)`.
+    pub fn diff_nlr(&self, id: TraceId) -> Option<crate::diffnlr::DiffNlr> {
+        let n = self.normal.nlrs.get(id)?;
+        let f = self.faulty.nlrs.get(id)?;
+        // Render via the *normal* execution's registry-independent
+        // labels: loop IDs come from the shared table, symbols from the
+        // context attribute names (both analyses used the same naming).
+        Some(crate::diffnlr::DiffNlr::new(
+            id,
+            self.render_nlr_labels(n),
+            self.render_nlr_labels(f),
+            *self.faulty.nlrs.truncated.get(&id).unwrap_or(&false),
+        ))
+    }
+
+    fn render_nlr_labels(&self, nlr: &nlr::Nlr) -> Vec<String> {
+        // Both executions of a pair share one registry (one workload,
+        // one interner), so either analysis resolves any symbol.
+        nlr.render(&|s| symbol_name(&self.normal.registry, s))
+    }
+
+    /// Explain *why* trace `id` is suspicious: its attributes whose
+    /// weights moved between the normal and faulty context, sorted by
+    /// |Δ| descending. `(attribute, normal weight, faulty weight)`.
+    pub fn explain(&self, id: TraceId) -> Vec<(String, f64, f64)> {
+        let pos = self.normal.ids.iter().position(|&t| t == id);
+        let Some(g) = pos else { return Vec::new() };
+        let weights = |run: &AnalysisRun| -> BTreeMap<String, f64> {
+            run.context
+                .object_attrs(g)
+                .iter()
+                .map(|m| {
+                    let a = fca::AttrId(m as u32);
+                    (run.context.attr_name(a).to_string(), run.context.weight(g, a))
+                })
+                .collect()
+        };
+        let n = weights(&self.normal);
+        let f = weights(&self.faulty);
+        let keys: std::collections::BTreeSet<&String> = n.keys().chain(f.keys()).collect();
+        let mut out: Vec<(String, f64, f64)> = keys
+            .into_iter()
+            .map(|k| {
+                (
+                    k.clone(),
+                    n.get(k).copied().unwrap_or(0.0),
+                    f.get(k).copied().unwrap_or(0.0),
+                )
+            })
+            .filter(|(_, a, b)| (a - b).abs() > 1e-12)
+            .collect();
+        out.sort_by(|x, y| {
+            let dx = (x.1 - x.2).abs();
+            let dy = (y.1 - y.2).abs();
+            dy.partial_cmp(&dx).unwrap().then_with(|| x.0.cmp(&y.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrKind, FreqMode};
+    use dt_trace::{FunctionRegistry, TraceCollector};
+    use std::sync::Arc;
+
+    fn two_runs() -> (TraceSet, TraceSet, Arc<FunctionRegistry>) {
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |loops: &[usize]| {
+            let collector = TraceCollector::shared(registry.clone());
+            for (p, &n) in loops.iter().enumerate() {
+                let tr = collector.tracer(TraceId::master(p as u32));
+                let _m = tr.enter("main");
+                tr.leaf("MPI_Init");
+                for _ in 0..n {
+                    tr.leaf("MPI_Send");
+                    tr.leaf("MPI_Recv");
+                }
+                tr.leaf("MPI_Finalize");
+                drop(_m);
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        // Normal: all ranks loop 8×; faulty: rank 2 loops only once.
+        let normal = mk(&[8, 8, 8, 8]);
+        let faulty = mk(&[8, 8, 1, 8]);
+        (normal, faulty, registry)
+    }
+
+    fn params() -> Params {
+        Params::new(
+            FilterConfig::mpi_all(10),
+            AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::Actual,
+            },
+        )
+    }
+
+    #[test]
+    fn analyze_builds_all_artifacts() {
+        let (normal, _, _) = two_runs();
+        let mut table = LoopTable::new();
+        let run = analyze(&normal, &params(), &mut table);
+        assert_eq!(run.ids.len(), 4);
+        assert_eq!(run.jsm.len(), 4);
+        // All four traces share identical attribute sets, so the
+        // lattice degenerates to a single concept (top = bottom).
+        assert_eq!(run.lattice.concepts().len(), 1);
+        // All ranks identical ⇒ JSM all ones.
+        for row in &run.jsm.m {
+            for &v in row {
+                assert!((v - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_runs_flags_the_perturbed_rank() {
+        let (normal, faulty, _) = two_runs();
+        let d = diff_runs(&normal, &faulty, &params());
+        assert_eq!(
+            d.suspicious_threads.first(),
+            Some(&TraceId::master(2)),
+            "rank 2 changed the most: {:?}",
+            d.suspicious_threads
+        );
+        assert_eq!(d.suspicious_processes.first(), Some(&2));
+        assert!(d.bscore >= 0.0);
+    }
+
+    #[test]
+    fn nofreq_hides_count_only_changes() {
+        // Under noFreq a pure loop-count change is invisible: the loop
+        // must still fold (count ≥ 2) so both runs mine the same
+        // attribute set ⇒ JSM_D = 0 everywhere.
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |counts: &[usize]| {
+            let collector = TraceCollector::shared(registry.clone());
+            for (p, &n) in counts.iter().enumerate() {
+                let tr = collector.tracer(TraceId::master(p as u32));
+                tr.leaf("MPI_Init");
+                for _ in 0..n {
+                    tr.leaf("MPI_Send");
+                    tr.leaf("MPI_Recv");
+                }
+                tr.leaf("MPI_Finalize");
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        let normal = mk(&[8, 8, 8, 8]);
+        let faulty = mk(&[8, 8, 3, 8]);
+        let p = Params::new(
+            FilterConfig::mpi_all(10),
+            AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::NoFreq,
+            },
+        );
+        let d = diff_runs(&normal, &faulty, &p);
+        assert!(d.suspicious_threads.is_empty());
+        assert_eq!(d.bscore, 0.0);
+    }
+
+    #[test]
+    fn explain_names_the_changed_attributes() {
+        let (normal, faulty, _) = two_runs();
+        let d = diff_runs(&normal, &faulty, &params());
+        let explained = d.explain(TraceId::master(2));
+        assert!(!explained.is_empty());
+        // The loop attribute's weight dropped from 8 iterations to …
+        // whatever the broken rank managed; it must top the list.
+        let (attr, n, f) = &explained[0];
+        assert!(attr.starts_with('L') || attr.starts_with("MPI_"), "{attr}");
+        assert_ne!(n, f);
+        // An unaffected trace explains to nothing.
+        assert!(d.explain(TraceId::master(0)).is_empty());
+        // Unknown traces explain to nothing rather than panicking.
+        assert!(d.explain(TraceId::new(99, 9)).is_empty());
+    }
+
+    #[test]
+    fn missing_traces_align_as_empty_objects() {
+        let (normal, _, registry) = two_runs();
+        // Faulty run lost rank 3 entirely.
+        let collector = TraceCollector::shared(registry);
+        for p in 0..3u32 {
+            let tr = collector.tracer(TraceId::master(p));
+            tr.leaf("MPI_Init");
+            tr.finish();
+        }
+        let faulty = collector.into_trace_set();
+        let d = diff_runs(&normal, &faulty, &params());
+        assert_eq!(d.normal.ids.len(), 4);
+        assert_eq!(d.faulty.ids.len(), 4);
+        // Rank 3 must be among the suspects (it vanished).
+        assert!(d.suspicious_threads.contains(&TraceId::master(3)));
+    }
+}

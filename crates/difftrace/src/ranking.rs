@@ -1,0 +1,301 @@
+//! Ranking tables: parameter sweeps over the DiffTrace loop.
+//!
+//! "Since DiffTrace output is highly dependent on parameters, each row
+//! in ranking tables starts with the parameters that the suspicious
+//! traces are the result of" (§IV, lightly paraphrased). A sweep runs [`crate::diff_runs`]
+//! for every (filter, attribute) combination and sorts rows by B-score
+//! ascending, like Tables VI–IX.
+
+use crate::attributes::AttrConfig;
+use crate::filter::FilterConfig;
+use crate::pipeline::{diff_runs, Params};
+use cluster::Method;
+use dt_trace::{TraceId, TraceSet};
+use std::fmt;
+
+/// One row of a ranking table.
+#[derive(Debug, Clone)]
+pub struct RankingRow {
+    /// Filter code, e.g. `11.mem.ompcrit.cust.K10`.
+    pub filter: String,
+    /// Attribute code, e.g. `doub.noFreq`.
+    pub attrs: String,
+    /// The B-score of the normal/faulty clustering pair.
+    pub bscore: f64,
+    /// Most-affected processes.
+    pub top_processes: Vec<u32>,
+    /// Most-affected threads.
+    pub top_threads: Vec<TraceId>,
+}
+
+/// Sweep the parameter grid on a (normal, faulty) pair; rows come back
+/// sorted by B-score ascending (the paper's table order).
+pub fn sweep(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    filters: &[FilterConfig],
+    attr_configs: &[AttrConfig],
+    method: Method,
+) -> Vec<RankingRow> {
+    let mut rows: Vec<RankingRow> = grid(filters, attr_configs, method)
+        .iter()
+        .map(|p| run_cell(normal, faulty, p))
+        .collect();
+    sort_rows(&mut rows);
+    rows
+}
+
+/// Multi-threaded [`sweep`] — the paper's future-work item (1),
+/// "optimizing [the components] to exploit multi-core CPUs": every
+/// parameter combination is an independent DiffTrace iteration, so the
+/// grid is embarrassingly parallel. Results are identical to [`sweep`]
+/// (asserted in tests); `threads` ≤ 0 picks the available parallelism.
+pub fn sweep_parallel(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    filters: &[FilterConfig],
+    attr_configs: &[AttrConfig],
+    method: Method,
+    threads: usize,
+) -> Vec<RankingRow> {
+    let params = grid(filters, attr_configs, method);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(params.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot_free::Slot<RankingRow>> =
+        (0..params.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= params.len() {
+                    break;
+                }
+                results[i].set(run_cell(normal, faulty, &params[i]));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut rows: Vec<RankingRow> = results.into_iter().map(|s| s.take()).collect();
+    sort_rows(&mut rows);
+    rows
+}
+
+/// A tiny write-once cell so workers can deposit results without locks
+/// (each index is written by exactly one worker).
+mod parking_lot_free {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub struct Slot<T> {
+        set: AtomicBool,
+        value: UnsafeCell<Option<T>>,
+    }
+
+    // Safety: `set` is flipped with Release after the single write; a
+    // reader observes the value only via `take` after all workers have
+    // joined (the crossbeam scope is a happens-before barrier).
+    unsafe impl<T: Send> Sync for Slot<T> {}
+
+    impl<T> Slot<T> {
+        pub fn new() -> Slot<T> {
+            Slot {
+                set: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            }
+        }
+
+        pub fn set(&self, v: T) {
+            // Each slot is written exactly once, by the worker that
+            // claimed its index.
+            unsafe { *self.value.get() = Some(v) };
+            self.set.store(true, Ordering::Release);
+        }
+
+        pub fn take(self) -> T {
+            assert!(self.set.load(Ordering::Acquire), "slot never written");
+            self.value.into_inner().expect("slot written once")
+        }
+    }
+}
+
+fn grid(filters: &[FilterConfig], attr_configs: &[AttrConfig], method: Method) -> Vec<Params> {
+    let mut out = Vec::with_capacity(filters.len() * attr_configs.len());
+    for f in filters {
+        for &a in attr_configs {
+            out.push(Params {
+                filter: f.clone(),
+                attrs: a,
+                linkage: method,
+            });
+        }
+    }
+    out
+}
+
+fn run_cell(normal: &TraceSet, faulty: &TraceSet, params: &Params) -> RankingRow {
+    let d = diff_runs(normal, faulty, params);
+    RankingRow {
+        filter: params.filter.to_string(),
+        attrs: params.attrs.to_string(),
+        bscore: d.bscore,
+        top_processes: d.suspicious_processes,
+        top_threads: d.suspicious_threads,
+    }
+}
+
+fn sort_rows(rows: &mut [RankingRow]) {
+    rows.sort_by(|x, y| {
+        x.bscore
+            .partial_cmp(&y.bscore)
+            .unwrap()
+            .then_with(|| x.filter.cmp(&y.filter))
+            .then_with(|| x.attrs.cmp(&y.attrs))
+    });
+}
+
+/// Render rows as an aligned text table in the paper's column layout.
+pub fn render_ranking(rows: &[RankingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:<12} {:>8}  {:<20} {}\n",
+        "Filter", "Attributes", "B-score", "Top Processes", "Top Threads"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for r in rows {
+        let procs = r
+            .top_processes
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let threads = r
+            .top_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<32} {:<12} {:>8.3}  {:<20} {}\n",
+            r.filter, r.attrs, r.bscore, procs, threads
+        ));
+    }
+    out
+}
+
+impl fmt::Display for RankingRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {:.3} | {:?} | {:?}",
+            self.filter, self.attrs, self.bscore, self.top_processes, self.top_threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrKind, FreqMode};
+    use dt_trace::{FunctionRegistry, TraceCollector};
+    use std::sync::Arc;
+
+    fn runs() -> (TraceSet, TraceSet) {
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |bad_rank: Option<u32>| {
+            let collector = TraceCollector::shared(registry.clone());
+            for p in 0..4u32 {
+                let tr = collector.tracer(TraceId::master(p));
+                tr.leaf("MPI_Init");
+                let n = if Some(p) == bad_rank { 2 } else { 10 };
+                for _ in 0..n {
+                    tr.leaf("MPI_Allreduce");
+                    tr.leaf("MPI_Bcast");
+                }
+                tr.leaf("MPI_Finalize");
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        (mk(None), mk(Some(1)))
+    }
+
+    #[test]
+    fn sweep_produces_sorted_rows() {
+        let (normal, faulty) = runs();
+        let filters = vec![FilterConfig::mpi_all(10), FilterConfig::everything(10)];
+        let attrs = [
+            AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::Actual,
+            },
+            AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::NoFreq,
+            },
+        ];
+        let rows = sweep(&normal, &faulty, &filters, &attrs, Method::Ward);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[0].bscore <= w[1].bscore);
+        }
+        // Frequency-sensitive rows must implicate rank 1.
+        let actual_rows: Vec<&RankingRow> =
+            rows.iter().filter(|r| r.attrs == "sing.actual").collect();
+        for r in actual_rows {
+            assert_eq!(r.top_processes.first(), Some(&1), "{r}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let (normal, faulty) = runs();
+        let filters = vec![FilterConfig::mpi_all(10), FilterConfig::everything(10)];
+        let serial = sweep(&normal, &faulty, &filters, &AttrConfig::ALL, Method::Ward);
+        for threads in [0usize, 1, 3, 16] {
+            let par = sweep_parallel(
+                &normal,
+                &faulty,
+                &filters,
+                &AttrConfig::ALL,
+                Method::Ward,
+                threads,
+            );
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.filter, b.filter);
+                assert_eq!(a.attrs, b.attrs);
+                assert_eq!(a.bscore, b.bscore);
+                assert_eq!(a.top_processes, b.top_processes);
+                assert_eq!(a.top_threads, b.top_threads);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let (normal, faulty) = runs();
+        let rows = sweep(
+            &normal,
+            &faulty,
+            &[FilterConfig::mpi_all(10)],
+            &[AttrConfig {
+                kind: AttrKind::Single,
+                freq: FreqMode::Actual,
+            }],
+            Method::Ward,
+        );
+        let table = render_ranking(&rows);
+        assert!(table.contains("B-score"));
+        assert!(table.contains("11.mpiall.K10"));
+        assert!(table.contains("sing.actual"));
+    }
+}

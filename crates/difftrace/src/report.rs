@@ -1,0 +1,185 @@
+//! Full-text debugging reports: everything a DiffTrace iteration
+//! produced, in one human-readable document — the "structured
+//! presentations of information" the paper argues debugging engineers
+//! need (§I, problem 2).
+
+use crate::pipeline::DiffRun;
+use cluster::render_dendrogram;
+use std::fmt::Write as _;
+
+/// Options for [`generate`].
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Include the three JSM heatmaps (normal, faulty, diff).
+    pub heatmaps: bool,
+    /// Include the two dendrograms.
+    pub dendrograms: bool,
+    /// diffNLR views for the top-N suspects.
+    pub diffnlr_top: usize,
+    /// Include the concept-lattice summary.
+    pub lattice_summary: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> ReportOptions {
+        ReportOptions {
+            heatmaps: true,
+            dendrograms: true,
+            diffnlr_top: 3,
+            lattice_summary: true,
+        }
+    }
+}
+
+/// Generate the full report for one diff.
+pub fn generate(d: &DiffRun, opts: &ReportOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "================ DiffTrace report ================");
+    let _ = writeln!(
+        out,
+        "params: filter={} attrs={} linkage={}",
+        d.params.filter,
+        d.params.attrs,
+        d.params.linkage.name()
+    );
+    let _ = writeln!(out, "traces: {}   B-score: {:.3}", d.normal.ids.len(), d.bscore);
+    let _ = writeln!(
+        out,
+        "suspicious processes: {:?}",
+        d.suspicious_processes
+    );
+    let _ = writeln!(
+        out,
+        "suspicious threads:   [{}]",
+        d.suspicious_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    if opts.lattice_summary {
+        let _ = writeln!(out, "\n---- concept lattices ----");
+        for (label, run) in [("normal", &d.normal), ("faulty", &d.faulty)] {
+            let _ = writeln!(
+                out,
+                "{label}: {} concepts over {} attributes; top extent {} / intent {}",
+                run.lattice.concepts().len(),
+                run.context.num_attrs(),
+                run.lattice.top().extent_len(),
+                run.lattice.top().intent_len(),
+            );
+        }
+    }
+
+    if opts.heatmaps {
+        let _ = writeln!(out, "\n---- JSM (normal) ----\n{}", d.normal.jsm.render_heatmap());
+        let _ = writeln!(out, "---- JSM (faulty) ----\n{}", d.faulty.jsm.render_heatmap());
+        let _ = writeln!(out, "---- JSM_D = |faulty − normal| ----\n{}", d.jsm_d.render_heatmap());
+    }
+
+    if opts.dendrograms {
+        let label = |run: &crate::pipeline::AnalysisRun| {
+            let ids = run.ids.clone();
+            move |i: usize| ids[i].to_string()
+        };
+        let _ = writeln!(
+            out,
+            "---- dendrogram (normal, {}) ----\n{}",
+            d.params.linkage.name(),
+            render_dendrogram(&d.normal.dendrogram, &label(&d.normal))
+        );
+        let _ = writeln!(
+            out,
+            "---- dendrogram (faulty) ----\n{}",
+            render_dendrogram(&d.faulty.dendrogram, &label(&d.faulty))
+        );
+    }
+
+    for id in d.suspicious_threads.iter().take(opts.diffnlr_top) {
+        if let Some(dn) = d.diff_nlr(*id) {
+            let _ = writeln!(out, "---- {} ----", dn.render().trim_end());
+        }
+        let explained = d.explain(*id);
+        if !explained.is_empty() {
+            let _ = writeln!(out, "why {id} is suspicious (attribute weight changes):");
+            for (attr, n, f) in explained.iter().take(8) {
+                let _ = writeln!(out, "  {attr:<40} {n:>10.2} -> {f:<10.2}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AttrConfig, AttrKind, FreqMode};
+    use crate::filter::FilterConfig;
+    use crate::pipeline::{diff_runs, Params};
+    use dt_trace::{FunctionRegistry, TraceCollector, TraceId};
+    use std::sync::Arc;
+
+    fn diff() -> DiffRun {
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |bad: bool| {
+            let collector = TraceCollector::shared(registry.clone());
+            for p in 0..4u32 {
+                let tr = collector.tracer(TraceId::master(p));
+                tr.leaf("MPI_Init");
+                let n = if bad && p == 1 { 2 } else { 8 };
+                for _ in 0..n {
+                    tr.leaf("MPI_Send");
+                    tr.leaf("MPI_Recv");
+                }
+                tr.leaf("MPI_Finalize");
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        diff_runs(
+            &mk(false),
+            &mk(true),
+            &Params::new(
+                FilterConfig::mpi_all(10),
+                AttrConfig {
+                    kind: AttrKind::Single,
+                    freq: FreqMode::Actual,
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn full_report_contains_every_section() {
+        let r = generate(&diff(), &ReportOptions::default());
+        for needle in [
+            "DiffTrace report",
+            "B-score",
+            "suspicious processes",
+            "concept lattices",
+            "JSM (normal)",
+            "JSM_D",
+            "dendrogram (normal",
+            "diffNLR(1.0)",
+        ] {
+            assert!(r.contains(needle), "missing `{needle}`:\n{r}");
+        }
+    }
+
+    #[test]
+    fn sections_toggle_off() {
+        let opts = ReportOptions {
+            heatmaps: false,
+            dendrograms: false,
+            diffnlr_top: 0,
+            lattice_summary: false,
+        };
+        let r = generate(&diff(), &opts);
+        assert!(r.contains("B-score"));
+        assert!(!r.contains("JSM (normal)"));
+        assert!(!r.contains("dendrogram"));
+        assert!(!r.contains("diffNLR"));
+    }
+}

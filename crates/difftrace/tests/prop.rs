@@ -1,0 +1,151 @@
+//! Property tests for the core pipeline's configuration surface.
+
+use difftrace::{AttrConfig, AttrKind, FilterConfig, FreqMode, KeepClass};
+use proptest::prelude::*;
+
+fn keep_class() -> impl Strategy<Value = KeepClass> {
+    prop_oneof![
+        Just(KeepClass::MpiAll),
+        Just(KeepClass::MpiCollectives),
+        Just(KeepClass::MpiSendRecv),
+        Just(KeepClass::OmpAll),
+        Just(KeepClass::OmpCritical),
+        Just(KeepClass::Memory),
+        Just(KeepClass::Network),
+        Just(KeepClass::Poll),
+        Just(KeepClass::Strings),
+        // Custom patterns from a safe literal alphabet.
+        "[A-Za-z_]{1,12}".prop_map(KeepClass::Custom),
+    ]
+}
+
+fn filter_config() -> impl Strategy<Value = FilterConfig> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(keep_class(), 0..5),
+        1usize..100,
+    )
+        .prop_map(|(drop_returns, drop_plt, keep, nlr_k)| FilterConfig {
+            drop_returns,
+            drop_plt,
+            keep,
+            nlr_k,
+        })
+}
+
+fn attr_config() -> impl Strategy<Value = AttrConfig> {
+    (
+        prop_oneof![
+            Just(AttrKind::Single),
+            Just(AttrKind::Double),
+            Just(AttrKind::CallerCallee)
+        ],
+        prop_oneof![
+            Just(FreqMode::Actual),
+            Just(FreqMode::Log10),
+            Just(FreqMode::NoFreq)
+        ],
+    )
+        .prop_map(|(kind, freq)| AttrConfig { kind, freq })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Attribute codes round-trip Display ↔ FromStr exactly.
+    #[test]
+    fn attr_code_round_trip(cfg in attr_config()) {
+        let parsed: AttrConfig = cfg.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    /// Filter codes round-trip structurally: parsing the rendered code
+    /// reproduces the flags, K, and keep-class sequence (custom
+    /// patterns render as a bare `cust` marker, the one lossy spot,
+    /// so they are compared by code name only).
+    #[test]
+    fn filter_code_round_trip(cfg in filter_config()) {
+        // Render with parse-compatible custom markers.
+        let code = {
+            let mut s = format!(
+                "{}{}",
+                u8::from(cfg.drop_returns),
+                u8::from(cfg.drop_plt)
+            );
+            if cfg.keep.is_empty() {
+                s.push_str(".all");
+            }
+            for k in &cfg.keep {
+                match k {
+                    KeepClass::Custom(p) => s.push_str(&format!(".cust:{p}")),
+                    other => {
+                        let rendered = FilterConfig {
+                            drop_returns: true,
+                            drop_plt: true,
+                            keep: vec![other.clone()],
+                            nlr_k: 1,
+                        }
+                        .to_string();
+                        // "11.<code>.K1" → extract <code>.
+                        let mid = rendered
+                            .trim_start_matches("11.")
+                            .trim_end_matches(".K1");
+                        s.push_str(&format!(".{mid}"));
+                    }
+                }
+            }
+            s.push_str(&format!(".K{}", cfg.nlr_k));
+            s
+        };
+        let parsed: FilterConfig = code.parse().unwrap();
+        prop_assert_eq!(parsed.drop_returns, cfg.drop_returns);
+        prop_assert_eq!(parsed.drop_plt, cfg.drop_plt);
+        prop_assert_eq!(parsed.nlr_k, cfg.nlr_k);
+        prop_assert_eq!(parsed.keep.len(), cfg.keep.len());
+        prop_assert_eq!(parsed.to_string(), cfg.to_string());
+    }
+
+    /// Filtering is idempotent: applying the same filter to an already
+    /// filtered trace keeps exactly the same symbols.
+    #[test]
+    fn filtering_is_idempotent(
+        cfg in filter_config(),
+        names in proptest::collection::vec(
+            prop_oneof![
+                Just("MPI_Send"), Just("MPI_Recv"), Just("MPI_Barrier"),
+                Just("GOMP_critical_start"), Just("memcpy"), Just("strlen"),
+                Just("userFn"), Just("poll_wait"), Just("tcp_connect"),
+            ],
+            0..40,
+        ),
+    ) {
+        use dt_trace::{FunctionRegistry, TraceCollector, TraceId};
+        use std::sync::Arc;
+        let registry = Arc::new(FunctionRegistry::new());
+        let collector = TraceCollector::shared(registry.clone());
+        let tr = collector.tracer(TraceId::master(0));
+        for n in &names {
+            tr.leaf(n);
+        }
+        tr.finish();
+        let set = collector.into_trace_set();
+        let once = cfg.apply(&set);
+
+        // Rebuild a trace set from the filtered symbols and re-filter.
+        let collector2 = TraceCollector::shared(registry.clone());
+        let tr2 = collector2.tracer(TraceId::master(0));
+        for &sym in &once.traces[0].symbols {
+            let e = dt_trace::TraceEvent::from_symbol(sym);
+            if e.is_call() {
+                tr2.call(e.fn_id());
+            } else {
+                tr2.ret(e.fn_id());
+            }
+        }
+        tr2.finish();
+        let set2 = collector2.into_trace_set();
+        let twice = cfg.apply(&set2);
+        prop_assert_eq!(&twice.traces[0].symbols, &once.traces[0].symbols);
+    }
+}

@@ -1,0 +1,228 @@
+//! A compact fixed-capacity bit set used for concept extents/intents.
+//!
+//! Lattice operations are dominated by subset tests and intersections
+//! over attribute sets; a `u64`-block bit set makes these word-parallel.
+
+use std::fmt;
+
+/// Growable bit set over `usize` indices.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// An empty set with capacity for `n` indices.
+    pub fn with_capacity(n: usize) -> BitSet {
+        BitSet {
+            blocks: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Build from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn grow_for(&mut self, idx: usize) {
+        let need = idx / 64 + 1;
+        if self.blocks.len() < need {
+            self.blocks.resize(need, 0);
+        }
+    }
+
+    /// Insert `idx`. Returns true if newly inserted.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        self.grow_for(idx);
+        let (b, o) = (idx / 64, idx % 64);
+        let was = self.blocks[b] & (1 << o) != 0;
+        self.blocks[b] |= 1 << o;
+        !was
+    }
+
+    /// Remove `idx`. Returns true if it was present.
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let (b, o) = (idx / 64, idx % 64);
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let was = self.blocks[b] & (1 << o) != 0;
+        self.blocks[b] &= !(1 << o);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, idx: usize) -> bool {
+        let (b, o) = (idx / 64, idx % 64);
+        self.blocks.get(b).is_some_and(|&w| w & (1 << o) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `self ⊆ other`?
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        for (i, &b) in self.blocks.iter().enumerate() {
+            let o = other.blocks.get(i).copied().unwrap_or(0);
+            if b & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `self ⊂ other` (strict)?
+    pub fn is_proper_subset(&self, other: &BitSet) -> bool {
+        self.is_subset(other) && !other.is_subset(self)
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let n = self.blocks.len().min(other.blocks.len());
+        BitSet {
+            blocks: (0..n).map(|i| self.blocks[i] & other.blocks[i]).collect(),
+        }
+    }
+
+    /// Union.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let n = self.blocks.len().max(other.blocks.len());
+        let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        BitSet {
+            blocks: (0..n)
+                .map(|i| get(&self.blocks, i) | get(&other.blocks, i))
+                .collect(),
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        let n = self.blocks.len().min(other.blocks.len());
+        (0..n)
+            .map(|i| (self.blocks[i] & other.blocks[i]).count_ones() as usize)
+            .sum()
+    }
+
+    /// Size of the union without materializing it.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        let n = self.blocks.len().max(other.blocks.len());
+        let get = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        (0..n)
+            .map(|i| (get(&self.blocks, i) | get(&other.blocks, i)).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + t)
+                }
+            })
+        })
+    }
+
+    /// Canonical key (trailing-zero-block-free) for hashing sets that
+    /// may have different capacities but equal content.
+    pub fn canonical(&self) -> BitSet {
+        let mut blocks = self.blocks.clone();
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        BitSet { blocks }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        BitSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.insert(200));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1, 3, 5, 64, 65].into_iter().collect();
+        let b: BitSet = [3, 5, 65, 100].into_iter().collect();
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 5, 65]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 3, 5, 64, 65, 100]
+        );
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(a.union_len(&b), 6);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small: BitSet = [1, 3].into_iter().collect();
+        let big: BitSet = [1, 2, 3].into_iter().collect();
+        assert!(small.is_subset(&big));
+        assert!(small.is_proper_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(big.is_subset(&big));
+        assert!(!big.is_proper_subset(&big));
+        assert!(BitSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn capacity_mismatch_equality_via_canonical() {
+        let mut a = BitSet::with_capacity(1000);
+        a.insert(3);
+        let b: BitSet = [3].into_iter().collect();
+        assert_ne!(a, b); // different block lengths
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: BitSet = [100, 1, 64, 63, 2].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 2, 63, 64, 100]);
+    }
+}

@@ -1,0 +1,114 @@
+//! (Weighted) Jaccard similarity between context objects.
+//!
+//! The paper's JSMs (Figures 4, and the JSM_normal/JSM_faulty pair) are
+//! pairwise Jaccard similarity matrices over traces. With `noFreq`
+//! attributes this is set Jaccard `|A∩B| / |A∪B|`; with frequency
+//! weights it is the weighted Jaccard `Σ min(w_a, w_b) / Σ max(w_a, w_b)`
+//! over the attribute universe.
+
+use crate::context::{AttrId, FormalContext};
+
+/// Weighted Jaccard similarity of objects `a` and `b` in `ctx`.
+///
+/// Two objects with no attributes at all are defined maximally similar
+/// (1.0) — e.g. two traces that were filtered to nothing.
+pub fn weighted_jaccard(ctx: &FormalContext, a: usize, b: usize) -> f64 {
+    let sa = ctx.object_attrs(a);
+    let sb = ctx.object_attrs(b);
+    let mut min_sum = 0.0f64;
+    let mut max_sum = 0.0f64;
+    for m in sa.union(sb).iter() {
+        let id = AttrId(m as u32);
+        let wa = ctx.weight(a, id);
+        let wb = ctx.weight(b, id);
+        min_sum += wa.min(wb);
+        max_sum += wa.max(wb);
+    }
+    if max_sum == 0.0 {
+        1.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// The full symmetric pairwise similarity matrix.
+#[allow(clippy::needless_range_loop)] // triangular matrix indexing is clearer by index
+pub fn jaccard_matrix(ctx: &FormalContext) -> Vec<Vec<f64>> {
+    let n = ctx.num_objects();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in i + 1..n {
+            let s = weighted_jaccard(ctx, i, j);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::ConceptLattice;
+
+    #[test]
+    fn unweighted_equals_set_jaccard() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object_unweighted("a", ["x", "y", "z"]);
+        ctx.add_object_unweighted("b", ["y", "z", "w"]);
+        // |∩| = 2 (y,z), |∪| = 4.
+        assert!((weighted_jaccard(&ctx, 0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_uses_min_over_max() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object("a", [("x", 4.0), ("y", 1.0)]);
+        ctx.add_object("b", [("x", 2.0), ("y", 1.0)]);
+        // Σmin = 2+1 = 3, Σmax = 4+1 = 5.
+        assert!((weighted_jaccard(&ctx, 0, 1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object_unweighted("a", ["x"]);
+        ctx.add_object_unweighted("b", ["x", "y"]);
+        ctx.add_object_unweighted("c", ["z"]);
+        let m = jaccard_matrix(&ctx);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert_eq!(m[0][2], 0.0); // disjoint
+    }
+
+    #[test]
+    fn empty_objects_are_maximally_similar() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object_unweighted("a", []);
+        ctx.add_object_unweighted("b", []);
+        assert_eq!(weighted_jaccard(&ctx, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn lattice_side_and_context_side_agree_on_unweighted() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object_unweighted("a", ["p", "q", "r"]);
+        ctx.add_object_unweighted("b", ["q", "r", "s"]);
+        ctx.add_object_unweighted("c", ["p"]);
+        let l = ConceptLattice::from_context(&ctx);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (l.object_jaccard(i, j) - weighted_jaccard(&ctx, i, j)).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the incremental lattice matches a brute-force
+//! closure enumeration on random contexts.
+
+use fca::{BitSet, ConceptLattice, FormalContext};
+use proptest::prelude::*;
+
+fn random_context() -> impl Strategy<Value = FormalContext> {
+    proptest::collection::vec(proptest::collection::vec(0usize..8, 0..8), 1..7).prop_map(
+        |objs| {
+            let mut ctx = FormalContext::new();
+            for (i, attrs) in objs.iter().enumerate() {
+                let names: Vec<String> = attrs.iter().map(|a| format!("m{a}")).collect();
+                ctx.add_object_unweighted(
+                    &format!("g{i}"),
+                    names.iter().map(|s| s.as_str()),
+                );
+            }
+            ctx
+        },
+    )
+}
+
+/// All closed intents by fixpoint intersection, with their extents.
+fn brute_force(ctx: &FormalContext) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let n = ctx.num_objects();
+    let mut all_attrs = BitSet::new();
+    for g in 0..n {
+        all_attrs = all_attrs.union(ctx.object_attrs(g));
+    }
+    let mut intents = vec![all_attrs.canonical()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = intents.clone();
+        for y in &snapshot {
+            for g in 0..n {
+                let cand = y.intersection(ctx.object_attrs(g)).canonical();
+                if !intents.contains(&cand) {
+                    intents.push(cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut out: Vec<(Vec<usize>, Vec<usize>)> = intents
+        .into_iter()
+        .map(|intent| {
+            let extent: Vec<usize> = (0..n)
+                .filter(|&g| intent.is_subset(ctx.object_attrs(g)))
+                .collect();
+            (extent, intent.iter().collect())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn incremental_equals_brute_force(ctx in random_context()) {
+        let lattice = ConceptLattice::from_context(&ctx);
+        let mut got: Vec<(Vec<usize>, Vec<usize>)> = lattice
+            .concepts()
+            .iter()
+            .map(|c| (c.extent.iter().collect(), c.intent.iter().collect()))
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, brute_force(&ctx));
+    }
+
+    #[test]
+    fn object_concept_is_minimal_and_contains_object(ctx in random_context()) {
+        let lattice = ConceptLattice::from_context(&ctx);
+        for g in 0..ctx.num_objects() {
+            let oc = lattice.object_concept(g);
+            prop_assert!(oc.extent.contains(g));
+            // Minimality: no other concept containing g has a smaller
+            // extent.
+            for c in lattice.concepts() {
+                if c.extent.contains(g) {
+                    prop_assert!(c.extent_len() >= oc.extent_len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_are_acyclic_and_respect_order(ctx in random_context()) {
+        let lattice = ConceptLattice::from_context(&ctx);
+        for (lo, hi) in lattice.covers() {
+            let cl = &lattice.concepts()[lo];
+            let ch = &lattice.concepts()[hi];
+            prop_assert!(cl.extent.is_proper_subset(&ch.extent));
+        }
+    }
+
+    #[test]
+    fn lattice_jaccard_matches_direct(ctx in random_context()) {
+        let lattice = ConceptLattice::from_context(&ctx);
+        for a in 0..ctx.num_objects() {
+            for b in 0..ctx.num_objects() {
+                let lhs = lattice.object_jaccard(a, b);
+                let rhs = fca::weighted_jaccard(&ctx, a, b);
+                prop_assert!((lhs - rhs).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Collective operations: matching, signatures, and reduction maths.
+
+/// Reduction operator for `Allreduce`/`Reduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum — ILCS reduces champion costs with MIN.
+    Min,
+    /// Elementwise maximum — the paper's "wrong collective operation"
+    /// bug swaps MIN for MAX.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply to a pair of values.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Which collective a rank invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Reduce`.
+    Reduce,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Gather`.
+    Gather,
+    /// `MPI_Scatter`.
+    Scatter,
+}
+
+/// The matching signature of one collective call. MPI requires all
+/// ranks of a communicator to make *compatible* calls in the same
+/// order; a rank arriving with a different signature (wrong count,
+/// wrong root, different collective) can never complete — the hang the
+/// paper injects in §IV-C.
+///
+/// The reduction *op* is deliberately **not** part of the signature:
+/// real MPI cannot validate op consistency across ranks, which is why
+/// the paper's "wrong collective operation" bug (§IV-D) *terminates*
+/// with wrong results instead of hanging. When ops disagree, the
+/// result is computed with the lowest-ranked participant's op (a
+/// deterministic stand-in for MPI's undefined behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollSignature {
+    /// The collective kind.
+    pub kind: CollKind,
+    /// Element count each rank contributes/expects.
+    pub count: usize,
+    /// Root rank for rooted collectives.
+    pub root: Option<u32>,
+}
+
+/// State of one in-flight collective instance (one call-order slot).
+#[derive(Debug)]
+pub struct CollInstance {
+    /// Signature of the first arriver (all others must match).
+    pub signature: CollSignature,
+    /// Per-rank payloads (for reductions/bcast).
+    pub payloads: Vec<Option<Vec<i64>>>,
+    /// Per-rank reduction ops (may disagree — see [`CollSignature`]).
+    pub ops: Vec<Option<ReduceOp>>,
+    /// Per-rank vector clocks at arrival (joined on completion — a
+    /// collective synchronizes everyone causally).
+    pub vcs: Vec<Option<crate::hb::VectorClock>>,
+    /// Whether each rank's signature matched the first arriver's.
+    pub sig_ok: Vec<bool>,
+    /// Ranks arrived so far.
+    pub arrived: usize,
+    /// Completed result, once every rank arrived with matching sigs.
+    pub result: Option<Vec<i64>>,
+    /// Ranks that have picked up the result and left.
+    pub departed: usize,
+}
+
+impl CollInstance {
+    /// A fresh instance sized for `world` ranks.
+    pub fn new(world: usize, signature: CollSignature) -> CollInstance {
+        CollInstance {
+            signature,
+            payloads: vec![None; world],
+            ops: vec![None; world],
+            vcs: vec![None; world],
+            sig_ok: vec![false; world],
+            arrived: 0,
+            result: None,
+            departed: 0,
+        }
+    }
+
+    /// Record a rank's arrival. Completion (result computation) happens
+    /// when the last rank arrives *and* every signature agreed.
+    pub fn arrive(
+        &mut self,
+        rank: usize,
+        sig: CollSignature,
+        op: Option<ReduceOp>,
+        payload: Option<Vec<i64>>,
+    ) {
+        self.arrive_stamped(rank, sig, op, payload, None)
+    }
+
+    /// [`CollInstance::arrive`] with the arriving rank's vector clock.
+    pub fn arrive_stamped(
+        &mut self,
+        rank: usize,
+        sig: CollSignature,
+        op: Option<ReduceOp>,
+        payload: Option<Vec<i64>>,
+        vc: Option<crate::hb::VectorClock>,
+    ) {
+        self.sig_ok[rank] = sig == self.signature;
+        self.payloads[rank] = payload;
+        self.ops[rank] = op;
+        self.vcs[rank] = vc;
+        self.arrived += 1;
+        if self.arrived == self.payloads.len() && self.sig_ok.iter().all(|&ok| ok) {
+            self.result = Some(self.compute());
+        }
+    }
+
+    /// True once the collective completed and `rank` may take the result.
+    pub fn complete(&self) -> bool {
+        self.result.is_some()
+    }
+
+    /// Join of all participants' arrival clocks (the causal stamp every
+    /// departing rank merges).
+    pub fn joined_vc(&self, world: usize) -> crate::hb::VectorClock {
+        let mut vc = crate::hb::VectorClock::zero(world);
+        for v in self.vcs.iter().flatten() {
+            vc.merge(v);
+        }
+        vc
+    }
+
+    fn compute(&self) -> Vec<i64> {
+        match self.signature.kind {
+            CollKind::Barrier => Vec::new(),
+            CollKind::Bcast | CollKind::Scatter => {
+                // Root's payload; scatter takers slice their chunk.
+                let root = self.signature.root.expect("rooted collective") as usize;
+                self.payloads[root].clone().expect("root supplied payload")
+            }
+            CollKind::Allgather | CollKind::Gather => {
+                // Concatenation in rank order.
+                let mut out = Vec::new();
+                for p in self.payloads.iter().flatten() {
+                    out.extend_from_slice(p);
+                }
+                out
+            }
+            CollKind::Allreduce | CollKind::Reduce => {
+                // Lowest rank's op wins when ops disagree (deterministic
+                // stand-in for MPI's undefined behaviour — §IV-D).
+                let op = self
+                    .ops
+                    .iter()
+                    .flatten()
+                    .next()
+                    .copied()
+                    .expect("reduction has at least one op");
+                let mut acc: Option<Vec<i64>> = None;
+                for p in self.payloads.iter().flatten() {
+                    acc = Some(match acc {
+                        None => p.clone(),
+                        Some(a) => a
+                            .iter()
+                            .zip(p)
+                            .map(|(&x, &y)| op.apply(x, y))
+                            .collect(),
+                    });
+                }
+                acc.unwrap_or_default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: CollKind, count: usize, root: Option<u32>) -> CollSignature {
+        CollSignature { kind, count, root }
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2, 3), 5);
+        assert_eq!(ReduceOp::Min.apply(2, 3), 2);
+        assert_eq!(ReduceOp::Max.apply(2, 3), 3);
+    }
+
+    #[test]
+    fn allreduce_completes_with_matching_sigs() {
+        let s = sig(CollKind::Allreduce, 1, None);
+        let mut inst = CollInstance::new(3, s);
+        inst.arrive(0, s, Some(ReduceOp::Min), Some(vec![5]));
+        assert!(!inst.complete());
+        inst.arrive(1, s, Some(ReduceOp::Min), Some(vec![3]));
+        inst.arrive(2, s, Some(ReduceOp::Min), Some(vec![9]));
+        assert!(inst.complete());
+        assert_eq!(inst.result.as_deref(), Some(&[3][..]));
+    }
+
+    #[test]
+    fn signature_mismatch_never_completes() {
+        let good = sig(CollKind::Allreduce, 4, None);
+        let bad = sig(CollKind::Allreduce, 7, None); // wrong count
+        let mut inst = CollInstance::new(2, good);
+        inst.arrive(0, good, Some(ReduceOp::Min), Some(vec![1, 2, 3, 4]));
+        inst.arrive(1, bad, Some(ReduceOp::Min), Some(vec![0; 7]));
+        assert!(!inst.complete(), "mismatched collective must hang");
+    }
+
+    #[test]
+    fn mismatched_ops_complete_with_lowest_ranks_op() {
+        // §IV-D: wrong op does NOT hang; lowest rank's op decides.
+        let s = sig(CollKind::Allreduce, 1, None);
+        let mut inst = CollInstance::new(2, s);
+        inst.arrive(0, s, Some(ReduceOp::Max), Some(vec![5]));
+        inst.arrive(1, s, Some(ReduceOp::Min), Some(vec![3]));
+        assert!(inst.complete());
+        assert_eq!(inst.result.as_deref(), Some(&[5][..]), "MAX wins");
+    }
+
+    #[test]
+    fn bcast_takes_root_payload() {
+        let s = sig(CollKind::Bcast, 2, Some(1));
+        let mut inst = CollInstance::new(3, s);
+        inst.arrive(0, s, None, None);
+        inst.arrive(2, s, None, None);
+        inst.arrive(1, s, None, Some(vec![7, 8]));
+        assert!(inst.complete());
+        assert_eq!(inst.result.as_deref(), Some(&[7, 8][..]));
+    }
+
+    #[test]
+    fn sum_reduction_elementwise() {
+        let s = sig(CollKind::Reduce, 2, Some(0));
+        let mut inst = CollInstance::new(2, s);
+        inst.arrive(0, s, Some(ReduceOp::Sum), Some(vec![1, 10]));
+        inst.arrive(1, s, Some(ReduceOp::Sum), Some(vec![2, 20]));
+        assert_eq!(inst.result.as_deref(), Some(&[3, 30][..]));
+    }
+
+    #[test]
+    fn barrier_result_is_empty() {
+        let s = sig(CollKind::Barrier, 0, None);
+        let mut inst = CollInstance::new(1, s);
+        inst.arrive(0, s, None, None);
+        assert!(inst.complete());
+        assert_eq!(inst.result.as_deref(), Some(&[][..]));
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Why a run was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The quiescence detector proved no live rank can make progress.
+    Deadlock,
+    /// The wall-clock watchdog fired (progress stalled outside MPI —
+    /// e.g. a livelock in user code).
+    WatchdogTimeout,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Deadlock => write!(f, "global deadlock detected"),
+            AbortReason::WatchdogTimeout => write!(f, "watchdog timeout"),
+        }
+    }
+}
+
+/// Error returned by simulated MPI/OpenMP operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// The run was aborted while this operation was blocked; the
+    /// calling thread must unwind (its trace is already poisoned).
+    Aborted(AbortReason),
+    /// A peer rank outside `0..world_size`.
+    InvalidRank(u32),
+    /// The rank's body panicked (models a crashed process; its trace is
+    /// truncated and the remaining ranks see it as dead).
+    RankPanicked,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Aborted(r) => write!(f, "MPI operation aborted: {r}"),
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::RankPanicked => write!(f, "rank body panicked (crashed process)"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert!(MpiError::Aborted(AbortReason::Deadlock)
+            .to_string()
+            .contains("deadlock"));
+        assert!(MpiError::InvalidRank(9).to_string().contains('9'));
+        assert!(AbortReason::WatchdogTimeout.to_string().contains("watchdog"));
+    }
+}

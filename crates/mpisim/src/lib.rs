@@ -1,0 +1,69 @@
+//! `mpisim` — an in-process MPI + OpenMP simulation substrate.
+//!
+//! The DiffTrace paper evaluates on real MPI/OpenMP programs (odd/even
+//! sort, ILCS-TSP, LULESH2) run on a supercomputer and traced through
+//! Pin. This reproduction cannot assume an MPI installation or a
+//! cluster, so `mpisim` provides the *minimum faithful substrate*: a
+//! deterministic, fully in-process message-passing runtime whose
+//! **observable call traces and failure modes** match what the paper's
+//! toolchain sees:
+//!
+//! * Ranks run as OS threads against a shared [`world::World`].
+//!   Point-to-point messages follow MPI's **eager/rendezvous** split: a
+//!   message at or below [`SimConfig::eager_limit`] bytes completes
+//!   immediately (buffered), a larger one blocks until matched — which
+//!   is exactly the "head-to-head `Send ‖ Send` deadlock under low
+//!   buffering (MPI EAGER limit)" trap of the paper's §II-B example.
+//! * Collectives (`Barrier`, `Allreduce`, `Reduce`, `Bcast`) match by
+//!   call order and verify a per-call *signature* (kind, op, count,
+//!   root). Mismatched signatures — the paper's "wrong size collective"
+//!   bug — leave the collective forever incomplete, i.e. a hang.
+//! * A **global-quiescence deadlock detector** watches the world: the
+//!   moment every live rank is blocked in an MPI operation whose
+//!   predicate cannot be satisfied, the run is aborted. Each blocked
+//!   rank's [`dt_trace::Tracer`] is poisoned so its trace ends with the
+//!   call that never returned — reproducing the trace signature
+//!   DiffTrace exploits ("the last entry is a call to MPI_Allreduce …
+//!   it deadlocked"). A wall-clock watchdog backstops anything the
+//!   quiescence check cannot see.
+//! * [`omp`] models the OpenMP constructs the workloads need: parallel
+//!   regions (`GOMP_parallel_start/end` in traces), named critical
+//!   sections (`GOMP_critical_start/end`), and an abort-aware team
+//!   barrier. Worker threads get their own tracers under
+//!   `TraceId { process, thread ≥ 1 }`, matching the paper's `p.t`
+//!   labels (e.g. suspicious trace `6.4`).
+//!
+//! Every MPI/OpenMP entry point records call/return events through
+//! `dt-trace`, so a workload run under `mpisim` yields the same kind of
+//! per-thread whole-program traces ParLOT collects.
+//!
+//! # Example
+//!
+//! ```
+//! use mpisim::{run, SimConfig, ReduceOp};
+//! use std::sync::Arc;
+//!
+//! let outcome = run(SimConfig::new(4), Arc::new(dt_trace::FunctionRegistry::new()), |rank| {
+//!     rank.init()?;
+//!     let sum = rank.allreduce(&[i64::from(rank.rank())], ReduceOp::Sum)?;
+//!     assert_eq!(sum, vec![0 + 1 + 2 + 3]);
+//!     rank.finalize()
+//! });
+//! assert!(!outcome.deadlocked);
+//! assert_eq!(outcome.traces.len(), 4);
+//! ```
+
+pub mod collective;
+pub mod error;
+pub mod hb;
+pub mod omp;
+pub mod rank;
+pub mod runtime;
+pub mod world;
+
+pub use collective::ReduceOp;
+pub use error::{AbortReason, MpiError};
+pub use hb::{HbEvent, HbLog, VectorClock};
+pub use omp::OmpCtx;
+pub use rank::{Rank, Request};
+pub use runtime::{run, RunOutcome, SimConfig};

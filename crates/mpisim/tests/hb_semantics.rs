@@ -1,0 +1,178 @@
+//! Happens-before semantics of the causally-stamped event log
+//! (the paper's §VII-2 future-work extension).
+
+use dt_trace::FunctionRegistry;
+use mpisim::{run, ReduceOp, RunOutcome, SimConfig};
+use std::sync::Arc;
+
+fn registry() -> Arc<FunctionRegistry> {
+    Arc::new(FunctionRegistry::new())
+}
+
+/// Index of rank `p`'s `n`-th event named `name`.
+fn nth(out: &RunOutcome, p: u32, name: &str, n: usize) -> usize {
+    out.hb
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.trace.process == p && e.name == name)
+        .map(|(i, _)| i)
+        .nth(n)
+        .unwrap_or_else(|| panic!("no event #{n} `{name}` for rank {p}"))
+}
+
+#[test]
+fn send_happens_before_matching_recv() {
+    let out = run(SimConfig::new(2), registry(), |rank| {
+        rank.init()?;
+        if rank.rank() == 0 {
+            rank.send(1, 0, &[42])?;
+        } else {
+            let _ = rank.recv(0, 0)?;
+        }
+        rank.finalize()
+    });
+    let send = nth(&out, 0, "MPI_Send", 0);
+    let recv = nth(&out, 1, "MPI_Recv", 0);
+    assert!(out.hb.happens_before(send, recv));
+    assert!(!out.hb.happens_before(recv, send));
+    // The two Init events are concurrent (no communication yet).
+    let i0 = nth(&out, 0, "MPI_Init", 0);
+    let i1 = nth(&out, 1, "MPI_Init", 0);
+    assert!(out.hb.concurrent(i0, i1));
+}
+
+#[test]
+fn collectives_causally_synchronize_everyone() {
+    let out = run(SimConfig::new(3), registry(), |rank| {
+        rank.init()?;
+        let _ = rank.allreduce(&[1], ReduceOp::Sum)?;
+        rank.finalize()
+    });
+    // Every pre-collective event happens before every post-collective
+    // event of any other rank.
+    for p in 0..3 {
+        let init = nth(&out, p, "MPI_Init", 0);
+        for q in 0..3 {
+            let fin = nth(&out, q, "MPI_Finalize", 0);
+            assert!(
+                out.hb.happens_before(init, fin),
+                "Init@{p} must precede Finalize@{q} through the allreduce"
+            );
+        }
+    }
+}
+
+#[test]
+fn transitive_message_chains() {
+    // 0 → 1 → 2: rank 0's send must precede rank 2's recv transitively.
+    let out = run(SimConfig::new(3), registry(), |rank| {
+        rank.init()?;
+        match rank.rank() {
+            0 => rank.send(1, 0, &[1])?,
+            1 => {
+                let v = rank.recv(0, 0)?;
+                rank.send(2, 0, &v)?;
+            }
+            _ => {
+                let _ = rank.recv(1, 0)?;
+            }
+        }
+        rank.finalize()
+    });
+    let s0 = nth(&out, 0, "MPI_Send", 0);
+    let r2 = nth(&out, 2, "MPI_Recv", 0);
+    assert!(out.hb.happens_before(s0, r2), "transitivity via rank 1");
+}
+
+#[test]
+fn least_progressed_triage_points_at_the_stalled_sender() {
+    // Rank 0 never sends; ranks 1 and 2 relay and wait on it.
+    let out = run(SimConfig::new(3), registry(), |rank| {
+        rank.init()?;
+        match rank.rank() {
+            0 => { /* forgets to send */ }
+            1 => {
+                let _ = rank.recv(0, 0)?; // never satisfied
+            }
+            _ => {
+                let _ = rank.recv(1, 0)?; // waits on rank 1's relay
+            }
+        }
+        rank.finalize()
+    });
+    assert!(out.deadlocked);
+    // The logged events stop at Init for everyone except rank 0 (which
+    // reaches Finalize); the triage surfaces concurrent minima — rank
+    // 0's last event does not dominate anyone, so at minimum the true
+    // laggards (1, 2) appear.
+    let least = out.hb.least_progressed_ranks();
+    assert!(!least.is_empty());
+    assert!(
+        least.contains(&1) || least.contains(&2),
+        "stalled ranks must be causally minimal: {least:?}"
+    );
+}
+
+#[test]
+fn otf_export_orders_cross_rank_events() {
+    let out = run(SimConfig::new(2), registry(), |rank| {
+        rank.init()?;
+        if rank.rank() == 0 {
+            rank.tracer().leaf("produce");
+            rank.send(1, 0, &[1])?;
+        } else {
+            let _ = rank.recv(0, 0)?;
+            rank.tracer().leaf("consume");
+        }
+        rank.finalize()
+    });
+    let log = mpisim::hb::export_otf(&out.traces, &out.hb);
+    // Every trace event appears (ENTER+LEAVE per call).
+    let enters = log.matches("ENTER").count();
+    let total_events: usize = out.traces.iter().map(|t| t.events.len()).sum();
+    assert_eq!(enters + log.matches("LEAVE").count(), total_events);
+    // The consumer's user function is stamped at-or-after the
+    // receive's Lamport time, which exceeds the producer's send time.
+    let stamp = |needle: &str| -> u64 {
+        let line = log.lines().find(|l| l.contains(needle)).unwrap();
+        line.split("t=").nth(1).unwrap().split('.').next().unwrap().parse().unwrap()
+    };
+    assert!(stamp("ENTER consume") > stamp("ENTER produce"));
+    assert!(log.contains("loc=0.0"));
+    assert!(log.contains("loc=1.0"));
+}
+
+#[test]
+fn event_log_is_a_valid_linearization() {
+    // In log order, no later event may happen-before an earlier one.
+    let out = run(SimConfig::new(4), registry(), |rank| {
+        rank.init()?;
+        let r = rank.rank();
+        let next = (r + 1) % 4;
+        let prev = (r + 3) % 4;
+        if r % 2 == 0 {
+            rank.send(next, 0, &[1])?;
+            let _ = rank.recv(prev, 0)?;
+        } else {
+            let _ = rank.recv(prev, 0)?;
+            rank.send(next, 0, &[1])?;
+        }
+        rank.barrier()?;
+        rank.finalize()
+    });
+    let n = out.hb.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            assert!(
+                !out.hb.happens_before(j, i),
+                "log order violates causality at ({i}, {j})"
+            );
+        }
+    }
+    // And the OTF2-ish export mentions every rank.
+    let log = out.hb.to_event_log();
+    for p in 0..4 {
+        assert!(log.contains(&format!("rank={p}")));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for nested-loop recognition.
+
+use nlr::{LoopTable, NlrBuilder};
+use proptest::prelude::*;
+
+fn loopy_stream() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        // Pure repetition of a random body.
+        (proptest::collection::vec(0u32..8, 1..8), 1usize..30)
+            .prop_map(|(body, reps)| body.repeat(reps)),
+        // Nested: ((body)^inner sep)^outer.
+        (
+            proptest::collection::vec(0u32..5, 1..4),
+            1usize..6,
+            1usize..6
+        )
+            .prop_map(|(body, inner, outer)| {
+                let mut v = Vec::new();
+                for _ in 0..outer {
+                    for _ in 0..inner {
+                        v.extend(&body);
+                    }
+                    v.push(9);
+                }
+                v
+            }),
+        // Arbitrary noise.
+        proptest::collection::vec(0u32..12, 0..200),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Expansion always reproduces the input, for any K.
+    #[test]
+    fn lossless(input in loopy_stream(), k in 1usize..25) {
+        let mut table = LoopTable::new();
+        let nlr = NlrBuilder::new(k).build(&input, &mut table);
+        prop_assert_eq!(nlr.expand(&table), input);
+    }
+
+    /// Summaries never grow, and the reduction factor is ≥ 1.
+    #[test]
+    fn never_grows(input in loopy_stream(), k in 1usize..25) {
+        let mut table = LoopTable::new();
+        let nlr = NlrBuilder::new(k).build(&input, &mut table);
+        prop_assert!(nlr.elements().len() <= input.len().max(1));
+        if !input.is_empty() {
+            prop_assert!(nlr.reduction_factor() >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Building the same stream twice against a shared table yields
+    /// identical summaries (the cross-trace loop-ID heuristic).
+    #[test]
+    fn deterministic_with_shared_table(input in loopy_stream(), k in 1usize..15) {
+        let mut table = LoopTable::new();
+        let b = NlrBuilder::new(k);
+        let a = b.build(&input, &mut table);
+        let c = b.build(&input, &mut table);
+        prop_assert_eq!(a.elements(), c.elements());
+    }
+
+    /// Pure repetitions of a body with *distinct* symbols collapse to a
+    /// single loop element. (Self-overlapping bodies like `[5,0,5]` may
+    /// legitimately fold differently under the greedy stack machine —
+    /// the same ambiguity Ketterlin & Clauss note — so they are
+    /// excluded here; losslessness for them is covered above.)
+    #[test]
+    fn pure_repetition_of_distinct_body_collapses(
+        body_len in 1usize..7,
+        reps in 2usize..40,
+    ) {
+        let body: Vec<u32> = (0..body_len as u32).collect();
+        let input = body.repeat(reps);
+        let mut table = LoopTable::new();
+        let nlr = NlrBuilder::new(10).build(&input, &mut table);
+        prop_assert_eq!(
+            nlr.elements().len(),
+            1,
+            "{} reps of {:?} left {:?}",
+            reps,
+            body,
+            nlr.elements()
+        );
+        prop_assert_eq!(nlr.expand(&table), input);
+    }
+}

@@ -1,0 +1,102 @@
+//! Abstract syntax tree for parsed patterns.
+
+/// A single `a-z` style range inside a character class. A lone character
+/// `c` is represented as the degenerate range `(c, c)`.
+pub type ClassRange = (char, char);
+
+/// Parsed regular-expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// Any character (`.`).
+    Dot,
+    /// A character class: the set of `ranges`, negated if `negated`.
+    Class {
+        /// Whether the class is `[^…]`.
+        negated: bool,
+        /// Inclusive character ranges, unordered, possibly overlapping.
+        ranges: Vec<ClassRange>,
+    },
+    /// Concatenation of sub-expressions, in order.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`) between sub-expressions.
+    Alt(Vec<Ast>),
+    /// Repetition of a sub-expression: at least `min`, at most `max`
+    /// (`None` = unbounded). `*` = (0, None), `+` = (1, None),
+    /// `?` = (0, Some(1)), `{n,m}` = (n, Some(m)).
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions, or unbounded.
+        max: Option<u32>,
+    },
+    /// Start-of-input anchor `^`.
+    AnchorStart,
+    /// End-of-input anchor `$`.
+    AnchorEnd,
+}
+
+impl Ast {
+    /// A class matching ASCII digits (`\d`).
+    pub fn digit(negated: bool) -> Ast {
+        Ast::Class {
+            negated,
+            ranges: vec![('0', '9')],
+        }
+    }
+
+    /// A class matching word characters (`\w` = `[A-Za-z0-9_]`).
+    pub fn word(negated: bool) -> Ast {
+        Ast::Class {
+            negated,
+            ranges: vec![('A', 'Z'), ('a', 'z'), ('0', '9'), ('_', '_')],
+        }
+    }
+
+    /// A class matching whitespace (`\s` = `[ \t\n\r\x0b\x0c]`).
+    pub fn space(negated: bool) -> Ast {
+        Ast::Class {
+            negated,
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\u{b}', '\u{b}'),
+                ('\u{c}', '\u{c}'),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_classes_have_expected_ranges() {
+        match Ast::digit(false) {
+            Ast::Class { negated, ranges } => {
+                assert!(!negated);
+                assert_eq!(ranges, vec![('0', '9')]);
+            }
+            _ => panic!("expected class"),
+        }
+        match Ast::word(true) {
+            Ast::Class { negated, ranges } => {
+                assert!(negated);
+                assert!(ranges.contains(&('_', '_')));
+            }
+            _ => panic!("expected class"),
+        }
+        match Ast::space(false) {
+            Ast::Class { ranges, .. } => assert!(ranges.contains(&('\t', '\t'))),
+            _ => panic!("expected class"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Pattern-compilation errors.
+
+use std::fmt;
+
+/// An error produced while parsing a regular-expression pattern.
+///
+/// Carries the byte offset into the pattern where parsing failed, so
+/// callers (e.g. DiffTrace's custom-filter front end) can point at the
+/// offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the pattern string.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_message() {
+        let e = ParseError::new(4, "unbalanced parenthesis");
+        let s = e.to_string();
+        assert!(s.contains("byte 4"));
+        assert!(s.contains("unbalanced parenthesis"));
+    }
+}

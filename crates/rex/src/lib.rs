@@ -1,0 +1,376 @@
+//! `rex` — a small, self-contained regular-expression engine.
+//!
+//! DiffTrace's pre-processing stage (Table I of the paper) filters
+//! function-call traces with *predefined or custom regular expressions*.
+//! The offline dependency set for this reproduction does not include the
+//! `regex` crate, so `rex` implements the required subset from scratch:
+//!
+//! * literals and escapes (`\.` `\\` `\d` `\w` `\s` and their negations)
+//! * character classes `[a-z_]`, negated classes `[^0-9]`
+//! * the wildcard `.`
+//! * repetition `*`, `+`, `?`, `{n}`, `{n,}`, `{n,m}`
+//! * alternation `|` and grouping `( … )`
+//! * anchors `^` and `$`
+//! * a case-insensitive compile flag
+//!
+//! The implementation is the classic two-stage design: a recursive-descent
+//! [`parser`] producing an [`ast::Ast`], compiled by [`nfa`] into a
+//! Thompson NFA, executed by a Pike-style virtual machine ([`vm`]) in
+//! `O(states × input)` time with **no backtracking** — patterns supplied
+//! by a user can never blow up exponentially, which matters because
+//! DiffTrace applies filters to hundreds of thousands of trace entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use rex::Regex;
+//!
+//! let re = Regex::new(r"^MPI_(Send|Recv|Isend|Irecv|Wait)$").unwrap();
+//! assert!(re.is_match("MPI_Send"));
+//! assert!(!re.is_match("MPI_Barrier"));
+//!
+//! let mem = Regex::new_case_insensitive(r"mem(cpy|chk)|alloc").unwrap();
+//! assert!(mem.is_match("__libc_MALLOC"));
+//! assert!(mem.find("xxmemcpyzz").is_some());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod nfa;
+pub mod parser;
+pub mod vm;
+
+pub use error::ParseError;
+
+use nfa::Nfa;
+
+/// A compiled regular expression.
+///
+/// Construction validates and compiles the pattern once; matching never
+/// fails and runs in time linear in the input for a fixed pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    nfa: Nfa,
+}
+
+impl Regex {
+    /// Compile `pattern` (case-sensitive).
+    pub fn new(pattern: &str) -> Result<Regex, ParseError> {
+        Self::with_flags(pattern, false)
+    }
+
+    /// Compile `pattern`, matching ASCII and Unicode letters
+    /// case-insensitively.
+    pub fn new_case_insensitive(pattern: &str) -> Result<Regex, ParseError> {
+        Self::with_flags(pattern, true)
+    }
+
+    fn with_flags(pattern: &str, case_insensitive: bool) -> Result<Regex, ParseError> {
+        let ast = parser::parse(pattern)?;
+        let nfa = nfa::compile(&ast, case_insensitive);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            nfa,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the pattern match anywhere in `input` (unanchored search)?
+    pub fn is_match(&self, input: &str) -> bool {
+        vm::is_match(&self.nfa, input)
+    }
+
+    /// Leftmost match as a `(start, end)` byte range, preferring the
+    /// longest match at the leftmost starting position.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        vm::find(&self.nfa, input)
+    }
+
+    /// Split `input` around matches (like `str::split` with a regex
+    /// separator). Empty matches split between characters.
+    pub fn split<'a>(&self, input: &'a str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        let mut last = 0;
+        for (s, e) in self.find_all(input) {
+            out.push(&input[last..s]);
+            last = e;
+        }
+        out.push(&input[last..]);
+        out
+    }
+
+    /// Replace every non-overlapping match with `replacement`
+    /// (literal, no capture references).
+    pub fn replace_all(&self, input: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(input.len());
+        let mut last = 0;
+        for (s, e) in self.find_all(input) {
+            out.push_str(&input[last..s]);
+            out.push_str(replacement);
+            last = e;
+        }
+        out.push_str(&input[last..]);
+        out
+    }
+
+    /// All non-overlapping leftmost-longest matches.
+    pub fn find_all(&self, input: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at <= input.len() {
+            match vm::find(&self.nfa, &input[at..]) {
+                Some((s, e)) => {
+                    let (s, e) = (at + s, at + e);
+                    out.push((s, e));
+                    // Empty matches must still advance the cursor.
+                    at = if e > s {
+                        e
+                    } else {
+                        match input[e..].chars().next() {
+                            Some(c) => e + c.len_utf8(),
+                            None => break,
+                        }
+                    };
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// A set of regexes, matched as a unit (used for filter categories that
+/// combine several patterns, e.g. the "Memory" filter of Table I).
+#[derive(Debug, Clone, Default)]
+pub struct RegexSet {
+    regexes: Vec<Regex>,
+}
+
+impl RegexSet {
+    /// Compile every pattern; fails on the first invalid one.
+    pub fn new<'a, I: IntoIterator<Item = &'a str>>(patterns: I) -> Result<RegexSet, ParseError> {
+        let mut regexes = Vec::new();
+        for p in patterns {
+            regexes.push(Regex::new(p)?);
+        }
+        Ok(RegexSet { regexes })
+    }
+
+    /// Case-insensitive variant of [`RegexSet::new`].
+    pub fn new_case_insensitive<'a, I: IntoIterator<Item = &'a str>>(
+        patterns: I,
+    ) -> Result<RegexSet, ParseError> {
+        let mut regexes = Vec::new();
+        for p in patterns {
+            regexes.push(Regex::new_case_insensitive(p)?);
+        }
+        Ok(RegexSet { regexes })
+    }
+
+    /// True if *any* member pattern matches.
+    pub fn is_match(&self, input: &str) -> bool {
+        self.regexes.iter().any(|r| r.is_match(input))
+    }
+
+    /// Number of member patterns.
+    pub fn len(&self) -> usize {
+        self.regexes.len()
+    }
+
+    /// True if the set contains no patterns (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.regexes.is_empty()
+    }
+
+    /// Indices of the member patterns that match `input`.
+    pub fn matches(&self, input: &str) -> Vec<usize> {
+        self.regexes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_match(input))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let re = Regex::new("abc").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("xxabcxx"));
+        assert!(!re.is_match("ab"));
+        assert!(!re.is_match("acb"));
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^MPI_").unwrap();
+        assert!(re.is_match("MPI_Send"));
+        assert!(!re.is_match("PMPI_Send"));
+        let re = Regex::new("_Send$").unwrap();
+        assert!(re.is_match("MPI_Send"));
+        assert!(!re.is_match("MPI_Send_init"));
+        let re = Regex::new("^exact$").unwrap();
+        assert!(re.is_match("exact"));
+        assert!(!re.is_match("exactly"));
+        assert!(!re.is_match("inexact"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let re = Regex::new("^MPI_(Send|Recv)$").unwrap();
+        assert!(re.is_match("MPI_Send"));
+        assert!(re.is_match("MPI_Recv"));
+        assert!(!re.is_match("MPI_Sendrecv"));
+        assert!(!re.is_match("MPI_Barrier"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let re = Regex::new("ab*c").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("abbbbc"));
+        assert!(!re.is_match("a_c"));
+        let re = Regex::new("ab+c").unwrap();
+        assert!(!re.is_match("ac"));
+        assert!(re.is_match("abbc"));
+        let re = Regex::new("ab?c").unwrap();
+        assert!(re.is_match("ac"));
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("abbc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let re = Regex::new("^a{3}$").unwrap();
+        assert!(re.is_match("aaa"));
+        assert!(!re.is_match("aa"));
+        assert!(!re.is_match("aaaa"));
+        let re = Regex::new("^a{2,}$").unwrap();
+        assert!(!re.is_match("a"));
+        assert!(re.is_match("aa"));
+        assert!(re.is_match("aaaaa"));
+        let re = Regex::new("^a{1,3}$").unwrap();
+        assert!(re.is_match("a"));
+        assert!(re.is_match("aaa"));
+        assert!(!re.is_match("aaaa"));
+        assert!(!re.is_match(""));
+    }
+
+    #[test]
+    fn classes() {
+        let re = Regex::new("^[a-c_]+$").unwrap();
+        assert!(re.is_match("a_b_c"));
+        assert!(!re.is_match("a-d"));
+        let re = Regex::new("^[^0-9]+$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("ab3"));
+    }
+
+    #[test]
+    fn escapes() {
+        let re = Regex::new(r"\.plt$").unwrap();
+        assert!(re.is_match("memcpy@.plt"));
+        assert!(!re.is_match("memcpyplt"));
+        let re = Regex::new(r"^\d+$").unwrap();
+        assert!(re.is_match("12345"));
+        assert!(!re.is_match("12a45"));
+        let re = Regex::new(r"^\w+$").unwrap();
+        assert!(re.is_match("MPI_Send_42"));
+        assert!(!re.is_match("MPI Send"));
+        let re = Regex::new(r"\s").unwrap();
+        assert!(re.is_match("a b"));
+        assert!(!re.is_match("ab"));
+    }
+
+    #[test]
+    fn dot_wildcard() {
+        let re = Regex::new("^a.c$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(re.is_match("a-c"));
+        assert!(!re.is_match("ac"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::new_case_insensitive("malloc").unwrap();
+        assert!(re.is_match("MALLOC"));
+        assert!(re.is_match("MaLLoc_hook"));
+        let re = Regex::new("malloc").unwrap();
+        assert!(!re.is_match("MALLOC"));
+    }
+
+    #[test]
+    fn find_positions() {
+        let re = Regex::new("b+").unwrap();
+        assert_eq!(re.find("aabbbcc"), Some((2, 5)));
+        assert_eq!(re.find("nope"), None);
+        assert_eq!(re.find_all("abba bb b"), vec![(1, 3), (5, 7), (8, 9)]);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let re = Regex::new("").unwrap();
+        assert!(re.is_match(""));
+        assert!(re.is_match("anything"));
+    }
+
+    #[test]
+    fn regex_set() {
+        let set =
+            RegexSet::new_case_insensitive(["memcpy", "memchk", "alloc", "malloc"]).unwrap();
+        assert!(set.is_match("xmalloc"));
+        assert!(set.is_match("MEMCPY"));
+        assert!(!set.is_match("strlen"));
+        assert_eq!(set.matches("malloc"), vec![2, 3]);
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+        assert!(RegexSet::default().is_empty());
+    }
+
+    #[test]
+    fn split_and_replace() {
+        let re = Regex::new(r"_+").unwrap();
+        assert_eq!(re.split("MPI__Comm_rank"), vec!["MPI", "Comm", "rank"]);
+        assert_eq!(re.split("nodelim"), vec!["nodelim"]);
+        assert_eq!(re.replace_all("a_b__c", "-"), "a-b-c");
+        assert_eq!(re.replace_all("", "-"), "");
+        let digits = Regex::new(r"\d+").unwrap();
+        assert_eq!(
+            digits.replace_all("EvalEOSForElems_R42", "<n>"),
+            "EvalEOSForElems_R<n>"
+        );
+        // Empty-match separator splits between characters but must not
+        // loop forever.
+        let empty = Regex::new("").unwrap();
+        assert!(empty.split("ab").len() >= 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("a)b").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new(r"a\").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+    }
+
+    #[test]
+    fn unicode_input() {
+        let re = Regex::new("^.λ.$").unwrap();
+        assert!(re.is_match("aλb"));
+        assert!(re.is_match("λλλ"));
+        assert!(!re.is_match("ab"));
+    }
+}

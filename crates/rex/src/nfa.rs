@@ -1,0 +1,400 @@
+//! Thompson-NFA compiler.
+//!
+//! Compiles an [`Ast`] into a flat vector of [`State`]s. Bounded
+//! repetitions are expanded structurally (`a{2,4}` → `aa(a(a)?)?`), so
+//! the VM only ever sees four state kinds.
+
+use crate::ast::{Ast, ClassRange};
+
+/// Index of a state in [`Nfa::states`].
+pub type StateId = usize;
+
+/// Position-dependent zero-width assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assertion {
+    /// `^` — only passes at input position 0.
+    Start,
+    /// `$` — only passes at end of input.
+    End,
+}
+
+/// What a [`State::Char`] state accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Matcher {
+    /// One specific character.
+    Literal(char),
+    /// Any character.
+    Dot,
+    /// A character class.
+    Class {
+        /// Negated (`[^…]`)?
+        negated: bool,
+        /// Inclusive ranges.
+        ranges: Vec<ClassRange>,
+    },
+}
+
+impl Matcher {
+    /// Does `c` satisfy this matcher? `ci` enables case-insensitive
+    /// comparison (simple one-char folding).
+    pub fn matches(&self, c: char, ci: bool) -> bool {
+        match self {
+            Matcher::Dot => true,
+            Matcher::Literal(l) => {
+                if ci {
+                    eq_ci(*l, c)
+                } else {
+                    *l == c
+                }
+            }
+            Matcher::Class { negated, ranges } => {
+                let inside = if ci {
+                    let folded = fold(c);
+                    ranges.iter().any(|&(lo, hi)| {
+                        (lo <= c && c <= hi) || (fold(lo) <= folded && folded <= fold(hi))
+                    })
+                } else {
+                    ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+                };
+                inside != *negated
+            }
+        }
+    }
+}
+
+fn fold(c: char) -> char {
+    c.to_lowercase().next().unwrap_or(c)
+}
+
+fn eq_ci(a: char, b: char) -> bool {
+    a == b || fold(a) == fold(b)
+}
+
+/// A compiled NFA state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum State {
+    /// Consume one character accepted by the matcher, then go to `next`.
+    Char(Matcher, StateId),
+    /// Epsilon-split to both targets (preference order irrelevant here —
+    /// we simulate all threads).
+    Split(StateId, StateId),
+    /// Zero-width assertion; falls through to `next` if it holds.
+    Assert(Assertion, StateId),
+    /// Accepting state.
+    Match,
+}
+
+/// A compiled NFA: states plus the designated start state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Flat state arena.
+    pub states: Vec<State>,
+    /// Entry state.
+    pub start: StateId,
+    /// Case-insensitive matching flag applied by the VM.
+    pub case_insensitive: bool,
+}
+
+impl Nfa {
+    /// Number of states (proxy for compiled-pattern size).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the automaton has no states (never constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Compile an AST to an NFA.
+pub fn compile(ast: &Ast, case_insensitive: bool) -> Nfa {
+    let mut c = Compiler { states: Vec::new() };
+    let frag = c.compile_node(ast);
+    let m = c.push(State::Match);
+    c.patch(&frag.outs, m);
+    Nfa {
+        states: c.states,
+        start: frag.start,
+        case_insensitive,
+    }
+}
+
+/// A dangling out-edge of a fragment: `(state, which branch)`.
+#[derive(Debug, Clone, Copy)]
+struct Hole {
+    state: StateId,
+    /// For `Split`, 0 = left target, 1 = right target. For the other
+    /// kinds there is a single target (branch 0).
+    branch: u8,
+}
+
+struct Frag {
+    start: StateId,
+    outs: Vec<Hole>,
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+const PENDING: StateId = usize::MAX;
+
+impl Compiler {
+    fn push(&mut self, s: State) -> StateId {
+        self.states.push(s);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, holes: &[Hole], target: StateId) {
+        for h in holes {
+            match &mut self.states[h.state] {
+                State::Char(_, next) | State::Assert(_, next) => *next = target,
+                State::Split(a, b) => {
+                    if h.branch == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                State::Match => unreachable!("Match state has no out-edges"),
+            }
+        }
+    }
+
+    fn compile_node(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                // A split whose both branches dangle to the same place
+                // acts as an epsilon edge.
+                let s = self.push(State::Split(PENDING, PENDING));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }, Hole { state: s, branch: 1 }],
+                }
+            }
+            Ast::Literal(c) => {
+                let s = self.push(State::Char(Matcher::Literal(*c), PENDING));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }],
+                }
+            }
+            Ast::Dot => {
+                let s = self.push(State::Char(Matcher::Dot, PENDING));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }],
+                }
+            }
+            Ast::Class { negated, ranges } => {
+                let s = self.push(State::Char(
+                    Matcher::Class {
+                        negated: *negated,
+                        ranges: ranges.clone(),
+                    },
+                    PENDING,
+                ));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }],
+                }
+            }
+            Ast::AnchorStart => {
+                let s = self.push(State::Assert(Assertion::Start, PENDING));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }],
+                }
+            }
+            Ast::AnchorEnd => {
+                let s = self.push(State::Assert(Assertion::End, PENDING));
+                Frag {
+                    start: s,
+                    outs: vec![Hole { state: s, branch: 0 }],
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut iter = parts.iter();
+                let first = self.compile_node(iter.next().expect("non-empty concat"));
+                let mut outs = first.outs;
+                for part in iter {
+                    let next = self.compile_node(part);
+                    self.patch(&outs, next.start);
+                    outs = next.outs;
+                }
+                Frag {
+                    start: first.start,
+                    outs,
+                }
+            }
+            Ast::Alt(branches) => {
+                // Chain of splits funneling into each branch.
+                let frags: Vec<Frag> = branches.iter().map(|b| self.compile_node(b)).collect();
+                let mut outs = Vec::new();
+                let mut start = frags.last().unwrap().start;
+                for f in frags.iter().rev().skip(1) {
+                    let s = self.push(State::Split(f.start, start));
+                    start = s;
+                }
+                for f in frags {
+                    outs.extend(f.outs);
+                }
+                Frag { start, outs }
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Frag {
+        match (min, max) {
+            (0, None) => self.compile_star(node),
+            (min, None) => {
+                // node{min,} = node^min node*
+                let head = self.compile_exactly(node, min);
+                let tail = self.compile_star(node);
+                self.patch(&head.outs, tail.start);
+                Frag {
+                    start: head.start,
+                    outs: tail.outs,
+                }
+            }
+            (0, Some(0)) => self.compile_node(&Ast::Empty),
+            (0, Some(m)) => self.compile_optionals(node, m),
+            (min, Some(m)) => {
+                let head = self.compile_exactly(node, min);
+                if m == min {
+                    return head;
+                }
+                let tail = self.compile_optionals(node, m - min);
+                self.patch(&head.outs, tail.start);
+                Frag {
+                    start: head.start,
+                    outs: tail.outs,
+                }
+            }
+        }
+    }
+
+    /// `node*`
+    fn compile_star(&mut self, node: &Ast) -> Frag {
+        let split = self.push(State::Split(PENDING, PENDING));
+        let body = self.compile_node(node);
+        // Left branch enters the body; body loops back to the split.
+        if let State::Split(a, _) = &mut self.states[split] {
+            *a = body.start;
+        }
+        self.patch(&body.outs, split);
+        Frag {
+            start: split,
+            outs: vec![Hole {
+                state: split,
+                branch: 1,
+            }],
+        }
+    }
+
+    /// `node^n` (n ≥ 1), concatenated copies.
+    fn compile_exactly(&mut self, node: &Ast, n: u32) -> Frag {
+        debug_assert!(n >= 1);
+        let first = self.compile_node(node);
+        let mut outs = first.outs;
+        for _ in 1..n {
+            let next = self.compile_node(node);
+            self.patch(&outs, next.start);
+            outs = next.outs;
+        }
+        Frag {
+            start: first.start,
+            outs,
+        }
+    }
+
+    /// `(node (node (…)?)?)?` — up to `n` optional copies.
+    fn compile_optionals(&mut self, node: &Ast, n: u32) -> Frag {
+        debug_assert!(n >= 1);
+        let mut outs: Vec<Hole> = Vec::new();
+        let mut start = None;
+        for _ in 0..n {
+            let split = self.push(State::Split(PENDING, PENDING));
+            let body = self.compile_node(node);
+            if let State::Split(a, _) = &mut self.states[split] {
+                *a = body.start;
+            }
+            outs.push(Hole {
+                state: split,
+                branch: 1,
+            });
+            if let Some(prev_body_outs) = start.replace((split, body.outs.clone())) {
+                // Patch previous body's outs to this split.
+                let (_, prev_outs): (StateId, Vec<Hole>) = prev_body_outs;
+                self.patch(&prev_outs, split);
+            }
+        }
+        // The chain is built head-first: re-walk to find the first split.
+        // Simpler: rebuild — the first split pushed is the entry.
+        let entry = outs[0].state;
+        let last_body_outs = start.unwrap().1;
+        let mut all_outs = outs;
+        all_outs.extend(last_body_outs);
+        Frag {
+            start: entry,
+            outs: all_outs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(p: &str) -> Nfa {
+        compile(&parse(p).unwrap(), false)
+    }
+
+    #[test]
+    fn no_pending_targets_after_compile() {
+        for p in ["a", "abc", "a|b", "a*", "a+", "a?", "(ab)*c", "a{2,4}", "^a$", "[a-z]+", ""] {
+            let n = nfa(p);
+            for (i, s) in n.states.iter().enumerate() {
+                match s {
+                    State::Char(_, t) | State::Assert(_, t) => {
+                        assert_ne!(*t, PENDING, "pattern {p}: state {i} dangling")
+                    }
+                    State::Split(a, b) => {
+                        assert_ne!(*a, PENDING, "pattern {p}: state {i} dangling");
+                        assert_ne!(*b, PENDING, "pattern {p}: state {i} dangling");
+                    }
+                    State::Match => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_counts_are_linear() {
+        // Thompson construction: O(pattern) states.
+        let n = nfa("(a|b)*abb");
+        assert!(n.len() < 20, "unexpectedly large NFA: {}", n.len());
+    }
+
+    #[test]
+    fn matcher_case_folding() {
+        let m = Matcher::Literal('a');
+        assert!(m.matches('A', true));
+        assert!(!m.matches('A', false));
+        let cls = Matcher::Class {
+            negated: false,
+            ranges: vec![('a', 'z')],
+        };
+        assert!(cls.matches('Q', true));
+        assert!(!cls.matches('Q', false));
+        let neg = Matcher::Class {
+            negated: true,
+            ranges: vec![('0', '9')],
+        };
+        assert!(neg.matches('x', false));
+        assert!(!neg.matches('5', false));
+    }
+}

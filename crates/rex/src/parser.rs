@@ -1,0 +1,359 @@
+//! Recursive-descent parser producing an [`Ast`].
+//!
+//! Grammar (standard POSIX-ish subset):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' n (',' m?)? '}')*
+//! atom   := literal | '.' | class | '(' alt ')' | '^' | '$' | escape
+//! ```
+
+use crate::ast::Ast;
+use crate::error::ParseError;
+
+/// Parse a pattern into an AST.
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos < p.chars.len() {
+        let (byte, c) = p.chars[p.pos];
+        return Err(ParseError::new(byte, format!("unexpected character `{c}`")));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or_else(|| self.chars.last().map(|&(b, c)| b + c.len_utf8()).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.parse_atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    (0, None)
+                }
+                Some('+') => {
+                    self.bump();
+                    (1, None)
+                }
+                Some('?') => {
+                    self.bump();
+                    (0, Some(1))
+                }
+                Some('{') => {
+                    self.bump();
+                    self.parse_bounds()?
+                }
+                _ => break,
+            };
+            if matches!(node, Ast::AnchorStart | Ast::AnchorEnd | Ast::Empty) {
+                return Err(ParseError::new(
+                    self.byte_pos(),
+                    "repetition operator applied to nothing repeatable",
+                ));
+            }
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            };
+        }
+        Ok(node)
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let start = self.byte_pos();
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok((min, None));
+                }
+                let max = self.parse_number()?;
+                if self.bump() != Some('}') {
+                    return Err(ParseError::new(start, "expected `}` to close repetition"));
+                }
+                if max < min {
+                    return Err(ParseError::new(
+                        start,
+                        format!("invalid repetition range {{{min},{max}}}"),
+                    ));
+                }
+                Ok((min, Some(max)))
+            }
+            _ => Err(ParseError::new(start, "malformed `{…}` repetition")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.byte_pos();
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<u32>()
+            .map_err(|_| ParseError::new(start, "expected a number in `{…}`"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        let start = self.byte_pos();
+        match self.bump() {
+            None => Err(ParseError::new(start, "unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(ParseError::new(start, "unbalanced `(`"));
+                }
+                Ok(inner)
+            }
+            Some(')') => Err(ParseError::new(start, "unbalanced `)`")),
+            Some('[') => self.parse_class(start),
+            Some('.') => Ok(Ast::Dot),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('*') | Some('+') | Some('?') => Err(ParseError::new(
+                start,
+                "repetition operator at start of expression",
+            )),
+            Some('\\') => self.parse_escape(start),
+            Some(c) => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn parse_escape(&mut self, start: usize) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(ParseError::new(start, "dangling `\\` at end of pattern")),
+            Some('d') => Ok(Ast::digit(false)),
+            Some('D') => Ok(Ast::digit(true)),
+            Some('w') => Ok(Ast::word(false)),
+            Some('W') => Ok(Ast::word(true)),
+            Some('s') => Ok(Ast::space(false)),
+            Some('S') => Ok(Ast::space(true)),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            // Any punctuation escapes to itself (`\.`, `\\`, `\{`, …).
+            Some(c) if !c.is_alphanumeric() => Ok(Ast::Literal(c)),
+            Some(c) => Err(ParseError::new(start, format!("unknown escape `\\{c}`"))),
+        }
+    }
+
+    fn parse_class(&mut self, start: usize) -> Result<Ast, ParseError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        // POSIX quirk: a `]` immediately after `[` or `[^` is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            ranges.push((']', ']'));
+        }
+        loop {
+            let lo = match self.bump() {
+                None => return Err(ParseError::new(start, "unterminated character class")),
+                Some(']') => break,
+                Some('\\') => self.class_escape(start)?,
+                Some(c) => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+            {
+                self.bump(); // consume '-'
+                let hi = match self.bump() {
+                    None => return Err(ParseError::new(start, "unterminated character class")),
+                    Some('\\') => self.class_escape(start)?,
+                    Some(c) => c,
+                };
+                if hi < lo {
+                    return Err(ParseError::new(
+                        start,
+                        format!("invalid class range `{lo}-{hi}`"),
+                    ));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(ParseError::new(start, "empty character class"));
+        }
+        Ok(Ast::Class { negated, ranges })
+    }
+
+    /// Escapes valid inside a class resolve to a single character.
+    fn class_escape(&mut self, start: usize) -> Result<char, ParseError> {
+        match self.bump() {
+            None => Err(ParseError::new(start, "dangling `\\` in character class")),
+            Some('n') => Ok('\n'),
+            Some('t') => Ok('\t'),
+            Some('r') => Ok('\r'),
+            Some(c) if !c.is_alphanumeric() => Ok(c),
+            Some(c) => Err(ParseError::new(
+                start,
+                format!("unsupported escape `\\{c}` in character class"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ast;
+
+    #[test]
+    fn parses_simple_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        match parse("a|b|c").unwrap() {
+            Ast::Alt(bs) => assert_eq!(bs.len(), 3),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_groups() {
+        let ast = parse("(a(b|c))*d").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert!(matches!(parts[0], Ast::Repeat { .. }));
+                assert_eq!(parts[1], Ast::Literal('d'));
+            }
+            other => panic!("expected Concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bounds() {
+        match parse("a{2,5}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 2);
+                assert_eq!(max, Some(5));
+            }
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+        match parse("a{7}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 7);
+                assert_eq!(max, Some(7));
+            }
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+        match parse("a{3,}").unwrap() {
+            Ast::Repeat { min, max, .. } => {
+                assert_eq!(min, 3);
+                assert_eq!(max, None);
+            }
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_leading_bracket_is_literal() {
+        match parse("[]a]").unwrap() {
+            Ast::Class { negated, ranges } => {
+                assert!(!negated);
+                assert!(ranges.contains(&(']', ']')));
+                assert!(ranges.contains(&('a', 'a')));
+            }
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        match parse("[a-]").unwrap() {
+            Ast::Class { ranges, .. } => {
+                assert!(ranges.contains(&('a', 'a')));
+                assert!(ranges.contains(&('-', '-')));
+            }
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("ab(cd").unwrap_err();
+        assert_eq!(err.position, 2);
+        let err = parse("a{2,1}").unwrap_err();
+        assert!(err.message.contains("invalid repetition"));
+    }
+
+    #[test]
+    fn rejects_double_star_on_anchor() {
+        assert!(parse("^*").is_err());
+        assert!(parse("$+").is_err());
+    }
+}

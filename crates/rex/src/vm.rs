@@ -1,0 +1,199 @@
+//! Pike-style NFA simulation (no backtracking).
+//!
+//! `is_match` runs all threads simultaneously, seeding a new thread at
+//! every input position to implement unanchored search — `O(n·m)` with
+//! `n` input chars and `m` states. `find` reports the leftmost-longest
+//! match range.
+
+use crate::nfa::{Assertion, Nfa, State, StateId};
+
+/// A deduplicated set of live NFA states.
+struct ThreadSet {
+    dense: Vec<StateId>,
+    /// Every state marked `seen` during closure, including epsilon
+    /// states that never reach `dense` — all must be reset by `clear`.
+    marked: Vec<StateId>,
+    seen: Vec<bool>,
+}
+
+impl ThreadSet {
+    fn new(n: usize) -> ThreadSet {
+        ThreadSet {
+            dense: Vec::with_capacity(n),
+            marked: Vec::with_capacity(n),
+            seen: vec![false; n],
+        }
+    }
+
+    fn clear(&mut self) {
+        for &s in &self.marked {
+            self.seen[s] = false;
+        }
+        self.marked.clear();
+        self.dense.clear();
+    }
+
+    /// Add `state` and follow epsilon edges; `pos`/`len` give the current
+    /// position in *characters* for anchor assertions.
+    fn add(&mut self, nfa: &Nfa, state: StateId, pos: usize, len: usize) {
+        if self.seen[state] {
+            return;
+        }
+        self.seen[state] = true;
+        self.marked.push(state);
+        match &nfa.states[state] {
+            State::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.add(nfa, a, pos, len);
+                self.add(nfa, b, pos, len);
+            }
+            State::Assert(kind, next) => {
+                let holds = match kind {
+                    Assertion::Start => pos == 0,
+                    Assertion::End => pos == len,
+                };
+                if holds {
+                    let next = *next;
+                    self.add(nfa, next, pos, len);
+                }
+            }
+            State::Char(..) | State::Match => {
+                self.dense.push(state);
+            }
+        }
+    }
+
+    fn contains_match(&self, nfa: &Nfa) -> bool {
+        self.dense
+            .iter()
+            .any(|&s| matches!(nfa.states[s], State::Match))
+    }
+}
+
+/// Unanchored match test.
+#[allow(clippy::needless_range_loop)] // pos doubles as anchor context
+pub fn is_match(nfa: &Nfa, input: &str) -> bool {
+    let chars: Vec<char> = input.chars().collect();
+    let len = chars.len();
+    let mut clist = ThreadSet::new(nfa.len());
+    let mut nlist = ThreadSet::new(nfa.len());
+
+    for pos in 0..=len {
+        // Unanchored search: a fresh attempt may begin at any position.
+        clist.add(nfa, nfa.start, pos, len);
+        if clist.contains_match(nfa) {
+            return true;
+        }
+        if pos == len {
+            break;
+        }
+        let c = chars[pos];
+        nlist.clear();
+        for &s in &clist.dense {
+            if let State::Char(m, next) = &nfa.states[s] {
+                if m.matches(c, nfa.case_insensitive) {
+                    nlist.add(nfa, *next, pos + 1, len);
+                }
+            }
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+    }
+    false
+}
+
+/// Leftmost-longest search returning `(start, end)` *byte* offsets.
+pub fn find(nfa: &Nfa, input: &str) -> Option<(usize, usize)> {
+    let indexed: Vec<(usize, char)> = input.char_indices().collect();
+    let len = indexed.len();
+    let byte_at = |char_pos: usize| -> usize {
+        if char_pos == len {
+            input.len()
+        } else {
+            indexed[char_pos].0
+        }
+    };
+
+    let mut clist = ThreadSet::new(nfa.len());
+    let mut nlist = ThreadSet::new(nfa.len());
+
+    for start in 0..=len {
+        clist.clear();
+        clist.add(nfa, nfa.start, start, len);
+        let mut last_match: Option<usize> = None;
+        if clist.contains_match(nfa) {
+            last_match = Some(start);
+        }
+        let mut pos = start;
+        while pos < len && !clist.dense.is_empty() {
+            let c = indexed[pos].1;
+            nlist.clear();
+            for &s in &clist.dense {
+                if let State::Char(m, next) = &nfa.states[s] {
+                    if m.matches(c, nfa.case_insensitive) {
+                        nlist.add(nfa, *next, pos + 1, len);
+                    }
+                }
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            pos += 1;
+            if clist.contains_match(nfa) {
+                last_match = Some(pos);
+            }
+        }
+        if let Some(end) = last_match {
+            return Some((byte_at(start), byte_at(end)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn longest_match_at_leftmost_start() {
+        let re = Regex::new("a+").unwrap();
+        assert_eq!(re.find("xxaaayaa"), Some((2, 5)));
+    }
+
+    #[test]
+    fn anchored_find() {
+        let re = Regex::new("^ab").unwrap();
+        assert_eq!(re.find("abab"), Some((0, 2)));
+        assert_eq!(re.find("xab"), None);
+    }
+
+    #[test]
+    fn end_anchor_find() {
+        let re = Regex::new("ab$").unwrap();
+        assert_eq!(re.find("abab"), Some((2, 4)));
+    }
+
+    #[test]
+    fn utf8_byte_offsets() {
+        let re = Regex::new("b+").unwrap();
+        // 'λ' is 2 bytes.
+        assert_eq!(re.find("λbb"), Some((2, 4)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a?)^25 a^25 against a^25 — classic backtracking killer.
+        let mut pat = String::new();
+        for _ in 0..25 {
+            pat.push_str("a?");
+        }
+        for _ in 0..25 {
+            pat.push('a');
+        }
+        let re = Regex::new(&pat).unwrap();
+        let input: String = std::iter::repeat_n('a', 25).collect();
+        let t0 = std::time::Instant::now();
+        assert!(re.is_match(&input));
+        assert!(
+            t0.elapsed().as_millis() < 1000,
+            "NFA simulation should not backtrack exponentially"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests: the Pike-VM engine agrees with a naive backtracking
+//! reference evaluator on randomly generated patterns and inputs.
+
+use proptest::prelude::*;
+use rex::ast::Ast;
+use rex::{parser, Regex};
+
+/// Render an AST back to pattern syntax (inverse of the parser for the
+/// constructs we generate).
+fn render(ast: &Ast) -> String {
+    match ast {
+        Ast::Empty => String::new(),
+        Ast::Literal(c) => {
+            if "\\.^$|()[]{}*+?".contains(*c) {
+                format!("\\{c}")
+            } else {
+                c.to_string()
+            }
+        }
+        Ast::Dot => ".".to_string(),
+        Ast::Class { negated, ranges } => {
+            let mut s = String::from("[");
+            if *negated {
+                s.push('^');
+            }
+            for &(lo, hi) in ranges {
+                if lo == hi {
+                    s.push(lo);
+                } else {
+                    s.push(lo);
+                    s.push('-');
+                    s.push(hi);
+                }
+            }
+            s.push(']');
+            s
+        }
+        Ast::Concat(parts) => parts.iter().map(|p| format!("({})", render(p))).collect(),
+        Ast::Alt(parts) => parts
+            .iter()
+            .map(|p| format!("({})", render(p)))
+            .collect::<Vec<_>>()
+            .join("|"),
+        Ast::Repeat { node, min, max } => {
+            let inner = format!("({})", render(node));
+            match (min, max) {
+                (0, None) => format!("{inner}*"),
+                (1, None) => format!("{inner}+"),
+                (0, Some(1)) => format!("{inner}?"),
+                (m, None) => format!("{inner}{{{m},}}"),
+                (m, Some(x)) => format!("{inner}{{{m},{x}}}"),
+            }
+        }
+        Ast::AnchorStart => "^".to_string(),
+        Ast::AnchorEnd => "$".to_string(),
+    }
+}
+
+/// Naive exponential backtracking: can `ast` match `input[pos..end']`
+/// for some end'? Returns the set of end positions (chars).
+fn naive_ends(ast: &Ast, input: &[char], pos: usize) -> Vec<usize> {
+    match ast {
+        Ast::Empty => vec![pos],
+        Ast::Literal(c) => {
+            if input.get(pos) == Some(c) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Dot => {
+            if pos < input.len() {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Class { negated, ranges } => match input.get(pos) {
+            Some(&c) => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                if inside != *negated {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            }
+            None => vec![],
+        },
+        Ast::AnchorStart => {
+            if pos == 0 {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::AnchorEnd => {
+            if pos == input.len() {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Concat(parts) => {
+            let mut ends = vec![pos];
+            for p in parts {
+                let mut next = Vec::new();
+                for e in ends {
+                    next.extend(naive_ends(p, input, e));
+                }
+                next.sort_unstable();
+                next.dedup();
+                ends = next;
+                if ends.is_empty() {
+                    break;
+                }
+            }
+            ends
+        }
+        Ast::Alt(parts) => {
+            let mut ends: Vec<usize> = parts
+                .iter()
+                .flat_map(|p| naive_ends(p, input, pos))
+                .collect();
+            ends.sort_unstable();
+            ends.dedup();
+            ends
+        }
+        Ast::Repeat { node, min, max } => {
+            // BFS over repetition counts, capped by input length.
+            let cap = max.map(|m| m as usize).unwrap_or(input.len() + 1);
+            let mut current = vec![pos];
+            let mut result = Vec::new();
+            if *min == 0 {
+                result.push(pos);
+            }
+            for rep in 1..=cap {
+                let mut next = Vec::new();
+                for e in &current {
+                    next.extend(naive_ends(node, input, *e));
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    break;
+                }
+                if rep >= *min as usize {
+                    result.extend(&next);
+                }
+                // Guard against empty-match infinite loops: once the
+                // frontier is stable, every higher repetition count
+                // yields the same ends — including counts ≥ min.
+                if next == current {
+                    if rep < *min as usize {
+                        result.extend(&next);
+                    }
+                    break;
+                }
+                current = next;
+            }
+            result.sort_unstable();
+            result.dedup();
+            result
+        }
+    }
+}
+
+fn naive_is_match(ast: &Ast, input: &str) -> bool {
+    let chars: Vec<char> = input.chars().collect();
+    (0..=chars.len()).any(|start| !naive_ends(ast, &chars, start).is_empty())
+}
+
+/// Pattern strategy: a small recursive AST over a tiny alphabet.
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Ast::Literal),
+        Just(Ast::Dot),
+        Just(Ast::Class {
+            negated: false,
+            ranges: vec![('a', 'b')],
+        }),
+        Just(Ast::Class {
+            negated: true,
+            ranges: vec![('a', 'a')],
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Ast::Concat),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Ast::Alt),
+            (inner, 0u32..3, 0u32..3).prop_map(|(n, min, extra)| Ast::Repeat {
+                node: Box::new(n),
+                min,
+                max: Some(min + extra),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vm_agrees_with_naive_backtracker(
+        ast in ast_strategy(),
+        input in "[abcd]{0,8}",
+    ) {
+        let pattern = render(&ast);
+        let parsed = parser::parse(&pattern)
+            .unwrap_or_else(|e| panic!("render produced unparsable `{pattern}`: {e}"));
+        let re = Regex::new(&pattern).unwrap();
+        let expected = naive_is_match(&parsed, &input);
+        prop_assert_eq!(
+            re.is_match(&input),
+            expected,
+            "pattern `{}` on input `{}`",
+            pattern,
+            input
+        );
+    }
+
+    #[test]
+    fn find_is_consistent_with_is_match(
+        ast in ast_strategy(),
+        input in "[abcd]{0,8}",
+    ) {
+        let re = Regex::new(&render(&ast)).unwrap();
+        let found = re.find(&input);
+        prop_assert_eq!(found.is_some(), re.is_match(&input));
+        if let Some((s, e)) = found {
+            prop_assert!(s <= e && e <= input.len());
+            prop_assert!(input.is_char_boundary(s) && input.is_char_boundary(e));
+        }
+    }
+
+    #[test]
+    fn literal_patterns_match_like_contains(
+        needle in "[ab]{1,4}",
+        hay in "[abc]{0,10}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn arbitrary_pattern_strings_never_panic(pattern in ".{0,20}", input in ".{0,20}") {
+        // Compilation may fail, matching must never panic.
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&input);
+            let _ = re.find(&input);
+        }
+    }
+}

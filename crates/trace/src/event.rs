@@ -1,0 +1,75 @@
+//! Trace events and their symbol encoding.
+
+use crate::registry::FnId;
+
+/// One entry of a per-thread ParLOT trace: the call or return of an
+/// instrumented function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// Entry into a function.
+    Call(FnId),
+    /// Exit from a function.
+    Return(FnId),
+}
+
+impl TraceEvent {
+    /// The function this event refers to.
+    pub fn fn_id(self) -> FnId {
+        match self {
+            TraceEvent::Call(f) | TraceEvent::Return(f) => f,
+        }
+    }
+
+    /// Is this a call event?
+    pub fn is_call(self) -> bool {
+        matches!(self, TraceEvent::Call(_))
+    }
+
+    /// Is this a return event?
+    pub fn is_return(self) -> bool {
+        matches!(self, TraceEvent::Return(_))
+    }
+
+    /// Encode into a single `u32` symbol for the compressor:
+    /// `fn_id << 1 | return_bit`.
+    pub fn to_symbol(self) -> u32 {
+        match self {
+            TraceEvent::Call(f) => f.0 << 1,
+            TraceEvent::Return(f) => (f.0 << 1) | 1,
+        }
+    }
+
+    /// Decode a symbol produced by [`TraceEvent::to_symbol`].
+    pub fn from_symbol(sym: u32) -> TraceEvent {
+        let f = FnId(sym >> 1);
+        if sym & 1 == 0 {
+            TraceEvent::Call(f)
+        } else {
+            TraceEvent::Return(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_round_trip() {
+        for raw in [0u32, 1, 2, 1000, (1 << 30) - 1] {
+            for ev in [TraceEvent::Call(FnId(raw)), TraceEvent::Return(FnId(raw))] {
+                assert_eq!(TraceEvent::from_symbol(ev.to_symbol()), ev);
+            }
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        let c = TraceEvent::Call(FnId(7));
+        let r = TraceEvent::Return(FnId(7));
+        assert!(c.is_call() && !c.is_return());
+        assert!(r.is_return() && !r.is_call());
+        assert_eq!(c.fn_id(), r.fn_id());
+        assert_ne!(c.to_symbol(), r.to_symbol());
+    }
+}

@@ -1,0 +1,62 @@
+//! `dt-trace` — ParLOT-style whole-program function-call tracing.
+//!
+//! The DiffTrace paper collects its input with **ParLOT** (Taheri et al.,
+//! ESPT 2018): a Pin-based binary instrumentation tool that records, per
+//! thread, the sequence of *function call and return* events, compressed
+//! on the fly (ratios beyond 21,000×, a few KB/s per core).
+//!
+//! This crate is the reproduction's substitute for ParLOT + Pin. Instead
+//! of dynamic binary instrumentation it provides an explicit
+//! instrumentation API with the **same observable output**: per-thread
+//! streams of function-ID call/return events.
+//!
+//! * [`FunctionRegistry`] interns function names to dense [`FnId`]s —
+//!   the moral equivalent of Pin's image/function tables.
+//! * [`Tracer`] is a per-thread recording handle. Scope guards
+//!   ([`Tracer::enter`]) pair calls with returns; [`Tracer::poison`]
+//!   models a killed/deadlocked thread whose trace is truncated
+//!   mid-call, which is exactly the signature DiffTrace exploits to spot
+//!   hangs ("the last entry is a call that never returned").
+//! * [`TraceCollector`] gathers finished per-thread traces into a
+//!   [`TraceSet`].
+//! * [`compress`] implements the on-the-fly trace compressor: an
+//!   LZ-style coder specialised for extremely repetitive (loopy) symbol
+//!   streams; [`store`] is the on-disk format (ParLOT's trace files).
+//! * [`stats`] reproduces the §V trace statistics (distinct functions,
+//!   compressed bytes per thread, calls per process).
+//!
+//! # Example
+//!
+//! ```
+//! use dt_trace::{FunctionRegistry, TraceCollector, TraceId};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(FunctionRegistry::new());
+//! let collector = TraceCollector::shared(registry.clone());
+//!
+//! let tracer = collector.tracer(TraceId::new(0, 0));
+//! {
+//!     let _main = tracer.enter("main");
+//!     let _init = tracer.enter("MPI_Init");
+//! } // scopes close in order: returns recorded
+//! tracer.finish();
+//!
+//! let set = collector.into_trace_set();
+//! let trace = set.get(TraceId::new(0, 0)).unwrap();
+//! assert_eq!(trace.events.len(), 4); // 2 calls + 2 returns
+//! ```
+
+pub mod collector;
+pub mod compress;
+pub mod event;
+pub mod registry;
+pub mod stats;
+pub mod store;
+pub mod trace;
+
+pub use collector::{TraceCollector, Tracer};
+pub use compress::StreamCompressor;
+pub use event::TraceEvent;
+pub use registry::{FnId, FunctionRegistry};
+pub use stats::{ProcessStats, TraceSetStats, TraceStats};
+pub use trace::{Trace, TraceId, TraceSet};

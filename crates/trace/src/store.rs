@@ -1,0 +1,331 @@
+//! On-disk trace-set format (ParLOT's trace files).
+//!
+//! One execution serialises to a single self-describing binary file:
+//!
+//! ```text
+//! "DTTS" ∥ version:u8
+//! registry: varint count ∥ (varint len ∥ utf8 bytes)*
+//! traces:   varint count ∥ (process:varint ∥ thread:varint ∥
+//!                           truncated:u8 ∥ varint blob_len ∥ blob)*
+//! ```
+//!
+//! where each `blob` is the [`crate::compress`] encoding of the trace's
+//! symbol stream — traces are stored *compressed*, exactly as ParLOT
+//! writes them, and decompressed by DiffTrace's pre-processing stage.
+
+use crate::compress::{self, read_varint, write_varint, CodecError};
+use crate::registry::FunctionRegistry;
+use crate::trace::{Trace, TraceId, TraceSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"DTTS";
+const VERSION: u8 = 1;
+
+/// Error reading a trace-set file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the file.
+    Format(&'static str),
+    /// A per-trace blob failed to decompress.
+    Codec(CodecError),
+    /// Embedded string was not UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store I/O error: {e}"),
+            StoreError::Format(m) => write!(f, "trace store format error: {m}"),
+            StoreError::Codec(e) => write!(f, "trace store codec error: {e}"),
+            StoreError::Utf8 => write!(f, "trace store contains invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> StoreError {
+        match e {
+            CodecError::Truncated => StoreError::Format("truncated blob"),
+            other => StoreError::Codec(other),
+        }
+    }
+}
+
+/// Serialise a trace set to bytes (traces stored compressed).
+pub fn to_bytes(set: &TraceSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+
+    let names = set.registry.names();
+    write_varint(&mut out, names.len() as u64);
+    for n in &names {
+        write_varint(&mut out, n.len() as u64);
+        out.extend_from_slice(n.as_bytes());
+    }
+
+    write_varint(&mut out, set.len() as u64);
+    for t in set.iter() {
+        write_varint(&mut out, u64::from(t.id.process));
+        write_varint(&mut out, u64::from(t.id.thread));
+        out.push(u8::from(t.truncated));
+        let blob = compress::compress(&t.to_symbols());
+        write_varint(&mut out, blob.len() as u64);
+        out.extend_from_slice(&blob);
+    }
+    out
+}
+
+/// Deserialise a trace set from bytes.
+pub fn from_bytes(buf: &[u8]) -> Result<TraceSet, StoreError> {
+    if buf.len() < 5 {
+        return Err(StoreError::Format("file too short"));
+    }
+    if &buf[..4] != MAGIC {
+        return Err(StoreError::Format("bad magic (not a DTTS file)"));
+    }
+    if buf[4] != VERSION {
+        return Err(StoreError::Format("unsupported DTTS version"));
+    }
+    let mut at = 5usize;
+
+    let n_names = read_varint(buf, &mut at)? as usize;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        let len = read_varint(buf, &mut at)? as usize;
+        let bytes = buf
+            .get(at..at + len)
+            .ok_or(StoreError::Format("name overruns file"))?;
+        at += len;
+        names.push(String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Utf8)?);
+    }
+    let registry = Arc::new(FunctionRegistry::from_names(names));
+
+    let n_traces = read_varint(buf, &mut at)? as usize;
+    let mut set = TraceSet::new(registry);
+    for _ in 0..n_traces {
+        let process = read_varint(buf, &mut at)? as u32;
+        let thread = read_varint(buf, &mut at)? as u32;
+        let truncated = match buf.get(at) {
+            Some(0) => false,
+            Some(1) => true,
+            Some(_) => return Err(StoreError::Format("bad truncated flag")),
+            None => return Err(StoreError::Format("file ends mid-trace")),
+        };
+        at += 1;
+        let blob_len = read_varint(buf, &mut at)? as usize;
+        let blob = buf
+            .get(at..at + blob_len)
+            .ok_or(StoreError::Format("blob overruns file"))?;
+        at += blob_len;
+        let symbols = compress::decompress(blob)?;
+        set.insert(Trace::from_symbols(
+            TraceId::new(process, thread),
+            &symbols,
+            truncated,
+        ));
+    }
+    Ok(set)
+}
+
+/// Write a trace set to `path`.
+pub fn save(set: &TraceSet, path: &Path) -> Result<(), StoreError> {
+    std::fs::write(path, to_bytes(set))?;
+    Ok(())
+}
+
+/// Read a trace set from `path`.
+pub fn load(path: &Path) -> Result<TraceSet, StoreError> {
+    let buf = std::fs::read(path)?;
+    from_bytes(&buf)
+}
+
+const THREAD_MAGIC: &[u8; 4] = b"DTT1";
+const REGISTRY_FILE: &str = "functions.dtfn";
+
+/// Write a trace set as a directory — ParLOT's actual on-disk layout:
+/// one compressed file per thread (`<process>.<thread>.dtt`) plus a
+/// shared function-name table.
+pub fn save_dir(set: &TraceSet, dir: &Path) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir)?;
+    // Name table.
+    let mut reg = Vec::new();
+    let names = set.registry.names();
+    write_varint(&mut reg, names.len() as u64);
+    for n in &names {
+        write_varint(&mut reg, n.len() as u64);
+        reg.extend_from_slice(n.as_bytes());
+    }
+    std::fs::write(dir.join(REGISTRY_FILE), reg)?;
+    // Per-thread files.
+    for t in set.iter() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(THREAD_MAGIC);
+        buf.push(u8::from(t.truncated));
+        buf.extend_from_slice(&compress::compress(&t.to_symbols()));
+        std::fs::write(dir.join(format!("{}.{}.dtt", t.id.process, t.id.thread)), buf)?;
+    }
+    Ok(())
+}
+
+/// Read a trace set back from a [`save_dir`] directory.
+pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
+    let reg_buf = std::fs::read(dir.join(REGISTRY_FILE))?;
+    let mut at = 0usize;
+    let n_names = read_varint(&reg_buf, &mut at)? as usize;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        let len = read_varint(&reg_buf, &mut at)? as usize;
+        let bytes = reg_buf
+            .get(at..at + len)
+            .ok_or(StoreError::Format("name overruns registry file"))?;
+        at += len;
+        names.push(String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Utf8)?);
+    }
+    let registry = Arc::new(FunctionRegistry::from_names(names));
+    let mut set = TraceSet::new(registry);
+
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".dtt") else {
+            continue;
+        };
+        let Some((p, t)) = stem.split_once('.') else {
+            return Err(StoreError::Format("trace file name is not <p>.<t>.dtt"));
+        };
+        let (process, thread) = (
+            p.parse::<u32>()
+                .map_err(|_| StoreError::Format("bad process id in file name"))?,
+            t.parse::<u32>()
+                .map_err(|_| StoreError::Format("bad thread id in file name"))?,
+        );
+        let buf = std::fs::read(entry.path())?;
+        if buf.len() < 5 || &buf[..4] != THREAD_MAGIC {
+            return Err(StoreError::Format("bad per-thread trace file header"));
+        }
+        let truncated = match buf[4] {
+            0 => false,
+            1 => true,
+            _ => return Err(StoreError::Format("bad truncated flag")),
+        };
+        let symbols = compress::decompress(&buf[5..])?;
+        set.insert(Trace::from_symbols(
+            TraceId::new(process, thread),
+            &symbols,
+            truncated,
+        ));
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn sample_set() -> TraceSet {
+        let reg = Arc::new(FunctionRegistry::new());
+        let mut set = TraceSet::new(reg.clone());
+        for p in 0..3u32 {
+            let mut t = Trace::new(TraceId::new(p, 0));
+            let main = reg.intern("main");
+            let send = reg.intern("MPI_Send");
+            t.events.push(TraceEvent::Call(main));
+            for _ in 0..100 {
+                t.events.push(TraceEvent::Call(send));
+                t.events.push(TraceEvent::Return(send));
+            }
+            if p == 2 {
+                t.truncated = true; // simulate a killed rank
+            } else {
+                t.events.push(TraceEvent::Return(main));
+            }
+            set.insert(t);
+        }
+        set
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let set = sample_set();
+        let bytes = to_bytes(&set);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), set.len());
+        assert_eq!(back.registry.names(), set.registry.names());
+        for t in set.iter() {
+            let bt = back.get(t.id).unwrap();
+            assert_eq!(bt.events, t.events);
+            assert_eq!(bt.truncated, t.truncated);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exec.dtts");
+        save(&set, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_dir(&set, &dir).unwrap();
+        // One file per thread plus the registry.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, set.len() + 1);
+        let back = load_dir(&dir).unwrap();
+        assert_eq!(back.len(), set.len());
+        assert_eq!(back.registry.names(), set.registry.names());
+        for t in set.iter() {
+            let bt = back.get(t.id).unwrap();
+            assert_eq!(bt.events, t.events);
+            assert_eq!(bt.truncated, t.truncated);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_rejects_garbage() {
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_bad");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing registry file.
+        assert!(load_dir(&dir).is_err());
+        std::fs::write(dir.join(REGISTRY_FILE), [0u8]).unwrap(); // 0 names
+        std::fs::write(dir.join("0.0.dtt"), b"XXXX\x00junk").unwrap();
+        assert!(load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        assert!(from_bytes(b"").is_err());
+        assert!(from_bytes(b"XXXX\x01").is_err());
+        assert!(from_bytes(b"DTTS\x07").is_err());
+        let mut good = to_bytes(&sample_set());
+        good.truncate(good.len() / 2);
+        assert!(from_bytes(&good).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Traces, trace identifiers, and collections of traces.
+
+use crate::event::TraceEvent;
+use crate::registry::FunctionRegistry;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one traced thread: MPI process (rank) and thread index
+/// within it. Displayed as `"p.t"`, matching the paper's ranking tables
+/// (e.g. trace `6.4` = process 6, thread 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId {
+    /// MPI rank.
+    pub process: u32,
+    /// Thread index within the rank; 0 is the master thread.
+    pub thread: u32,
+}
+
+impl TraceId {
+    /// Construct from rank and thread index.
+    pub fn new(process: u32, thread: u32) -> TraceId {
+        TraceId { process, thread }
+    }
+
+    /// The master-thread trace of a rank.
+    pub fn master(process: u32) -> TraceId {
+        TraceId::new(process, 0)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.process, self.thread)
+    }
+}
+
+/// One per-thread trace: an ordered sequence of call/return events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Which process/thread produced it.
+    pub id: TraceId,
+    /// The recorded events, in program order.
+    pub events: Vec<TraceEvent>,
+    /// True if the thread was aborted (deadlock/job kill) — its last
+    /// call(s) have no matching return.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// An empty trace for `id`.
+    pub fn new(id: TraceId) -> Trace {
+        Trace {
+            id,
+            events: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Only the call events (ParLOT's "filter out all returns" view).
+    pub fn calls(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.events.iter().copied().filter(|e| e.is_call())
+    }
+
+    /// Validate call/return nesting: every return must match the
+    /// innermost open call, and a non-truncated trace must close every
+    /// call. Returns the violations (index + description) — empty for
+    /// a well-formed trace. A truncated trace may legitimately leave
+    /// calls open (the hang signature), so open frames are only
+    /// reported when `truncated` is false.
+    pub fn validate_nesting(&self) -> Vec<(usize, String)> {
+        let mut stack: Vec<crate::registry::FnId> = Vec::new();
+        let mut problems = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                TraceEvent::Call(f) => stack.push(*f),
+                TraceEvent::Return(f) => match stack.pop() {
+                    Some(open) if open == *f => {}
+                    Some(open) => problems.push((
+                        i,
+                        format!(
+                            "return from fn#{} while fn#{} is innermost",
+                            f.0, open.0
+                        ),
+                    )),
+                    None => {
+                        problems.push((i, format!("return from fn#{} with no open call", f.0)))
+                    }
+                },
+            }
+        }
+        if !self.truncated && !stack.is_empty() {
+            problems.push((
+                self.events.len(),
+                format!("{} call(s) never returned in a non-truncated trace", stack.len()),
+            ));
+        }
+        problems
+    }
+
+    /// Encode to the symbol stream consumed by the compressor.
+    pub fn to_symbols(&self) -> Vec<u32> {
+        self.events.iter().map(|e| e.to_symbol()).collect()
+    }
+
+    /// Rebuild from a symbol stream.
+    pub fn from_symbols(id: TraceId, symbols: &[u32], truncated: bool) -> Trace {
+        Trace {
+            id,
+            events: symbols.iter().map(|&s| TraceEvent::from_symbol(s)).collect(),
+            truncated,
+        }
+    }
+}
+
+/// All traces of one execution plus the shared function-name table.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    /// Shared name table.
+    pub registry: Arc<FunctionRegistry>,
+    traces: BTreeMap<TraceId, Trace>,
+}
+
+impl TraceSet {
+    /// An empty set over `registry`.
+    pub fn new(registry: Arc<FunctionRegistry>) -> TraceSet {
+        TraceSet {
+            registry,
+            traces: BTreeMap::new(),
+        }
+    }
+
+    /// Insert (or replace) a trace.
+    pub fn insert(&mut self, trace: Trace) {
+        self.traces.insert(trace.id, trace);
+    }
+
+    /// Fetch a trace by ID.
+    pub fn get(&self, id: TraceId) -> Option<&Trace> {
+        self.traces.get(&id)
+    }
+
+    /// All traces in `TraceId` order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.values()
+    }
+
+    /// All trace IDs in order.
+    pub fn ids(&self) -> Vec<TraceId> {
+        self.traces.keys().copied().collect()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True if the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Distinct process (rank) IDs present.
+    pub fn processes(&self) -> Vec<u32> {
+        let mut ps: Vec<u32> = self.traces.keys().map(|t| t.process).collect();
+        ps.dedup();
+        ps
+    }
+
+    /// Traces belonging to one process, in thread order.
+    pub fn process_traces(&self, process: u32) -> Vec<&Trace> {
+        self.traces
+            .values()
+            .filter(|t| t.id.process == process)
+            .collect()
+    }
+
+    /// Human-readable rendering of a trace: one event per line, calls as
+    /// the function name, returns as `ret <name>` (used by examples and
+    /// tests; mirrors the paper's Table II).
+    pub fn render(&self, id: TraceId) -> Option<String> {
+        let t = self.traces.get(&id)?;
+        let mut out = String::new();
+        for e in &t.events {
+            match e {
+                TraceEvent::Call(f) => {
+                    out.push_str(&self.registry.name(*f));
+                    out.push('\n');
+                }
+                TraceEvent::Return(f) => {
+                    out.push_str("ret ");
+                    out.push_str(&self.registry.name(*f));
+                    out.push('\n');
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FnId;
+
+    fn set_with(id: TraceId, names: &[&str]) -> TraceSet {
+        let reg = Arc::new(FunctionRegistry::new());
+        let mut t = Trace::new(id);
+        for n in names {
+            let f = reg.intern(n);
+            t.events.push(TraceEvent::Call(f));
+            t.events.push(TraceEvent::Return(f));
+        }
+        let mut s = TraceSet::new(reg);
+        s.insert(t);
+        s
+    }
+
+    #[test]
+    fn trace_id_display_matches_paper() {
+        assert_eq!(TraceId::new(6, 4).to_string(), "6.4");
+        assert_eq!(TraceId::master(3).to_string(), "3.0");
+    }
+
+    #[test]
+    fn symbol_round_trip_preserves_trace() {
+        let s = set_with(TraceId::new(0, 0), &["main", "MPI_Init", "MPI_Finalize"]);
+        let t = s.get(TraceId::new(0, 0)).unwrap();
+        let syms = t.to_symbols();
+        let back = Trace::from_symbols(t.id, &syms, t.truncated);
+        assert_eq!(&back, t);
+    }
+
+    #[test]
+    fn calls_filters_returns() {
+        let s = set_with(TraceId::new(1, 2), &["a", "b"]);
+        let t = s.get(TraceId::new(1, 2)).unwrap();
+        assert_eq!(t.len(), 4);
+        let calls: Vec<_> = t.calls().collect();
+        assert_eq!(calls.len(), 2);
+        assert!(calls.iter().all(|e| e.is_call()));
+    }
+
+    #[test]
+    fn set_ordering_and_process_queries() {
+        let reg = Arc::new(FunctionRegistry::new());
+        let mut s = TraceSet::new(reg);
+        for (p, t) in [(1, 0), (0, 1), (0, 0), (1, 1)] {
+            s.insert(Trace::new(TraceId::new(p, t)));
+        }
+        assert_eq!(
+            s.ids(),
+            vec![
+                TraceId::new(0, 0),
+                TraceId::new(0, 1),
+                TraceId::new(1, 0),
+                TraceId::new(1, 1)
+            ]
+        );
+        assert_eq!(s.processes(), vec![0, 1]);
+        assert_eq!(s.process_traces(1).len(), 2);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn nesting_validation() {
+        let reg = Arc::new(FunctionRegistry::new());
+        let a = reg.intern("a");
+        let b = reg.intern("b");
+        // Well formed: a { b } .
+        let mut t = Trace::new(TraceId::new(0, 0));
+        t.events = vec![
+            TraceEvent::Call(a),
+            TraceEvent::Call(b),
+            TraceEvent::Return(b),
+            TraceEvent::Return(a),
+        ];
+        assert!(t.validate_nesting().is_empty());
+        // Crossed returns.
+        let mut t2 = Trace::new(TraceId::new(0, 0));
+        t2.events = vec![
+            TraceEvent::Call(a),
+            TraceEvent::Call(b),
+            TraceEvent::Return(a),
+        ];
+        let probs = t2.validate_nesting();
+        assert!(probs.iter().any(|(_, m)| m.contains("innermost")), "{probs:?}");
+        // Open call: allowed only for truncated traces.
+        let mut t3 = Trace::new(TraceId::new(0, 0));
+        t3.events = vec![TraceEvent::Call(a)];
+        assert_eq!(t3.validate_nesting().len(), 1);
+        t3.truncated = true;
+        assert!(t3.validate_nesting().is_empty());
+        // Return with nothing open.
+        let mut t4 = Trace::new(TraceId::new(0, 0));
+        t4.events = vec![TraceEvent::Return(a)];
+        assert!(t4.validate_nesting()[0].1.contains("no open call"));
+    }
+
+    #[test]
+    fn render_shows_calls_and_returns() {
+        let s = set_with(TraceId::new(0, 0), &["main"]);
+        let r = s.render(TraceId::new(0, 0)).unwrap();
+        assert_eq!(r, "main\nret main\n");
+        assert!(s.render(TraceId::new(9, 9)).is_none());
+        let _ = FnId(0); // silence unused import in some cfgs
+    }
+}

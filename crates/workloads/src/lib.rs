@@ -1,0 +1,36 @@
+//! `workloads` — the instrumented MPI/OpenMP programs of the paper's
+//! evaluation, with fault injection.
+//!
+//! Three workloads, each a faithful structural model of the paper's:
+//!
+//! * [`oddeven`] — the §II walk-through: textbook MPI odd/even
+//!   transposition sort (Figure 2) with the *swapBug* (reordered
+//!   Send/Recv) and *dlBug* (real deadlock) faults planted in rank 5
+//!   after the seventh iteration.
+//! * [`ilcs`] — the §IV case study: the ILCS iterative-local-search
+//!   framework (Burtscher & Rabeti) running a real 2-opt TSP solver
+//!   ([`tsp`]) under a master/worker MPI+OpenMP structure matching
+//!   Listing 1, with the three §IV faults: an unprotected critical
+//!   section, a wrong-size collective (deadlock), and a wrong
+//!   collective operation (silent semantic change).
+//! * [`lulesh`] — the §V example: a structural proxy of the LULESH2
+//!   shock-hydro miniapp — the real phase call tree (LagrangeLeapFrog →
+//!   nodal/element subphases), parametric per-region kernel families
+//!   (~400 distinct traced functions), MPI halo exchange, OpenMP worker
+//!   teams — with the §V fault (rank 2 skips `LagrangeLeapFrog`).
+//!
+//! Each workload exposes `run_*(config, registry) → RunOutcome`; run
+//! the same config twice (one with `fault: None`) against a **shared
+//! registry** to produce an aligned normal/faulty trace pair for
+//! DiffTrace.
+
+pub mod ilcs;
+pub mod lulesh;
+pub mod oddeven;
+pub mod stencil;
+pub mod tsp;
+
+pub use ilcs::{run_ilcs, IlcsConfig, IlcsFault};
+pub use lulesh::{run_lulesh, LuleshConfig, LuleshFault};
+pub use oddeven::{run_oddeven, OddEvenConfig, OddEvenFault};
+pub use stencil::{run_stencil, StencilConfig, StencilFault};

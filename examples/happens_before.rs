@@ -1,0 +1,43 @@
+//! Happens-before mining on a deadlocked run — the paper's §VII-2
+//! future-work extension (logical timestamps / OTF2-style event logs /
+//! PRODOMETER-style progress triage).
+//!
+//! ```text
+//! cargo run --release --example happens_before
+//! ```
+
+use dt_trace::FunctionRegistry;
+use std::sync::Arc;
+use workloads::{run_oddeven, OddEvenConfig};
+
+fn main() {
+    // The §II-G dlBug: rank 5 receives on a tag nobody sends.
+    let out = run_oddeven(
+        &OddEvenConfig::paper(Some(OddEvenConfig::dl_bug())),
+        Arc::new(FunctionRegistry::new()),
+    );
+    assert!(out.deadlocked);
+
+    println!("== OTF2-style causally-stamped event log (tail) ==");
+    let log = out.hb.to_event_log();
+    for line in log.lines().rev().take(12).collect::<Vec<_>>().iter().rev() {
+        println!("{line}");
+    }
+
+    println!("\ntotal MPI events logged: {}", out.hb.len());
+
+    println!("\n== last event per rank ==");
+    for (p, e) in out.hb.last_event_per_rank().iter().enumerate() {
+        if let Some(e) = e {
+            println!("rank {p:>2}: {:<14} lamport t={}", e.name, e.vc.lamport());
+        }
+    }
+
+    let least = out.hb.least_progressed_ranks();
+    println!(
+        "\nleast-progressed (causally minimal) ranks: {least:?}\n\
+         — the stall's origin neighbourhood; rank 5's bogus receive\n\
+         keeps its neighbours (and transitively everyone) from passing\n\
+         their next exchange, so the minimal frontier sits around it."
+    );
+}

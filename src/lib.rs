@@ -1,0 +1,2 @@
+//! Umbrella crate re-exporting the DiffTrace reproduction workspace.
+pub use difftrace; pub use workloads; pub use mpisim;

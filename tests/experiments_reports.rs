@@ -1,0 +1,109 @@
+//! Integration: every `expers` experiment report regenerates and
+//! contains its paper artifact's signature content.
+
+use difftrace_bench::experiments as ex;
+
+#[test]
+fn e1_reproduces_tables_ii_and_iii() {
+    let r = ex::e1_traces_and_nlr();
+    assert!(r.contains("oddEvenSort"));
+    assert!(r.contains("L0 ^ 2"));
+    assert!(r.contains("L1 ^ 4"));
+    assert!(r.contains("L0 ^ 4"));
+    assert!(r.contains("L1 ^ 2"));
+    assert!(r.contains("[MPI_Send - MPI_Recv]"));
+    assert!(r.contains("[MPI_Recv - MPI_Send]"));
+}
+
+#[test]
+fn e2_reproduces_table_iv_and_figure_3() {
+    let r = ex::e2_context_and_lattice();
+    assert!(r.contains("MPI_Finalize"));
+    assert!(r.contains('×'));
+    assert!(r.contains("concepts: 4"));
+    assert!(r.contains("top extent: 4"));
+}
+
+#[test]
+fn e3_reproduces_figure_4() {
+    let r = ex::e3_jsm_heatmap();
+    assert!(r.contains("0.6667"));
+    assert!(r.contains("1.0000"));
+}
+
+#[test]
+fn e4_reproduces_figures_5_and_6() {
+    let r = ex::e4_diffnlr_oddeven();
+    assert!(r.contains("- L1 ^ 16"));
+    assert!(r.contains("+ L1 ^ 7"));
+    assert!(r.contains("+ L0 ^ 9"));
+    assert!(r.contains("truncated"));
+    assert!(r.contains("- MPI_Finalize"));
+}
+
+#[test]
+fn e5_reproduces_table_vi_shape() {
+    let r = ex::e5_ilcs_ompcrit();
+    assert!(r.contains("6.4"), "trace 6.4 must appear as top suspect");
+    assert!(r.contains("ompcrit"));
+    assert!(r.contains("- GOMP_critical_start"));
+}
+
+#[test]
+fn e6_reproduces_table_vii_shape() {
+    let r = ex::e6_ilcs_collsize();
+    assert!(r.contains("+ MPI_Allreduce"));
+    assert!(r.contains("truncated"));
+}
+
+#[test]
+fn e7_reproduces_table_viii_shape() {
+    let r = ex::e7_ilcs_wrongop();
+    assert!(r.contains("Figure 7c"));
+    // The champion-round loop count grows in the faulty run.
+    assert!(r.contains("- L"));
+    assert!(r.contains("+ L"));
+}
+
+#[test]
+fn e9_reproduces_table_ix_shape() {
+    let r = ex::e9_lulesh_ranking();
+    assert!(r.contains("Table IX"));
+    assert!(r.contains("truncated"));
+}
+
+#[test]
+fn e10_classifies_bug_families() {
+    let r = ex::e10_bug_classification();
+    for class in ["hang", "reorder", "missing-sync", "semantic-drift"] {
+        assert!(r.contains(class), "class {class} missing from report");
+    }
+    // Extract "correct/total" from the accuracy line and require a
+    // strong majority (the features must be genuinely separating).
+    let line = r
+        .lines()
+        .find(|l| l.contains("leave-one-out"))
+        .expect("accuracy line");
+    let frac = line
+        .split_whitespace()
+        .find(|w| w.contains('/'))
+        .expect("x/y token");
+    let (c, t) = frac.split_once('/').unwrap();
+    let c: f64 = c.parse().unwrap();
+    let t: f64 = t.parse().unwrap();
+    assert!(
+        c / t >= 0.8,
+        "classification accuracy regressed: {c}/{t}\n{r}"
+    );
+}
+
+#[test]
+fn e11_caller_callee_attributes_also_pin_the_bug() {
+    let r = ex::e11_attribute_ablation();
+    assert!(r.contains("ctxt.actual"));
+    assert!(r.contains("ctxt.noFreq"));
+    assert!(
+        r.contains("9/9 attribute configurations"),
+        "every attribute kind must flag 6.4:\n{r}"
+    );
+}

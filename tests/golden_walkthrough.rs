@@ -1,0 +1,68 @@
+//! Golden-output test: the §II walk-through experiments are fully
+//! deterministic, so their reports must match these snapshots exactly.
+//! A diff here means the reproduction of Tables II-IV / Figures 3-4
+//! changed — review deliberately.
+
+use difftrace_bench::experiments as ex;
+
+#[test]
+fn e1_table_iii_is_bit_stable() {
+    let r = ex::e1_traces_and_nlr();
+    let expected_nlr = "\
+== Table III: NLR of MPI-filtered traces (K=10) ==
+T0: MPI_Init · MPI_Comm_rank · MPI_Comm_size · L0 ^ 2 · MPI_Finalize
+T1: MPI_Init · MPI_Comm_rank · MPI_Comm_size · L1 ^ 4 · MPI_Finalize
+T2: MPI_Init · MPI_Comm_rank · MPI_Comm_size · L0 ^ 4 · MPI_Finalize
+T3: MPI_Init · MPI_Comm_rank · MPI_Comm_size · L1 ^ 2 · MPI_Finalize
+
+Loop bodies:
+L0 = [MPI_Send - MPI_Recv]
+L1 = [MPI_Recv - MPI_Send]
+";
+    assert!(
+        r.contains(expected_nlr),
+        "Table III snapshot changed:\n{r}"
+    );
+}
+
+#[test]
+fn e3_jsm_csv_is_bit_stable() {
+    let r = ex::e3_jsm_heatmap();
+    let expected_csv = "\
+trace,0.0,1.0,2.0,3.0
+0.0,1.0000,0.6667,1.0000,0.6667
+1.0,0.6667,1.0000,0.6667,1.0000
+2.0,1.0000,0.6667,1.0000,0.6667
+3.0,0.6667,1.0000,0.6667,1.0000
+";
+    assert!(r.contains(expected_csv), "Figure 4 snapshot changed:\n{r}");
+}
+
+#[test]
+fn e2_lattice_is_bit_stable() {
+    let r = ex::e2_context_and_lattice();
+    for line in [
+        "({0.0, 1.0, 2.0, 3.0}, {MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init})",
+        "({0.0, 2.0}, {L0, MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init})",
+        "({1.0, 3.0}, {MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init, L1})",
+        "({}, {L0, MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init, L1})",
+    ] {
+        assert!(r.contains(line), "lattice snapshot changed: missing {line}\n{r}");
+    }
+}
+
+#[test]
+fn e4_figure_5_is_bit_stable() {
+    let r = ex::e4_diffnlr_oddeven();
+    let expected = "\
+diffNLR(5.0)  [= common | - normal only | + faulty only]
+  = MPI_Init
+  = MPI_Comm_rank
+  = MPI_Comm_size
+  - L1 ^ 16
+  + L1 ^ 7
+  + L0 ^ 9
+  = MPI_Finalize
+";
+    assert!(r.contains(expected), "Figure 5 snapshot changed:\n{r}");
+}

@@ -1,0 +1,70 @@
+//! Substrate sanity: every healthy workload run must produce perfectly
+//! nested call/return traces (Pin would); faulty runs may only leave
+//! open frames in truncated traces.
+
+use dt_trace::FunctionRegistry;
+use std::sync::Arc;
+use workloads::*;
+
+fn assert_well_formed(set: &dt_trace::TraceSet, what: &str) {
+    for t in set.iter() {
+        let problems = t.validate_nesting();
+        assert!(
+            problems.is_empty(),
+            "{what}: trace {} has nesting violations: {problems:?}",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn all_healthy_workloads_are_well_nested() {
+    let reg = || Arc::new(FunctionRegistry::new());
+    assert_well_formed(
+        &run_oddeven(&OddEvenConfig::paper(None), reg()).traces,
+        "oddeven",
+    );
+    assert_well_formed(&run_ilcs(&IlcsConfig::paper(None), reg()).traces, "ilcs");
+    assert_well_formed(
+        &run_lulesh(&LuleshConfig::paper(None), reg()).traces,
+        "lulesh",
+    );
+    assert_well_formed(
+        &run_stencil(&StencilConfig::default_8(), reg()).0.traces,
+        "stencil",
+    );
+}
+
+#[test]
+fn deadlocked_runs_are_well_nested_modulo_truncation() {
+    let out = run_oddeven(
+        &OddEvenConfig::paper(Some(OddEvenConfig::dl_bug())),
+        Arc::new(FunctionRegistry::new()),
+    );
+    assert!(out.deadlocked);
+    // validate_nesting already exempts truncated traces from the
+    // open-frame check; crossed returns must still never happen.
+    assert_well_formed(&out.traces, "oddeven-dl");
+}
+
+#[test]
+fn internals_mode_traces_are_well_nested_too() {
+    use mpisim::{run, ReduceOp, SimConfig};
+    let out = run(
+        SimConfig::new(3).with_internals(),
+        Arc::new(FunctionRegistry::new()),
+        |rank| {
+            rank.init()?;
+            let r = rank.rank();
+            if r == 0 {
+                rank.send(1, 0, &[1; 64])?; // rendezvous
+            } else if r == 1 {
+                let _ = rank.recv(0, 0)?;
+            }
+            let _ = rank.allreduce(&[1], ReduceOp::Sum)?;
+            rank.finalize()
+        },
+    );
+    assert!(!out.deadlocked, "{:?}", out.errors);
+    assert_well_formed(&out.traces, "internals");
+}
