@@ -11,7 +11,11 @@ fn jsm_like(n: usize, perturb: bool) -> CondensedMatrix {
         let (ci, cj) = (i % 4, j % 4);
         let base = if ci == cj { 0.1 } else { 0.7 };
         let noise = ((i * 31 + j * 17) % 10) as f64 / 100.0;
-        let bump = if perturb && (i == 5 || j == 5) { 0.4 } else { 0.0 };
+        let bump = if perturb && (i == 5 || j == 5) {
+            0.4
+        } else {
+            0.0
+        };
         (base + noise + bump).min(1.0)
     })
 }
@@ -46,7 +50,6 @@ fn bench_cluster(c: &mut Criterion) {
     );
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -55,5 +58,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_cluster}
+criterion_group! {name = benches; config = short(); targets = bench_cluster}
 criterion_main!(benches);

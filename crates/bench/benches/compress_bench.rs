@@ -55,11 +55,12 @@ fn bench_compress(c: &mut Criterion) {
         let s = CompressionStats::measure(&data, &blob);
         eprintln!(
             "[compress] {name}: {} symbols -> {} bytes (ratio {:.0}×)",
-            s.symbols, s.compressed_bytes, s.ratio()
+            s.symbols,
+            s.compressed_bytes,
+            s.ratio()
         );
     }
 }
-
 
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
@@ -69,5 +70,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_compress}
+criterion_group! {name = benches; config = short(); targets = bench_compress}
 criterion_main!(benches);

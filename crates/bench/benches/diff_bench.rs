@@ -34,7 +34,6 @@ fn bench_diff(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -43,5 +42,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_diff}
+criterion_group! {name = benches; config = short(); targets = bench_diff}
 criterion_main!(benches);

@@ -35,7 +35,13 @@ fn bench_fca(c: &mut Criterion) {
     for n in [8usize, 16, 32, 64] {
         let ctx = trace_like_context(n, 64);
         g.bench_with_input(BenchmarkId::new("lattice_build", n), &ctx, |b, ctx| {
-            b.iter(|| black_box(ConceptLattice::from_context(black_box(ctx)).concepts().len()));
+            b.iter(|| {
+                black_box(
+                    ConceptLattice::from_context(black_box(ctx))
+                        .concepts()
+                        .len(),
+                )
+            });
         });
         g.bench_with_input(BenchmarkId::new("jaccard_matrix", n), &ctx, |b, ctx| {
             b.iter(|| black_box(jaccard_matrix(black_box(ctx))));
@@ -50,7 +56,6 @@ fn bench_fca(c: &mut Criterion) {
     }
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -59,5 +64,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_fca}
+criterion_group! {name = benches; config = short(); targets = bench_fca}
 criterion_main!(benches);

@@ -20,7 +20,12 @@ fn synthetic_log(ranks: usize, per_rank: usize) -> HbLog {
             clocks[r].tick(r);
             events.push(HbEvent {
                 trace: dt_trace::TraceId::master(r as u32),
-                name: if step % 2 == 0 { "MPI_Send" } else { "MPI_Recv" }.to_string(),
+                name: if step % 2 == 0 {
+                    "MPI_Send"
+                } else {
+                    "MPI_Recv"
+                }
+                .to_string(),
                 vc: clocks[r].clone(),
             });
         }

@@ -71,7 +71,6 @@ fn bench_nlr(c: &mut Criterion) {
     }
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -80,5 +79,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_nlr}
+criterion_group! {name = benches; config = short(); targets = bench_nlr}
 criterion_main!(benches);

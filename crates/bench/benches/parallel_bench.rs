@@ -1,0 +1,84 @@
+//! Scaling of the parallel intra-run engine: one full DiffTrace
+//! iteration (`diff_runs_opts`) at `threads = 1` (the exact sequential
+//! path) vs `threads = 0` (all cores). Output is byte-identical across
+//! thread counts — the benchmark asserts the B-scores agree — so the
+//! wall-clock delta is pure speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use difftrace::{
+    diff_runs_opts, AttrConfig, AttrKind, FilterConfig, FreqMode, Params, PipelineOptions,
+};
+use dt_trace::{FunctionRegistry, TraceSet};
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::{run_oddeven, OddEvenConfig};
+
+fn pair(ranks: u32) -> (TraceSet, TraceSet) {
+    let registry = Arc::new(FunctionRegistry::new());
+    let healthy = OddEvenConfig {
+        ranks,
+        ..OddEvenConfig::paper(None)
+    };
+    let broken = OddEvenConfig {
+        ranks,
+        ..OddEvenConfig::paper(Some(OddEvenConfig::swap_bug()))
+    };
+    let normal = run_oddeven(&healthy, registry.clone()).traces;
+    let faulty = run_oddeven(&broken, registry).traces;
+    (normal, faulty)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let params = Params::new(
+        FilterConfig::mpi_all(10),
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for ranks in [16u32, 64] {
+        let (normal, faulty) = pair(ranks);
+        // Force the parallel code path (threads > 1) even on one-core
+        // machines, where `threads = 0` would resolve back to 1.
+        let seq = diff_runs_opts(&normal, &faulty, &params, &PipelineOptions::with_threads(1));
+        let par = diff_runs_opts(&normal, &faulty, &params, &PipelineOptions::with_threads(4));
+        assert_eq!(
+            seq.bscore.to_bits(),
+            par.bscore.to_bits(),
+            "sequential and parallel runs must agree exactly"
+        );
+        for threads in [1usize, 0] {
+            let opts = PipelineOptions::with_threads(threads);
+            let label = if threads == 0 {
+                format!("{ranks}ranks/{cores}threads")
+            } else {
+                format!("{ranks}ranks/1thread")
+            };
+            g.bench_with_input(BenchmarkId::new("diff_runs", label), &opts, |b, opts| {
+                b.iter(|| {
+                    black_box(
+                        diff_runs_opts(black_box(&normal), black_box(&faulty), &params, opts)
+                            .bscore,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {name = benches; config = short(); targets = bench_parallel}
+criterion_main!(benches);

@@ -69,9 +69,15 @@ fn bench_pipeline(c: &mut Criterion) {
                 freq: FreqMode::Actual,
             },
         );
-        g.bench_with_input(BenchmarkId::new("nlr_k_ablation", k), &params, |b, params| {
-            b.iter(|| black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nlr_k_ablation", k),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
+                })
+            },
+        );
     }
     g.finish();
 
@@ -88,7 +94,6 @@ fn bench_pipeline(c: &mut Criterion) {
     }
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -97,5 +102,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_pipeline}
+criterion_group! {name = benches; config = short(); targets = bench_pipeline}
 criterion_main!(benches);

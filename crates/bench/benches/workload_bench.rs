@@ -35,12 +35,24 @@ fn bench_workloads(c: &mut Criterion) {
 
     g.bench_function("ilcs_paper", |b| {
         let cfg = IlcsConfig::paper(None);
-        b.iter(|| black_box(run_ilcs(&cfg, Arc::new(FunctionRegistry::new())).traces.len()));
+        b.iter(|| {
+            black_box(
+                run_ilcs(&cfg, Arc::new(FunctionRegistry::new()))
+                    .traces
+                    .len(),
+            )
+        });
     });
 
     g.bench_function("lulesh_paper", |b| {
         let cfg = LuleshConfig::paper(None);
-        b.iter(|| black_box(run_lulesh(&cfg, Arc::new(FunctionRegistry::new())).traces.len()));
+        b.iter(|| {
+            black_box(
+                run_lulesh(&cfg, Arc::new(FunctionRegistry::new()))
+                    .traces
+                    .len(),
+            )
+        });
     });
 
     g.bench_function("stencil_8", |b| {
@@ -57,7 +69,6 @@ fn bench_workloads(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short measurement profile so `cargo bench --workspace` stays
 /// practical; pass `--measurement-time` on the CLI to override.
 fn short() -> Criterion {
@@ -66,5 +77,5 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = short(); targets = bench_workloads}
+criterion_group! {name = benches; config = short(); targets = bench_workloads}
 criterion_main!(benches);

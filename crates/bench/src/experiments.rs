@@ -11,9 +11,7 @@ use dt_trace::{FunctionRegistry, TraceId, TraceSetStats};
 use nlr::LoopTable;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use workloads::{
-    run_ilcs, run_lulesh, run_oddeven, IlcsConfig, LuleshConfig, OddEvenConfig,
-};
+use workloads::{run_ilcs, run_lulesh, run_oddeven, IlcsConfig, LuleshConfig, OddEvenConfig};
 
 fn oddeven4() -> dt_trace::TraceSet {
     let cfg = OddEvenConfig {
@@ -233,7 +231,10 @@ pub fn e6_ilcs_collsize() -> String {
         &harness::all_attr_configs(),
         cluster::Method::Ward,
     );
-    let mut out = report_rows("Table VII: ranking, wrong collective size in process 2", &rows);
+    let mut out = report_rows(
+        "Table VII: ranking, wrong collective size in process 2",
+        &rows,
+    );
     let params = Params::new(
         FilterConfig {
             keep: vec![KeepClass::MpiAll, harness::ilcs_custom()],
@@ -305,7 +306,11 @@ pub fn e7_ilcs_wrongop() -> String {
 /// E8 — §V LULESH trace statistics: distinct functions, compressed
 /// size, call counts, NLR reduction factors at K=10 and K=50.
 pub fn e8_lulesh_stats() -> String {
-    let set = run_lulesh(&LuleshConfig::paper_scale(), Arc::new(FunctionRegistry::new())).traces;
+    let set = run_lulesh(
+        &LuleshConfig::paper_scale(),
+        Arc::new(FunctionRegistry::new()),
+    )
+    .traces;
     let stats = TraceSetStats::measure(&set);
     let mut out = String::new();
     out.push_str("== §V LULESH trace statistics (paper: ≈410 distinct fns, ≈421k calls/process, <2.8 KB/thread compressed, NLR ×1.92 @K10 / ×16.74 @K50) ==\n");
@@ -324,7 +329,11 @@ pub fn e8_lulesh_stats() -> String {
         "compressed trace / thread (avg):    {:.1} KB",
         stats.avg_compressed_bytes_per_thread() / 1024.0
     );
-    let _ = writeln!(out, "overall compression ratio:          {:.0}×", stats.overall_ratio());
+    let _ = writeln!(
+        out,
+        "overall compression ratio:          {:.0}×",
+        stats.overall_ratio()
+    );
 
     // NLR reduction on returns-kept traces, K = 10 vs K = 50. The
     // master traces carry the long EOS loops whose 12-symbol bodies
@@ -372,10 +381,22 @@ pub fn e9_lulesh_ranking() -> String {
         run_lulesh(&cfg, reg).traces
     });
     let attrs = [
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::NoFreq },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::NoFreq },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::NoFreq,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::NoFreq,
+        },
     ];
     let rows = sweep(
         &normal,
@@ -384,7 +405,10 @@ pub fn e9_lulesh_ranking() -> String {
         &attrs,
         cluster::Method::Ward,
     );
-    let mut out = report_rows("Table IX: LULESH ranking (rank 2 skips LagrangeLeapFrog)", &rows);
+    let mut out = report_rows(
+        "Table IX: LULESH ranking (rank 2 skips LagrangeLeapFrog)",
+        &rows,
+    );
     // The paper notes the diffNLRs clearly show where each process
     // stopped; show rank 1 (a neighbour stuck in the halo exchange).
     let d = diff_runs(
@@ -469,8 +493,7 @@ pub fn e10_bug_classification() -> String {
     // semantic-drift: wrong reduction op over several instances.
     for cities in [20usize, 24, 28] {
         let (n, f) = harness::trace_pair(|inject, reg| {
-            let mut cfg =
-                IlcsConfig::paper(inject.then_some(IlcsFault::WrongOpBug { process: 0 }));
+            let mut cfg = IlcsConfig::paper(inject.then_some(IlcsFault::WrongOpBug { process: 0 }));
             cfg.cities = cities;
             run_ilcs(&cfg, reg).traces
         });

@@ -1,8 +1,8 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    diff_runs, render_ranking, sweep_parallel, AttrConfig, AttrKind, FilterConfig, FreqMode,
-    Params,
+    diff_runs_opts, render_ranking, sweep_parallel, AttrConfig, AttrKind, FilterConfig, FreqMode,
+    Params, PipelineOptions,
 };
 use dt_trace::{store, FunctionRegistry, TraceId, TraceSetStats};
 use std::path::{Path, PathBuf};
@@ -26,10 +26,13 @@ USAGE:
 
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
-          [--full]
+          [--threads N] [--full]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
+      --threads 0 (default) parallelizes the iteration across all
+      cores; --threads 1 forces the sequential path. The output is
+      byte-identical either way.
       Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
@@ -38,7 +41,7 @@ USAGE:
       outliers. --k 0 (default) picks the granularity automatically.
 
   difftrace export <normal.dtts> <faulty.dtts> <outdir>
-          [--filter CODE] [--attrs CODE] [--linkage NAME]
+          [--filter CODE] [--attrs CODE] [--linkage NAME] [--threads N]
       Write analysis artifacts for external tools: concept lattices and
       dendrograms as Graphviz DOT, formal contexts and JSMs as CSV, and
       the full text report.
@@ -46,7 +49,7 @@ USAGE:
   difftrace sweep <normal.dtts> <faulty.dtts>
           [--filter CODE]... [--attrs CODE]... [--linkage NAME] [--jobs N]
       Ranking table over a parameter grid (default: the 11.all/01.all ×
-      Table V grid), computed in parallel.
+      Table V grid), computed in parallel (--jobs 0 = all cores).
 
 CODES:
   filter   <r><p>.<class>*.K<k>  e.g. 11.mpiall.K10, 01.mem.ompcrit.K10,
@@ -166,7 +169,11 @@ fn info(args: &[String]) -> Result<(), String> {
     };
     let set = load(path)?;
     let stats = TraceSetStats::measure(&set);
-    println!("{path}: {} traces, {} functions interned", set.len(), set.registry.len());
+    println!(
+        "{path}: {} traces, {} functions interned",
+        set.len(),
+        set.registry.len()
+    );
     println!(
         "calls/process avg {:.0}   distinct fns/process avg {:.0}   compressed/thread avg {:.0} B   ratio {:.0}×",
         stats.avg_calls_per_process(),
@@ -244,16 +251,15 @@ fn single(args: &[String]) -> Result<(), String> {
     let set = load(&path)?;
     let params = difftrace::Params::new(filter, attrs);
     let report = difftrace::analyze_single(&set, &params, k);
-    println!(
-        "{} traces, {} clusters:",
-        set.len(),
-        report.clusters.len()
-    );
+    println!("{} traces, {} clusters:", set.len(), report.clusters.len());
     for (i, c) in report.clusters.iter().enumerate() {
         println!(
             "  cluster {i} ({} traces): {}",
             c.len(),
-            c.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            c.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     if report.outliers.is_empty() {
@@ -280,6 +286,7 @@ struct DiffOpts {
     linkage: cluster::Method,
     diffnlr: Option<TraceId>,
     jobs: usize,
+    threads: usize,
     full: bool,
 }
 
@@ -290,6 +297,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut linkage = cluster::Method::Ward;
     let mut diffnlr = None;
     let mut jobs = 0usize;
+    let mut threads = 0usize;
     let mut full = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -319,6 +327,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                 ));
             }
             "--jobs" => jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
+            "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
             "--full" => full = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}` for `{cmd}`"))
@@ -339,6 +348,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         linkage,
         diffnlr,
         jobs,
+        threads,
         full,
     })
 }
@@ -361,7 +371,12 @@ fn diff_cmd(args: &[String]) -> Result<(), String> {
         attrs,
         linkage: opts.linkage,
     };
-    let d = diff_runs(&normal, &faulty, &params);
+    let d = diff_runs_opts(
+        &normal,
+        &faulty,
+        &params,
+        &PipelineOptions::with_threads(opts.threads),
+    );
     if opts.full {
         print!(
             "{}",
@@ -371,13 +386,12 @@ fn diff_cmd(args: &[String]) -> Result<(), String> {
     }
     println!(
         "params: {} {} {}",
-        params.filter, params.attrs, params.linkage.name()
+        params.filter,
+        params.attrs,
+        params.linkage.name()
     );
     println!("B-score: {:.3}", d.bscore);
-    println!(
-        "suspicious processes: {:?}",
-        d.suspicious_processes
-    );
+    println!("suspicious processes: {:?}", d.suspicious_processes);
     println!(
         "suspicious threads:   {}",
         d.suspicious_threads
@@ -386,7 +400,9 @@ fn diff_cmd(args: &[String]) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let target = opts.diffnlr.or_else(|| d.suspicious_threads.first().copied());
+    let target = opts
+        .diffnlr
+        .or_else(|| d.suspicious_threads.first().copied());
     if let Some(id) = target {
         match d.diff_nlr(id) {
             Some(dn) => println!("\n{dn}"),
@@ -406,7 +422,12 @@ fn export(args: &[String]) -> Result<(), String> {
             outdir = Some(a.clone());
             continue;
         }
-        if !a.starts_with("--") && rest.iter().filter(|x: &&String| !x.starts_with("--")).count() < 2
+        if !a.starts_with("--")
+            && rest
+                .iter()
+                .filter(|x: &&String| !x.starts_with("--"))
+                .count()
+                < 2
         {
             positional_seen += 1;
         }
@@ -428,7 +449,12 @@ fn export(args: &[String]) -> Result<(), String> {
         }),
         linkage: opts.linkage,
     };
-    let d = diff_runs(&normal, &faulty, &params);
+    let d = diff_runs_opts(
+        &normal,
+        &faulty,
+        &params,
+        &PipelineOptions::with_threads(opts.threads),
+    );
     let dir = PathBuf::from(&outdir);
     std::fs::create_dir_all(&dir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let write = |name: &str, content: String| -> Result<(), String> {
@@ -500,8 +526,20 @@ mod tests {
     fn parse_opts_full() {
         let o = parse_opts(
             &s(&[
-                "n.dtts", "f.dtts", "--filter", "11.mpiall.K10", "--attrs", "doub.noFreq",
-                "--linkage", "average", "--diffnlr", "6.4", "--jobs", "3",
+                "n.dtts",
+                "f.dtts",
+                "--filter",
+                "11.mpiall.K10",
+                "--attrs",
+                "doub.noFreq",
+                "--linkage",
+                "average",
+                "--diffnlr",
+                "6.4",
+                "--jobs",
+                "3",
+                "--threads",
+                "4",
             ]),
             "diff",
         )
@@ -513,6 +551,7 @@ mod tests {
         assert_eq!(o.linkage.name(), "average");
         assert_eq!(o.diffnlr, Some(TraceId::new(6, 4)));
         assert_eq!(o.jobs, 3);
+        assert_eq!(o.threads, 4);
     }
 
     #[test]
@@ -550,9 +589,27 @@ mod tests {
             );
         }
         dispatch(&s(&["diff", &n, &f, "--filter", "11.mpiall.K10"])).unwrap();
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
         dispatch(&s(&["diff", &n, &f, "--filter", "11.mpiall.K10", "--full"])).unwrap();
         dispatch(&s(&[
-            "sweep", &n, &f, "--filter", "11.mpiall.K10", "--attrs", "sing.actual", "--jobs", "2",
+            "sweep",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--attrs",
+            "sing.actual",
+            "--jobs",
+            "2",
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();

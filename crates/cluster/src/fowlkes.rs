@@ -128,7 +128,10 @@ mod tests {
         let small_change = bscore(&zn, &zn);
         let big_change = bscore(&zn, &zf);
         assert_eq!(small_change, 0.0);
-        assert!(big_change > 0.1, "bscore {big_change} should reflect the move");
+        assert!(
+            big_change > 0.1,
+            "bscore {big_change} should reflect the move"
+        );
     }
 
     #[test]

@@ -72,7 +72,6 @@ impl std::str::FromStr for Method {
 }
 
 impl Method {
-
     /// Lance–Williams distance of cluster `k` to the merge of `i`+`j`.
     #[allow(clippy::too_many_arguments)]
     fn update(self, dki: f64, dkj: f64, dij: f64, ni: f64, nj: f64, nk: f64) -> f64 {

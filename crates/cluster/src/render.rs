@@ -113,7 +113,16 @@ fn render_node<F: Fn(usize) -> String>(
     let last_indent = format!("{child_indent}   ");
     // Children, larger side first for stable display.
     let (a, b) = (m.a, m.b);
-    render_inline(dend, a, &header, indent, first_conn, &pass_indent, out, label);
+    render_inline(
+        dend,
+        a,
+        &header,
+        indent,
+        first_conn,
+        &pass_indent,
+        out,
+        label,
+    );
     render_node(dend, b, &child_indent, rest_conn, out, label);
     let _ = last_indent;
 }

@@ -2,8 +2,7 @@
 //! comparison.
 
 use cluster::{
-    bscore, fcluster_distance, fcluster_maxclust, fowlkes_mallows, linkage, CondensedMatrix,
-    Method,
+    bscore, fcluster_distance, fcluster_maxclust, fowlkes_mallows, linkage, CondensedMatrix, Method,
 };
 use proptest::prelude::*;
 

@@ -30,11 +30,7 @@ pub struct Block<T> {
 ///
 /// Adjacent Delete+Insert runs appear as a LeftOnly block followed by a
 /// RightOnly block — the "replace" shape of Figure 5b.
-pub fn align_blocks<T: Clone + PartialEq>(
-    script: &EditScript,
-    a: &[T],
-    b: &[T],
-) -> Vec<Block<T>> {
+pub fn align_blocks<T: Clone + PartialEq>(script: &EditScript, a: &[T], b: &[T]) -> Vec<Block<T>> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     for r in script.ops() {

@@ -125,14 +125,35 @@ mod tests {
     #[test]
     fn from_runs_merges_and_drops() {
         let s = EditScript::from_runs([
-            Run { op: Op::Keep, len: 2 },
-            Run { op: Op::Keep, len: 3 },
-            Run { op: Op::Delete, len: 0 },
-            Run { op: Op::Insert, len: 1 },
+            Run {
+                op: Op::Keep,
+                len: 2,
+            },
+            Run {
+                op: Op::Keep,
+                len: 3,
+            },
+            Run {
+                op: Op::Delete,
+                len: 0,
+            },
+            Run {
+                op: Op::Insert,
+                len: 1,
+            },
         ]);
         assert_eq!(
             s.ops(),
-            &[Run { op: Op::Keep, len: 5 }, Run { op: Op::Insert, len: 1 }]
+            &[
+                Run {
+                    op: Op::Keep,
+                    len: 5
+                },
+                Run {
+                    op: Op::Insert,
+                    len: 1
+                }
+            ]
         );
         assert_eq!(s.distance(), 1);
         assert_eq!(s.common_len(), 5);
@@ -142,10 +163,22 @@ mod tests {
     #[test]
     fn apply_with_reconstructs() {
         let s = EditScript::from_runs([
-            Run { op: Op::Keep, len: 1 },
-            Run { op: Op::Delete, len: 1 },
-            Run { op: Op::Insert, len: 2 },
-            Run { op: Op::Keep, len: 1 },
+            Run {
+                op: Op::Keep,
+                len: 1,
+            },
+            Run {
+                op: Op::Delete,
+                len: 1,
+            },
+            Run {
+                op: Op::Insert,
+                len: 2,
+            },
+            Run {
+                op: Op::Keep,
+                len: 1,
+            },
         ]);
         let a = ["x", "dead", "z"];
         let b = ["x", "n1", "n2", "z"];
@@ -155,7 +188,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn inconsistent_script_panics() {
-        let s = EditScript::from_runs([Run { op: Op::Keep, len: 2 }]);
+        let s = EditScript::from_runs([Run {
+            op: Op::Keep,
+            len: 2,
+        }]);
         let _ = s.apply_with(&["a"], &["a"]);
     }
 }

@@ -52,25 +52,70 @@ pub struct AttrConfig {
 impl AttrConfig {
     /// All six Table V combinations, for parameter sweeps.
     pub const ALL: [AttrConfig; 6] = [
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::NoFreq },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::NoFreq },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::NoFreq,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::NoFreq,
+        },
     ];
 
     /// Table V plus the caller/callee extension — nine combinations.
     pub const EXTENDED: [AttrConfig; 9] = [
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::Single, freq: FreqMode::NoFreq },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::Double, freq: FreqMode::NoFreq },
-        AttrConfig { kind: AttrKind::CallerCallee, freq: FreqMode::Actual },
-        AttrConfig { kind: AttrKind::CallerCallee, freq: FreqMode::Log10 },
-        AttrConfig { kind: AttrKind::CallerCallee, freq: FreqMode::NoFreq },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::NoFreq,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::Double,
+            freq: FreqMode::NoFreq,
+        },
+        AttrConfig {
+            kind: AttrKind::CallerCallee,
+            freq: FreqMode::Actual,
+        },
+        AttrConfig {
+            kind: AttrKind::CallerCallee,
+            freq: FreqMode::Log10,
+        },
+        AttrConfig {
+            kind: AttrKind::CallerCallee,
+            freq: FreqMode::NoFreq,
+        },
     ];
 }
 

@@ -81,23 +81,14 @@ pub fn extract_features(d: &DiffRun) -> FeatureVector {
     let jsm_d_mean = if count == 0 { 0.0 } else { sum / count as f64 };
 
     // Truncation evidence from the faulty run.
-    let truncated = d
-        .faulty
-        .nlrs
-        .truncated
-        .values()
-        .filter(|&&t| t)
-        .count() as f64;
+    let truncated = d.faulty.nlrs.truncated.values().filter(|&&t| t).count() as f64;
     let frac_truncated = truncated / n as f64;
 
     // How concentrated is the suspicion? 1 → a single culprit,
     // → 0 as everything is equally implicated.
     let scores = d.jsm_d.row_scores();
     let total: f64 = scores.iter().map(|(_, s)| s).sum();
-    let top = scores
-        .iter()
-        .map(|(_, s)| *s)
-        .fold(0.0f64, f64::max);
+    let top = scores.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
     let suspect_concentration = if total > 0.0 { top / total } else { 0.0 };
 
     // Loop-structure drift: mean |Δ total loop iterations| relative.
@@ -113,7 +104,11 @@ pub fn extract_features(d: &DiffRun) -> FeatureVector {
             }
         }
     }
-    let loop_drift = if drift_n == 0 { 0.0 } else { drift / drift_n as f64 };
+    let loop_drift = if drift_n == 0 {
+        0.0
+    } else {
+        drift / drift_n as f64
+    };
 
     // Attribute-set movement between the two concept lattices: which
     // attributes vanished / appeared (union over objects).
@@ -262,16 +257,7 @@ mod tests {
     use super::*;
 
     fn fv(seed: f64) -> FeatureVector {
-        FeatureVector([
-            seed,
-            seed * 0.5,
-            0.1,
-            0.2,
-            1.0 - seed,
-            0.0,
-            0.0,
-            0.0,
-        ])
+        FeatureVector([seed, seed * 0.5, 0.1, 0.2, 1.0 - seed, 0.0, 0.0, 0.0])
     }
 
     fn sample(label: &str, seed: f64) -> Sample {

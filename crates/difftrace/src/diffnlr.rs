@@ -39,6 +39,17 @@ impl DiffNlr {
         }
     }
 
+    /// Build a view from already-aligned blocks (used by
+    /// [`crate::pipeline::DiffRun::diff_nlr`], which drills into
+    /// changed loop bodies before rendering).
+    pub fn from_blocks(id: TraceId, blocks: Vec<Block<String>>, faulty_truncated: bool) -> DiffNlr {
+        DiffNlr {
+            id,
+            blocks,
+            faulty_truncated,
+        }
+    }
+
     /// True when normal and faulty are identical.
     pub fn is_identical(&self) -> bool {
         self.blocks.iter().all(|b| b.kind == BlockKind::Common)
@@ -102,7 +113,10 @@ impl DiffNlr {
 
     /// Render the two-column text view.
     pub fn render(&self) -> String {
-        let mut out = format!("diffNLR({})  [= common | - normal only | + faulty only]\n", self.id);
+        let mut out = format!(
+            "diffNLR({})  [= common | - normal only | + faulty only]\n",
+            self.id
+        );
         for b in &self.blocks {
             let mark = match b.kind {
                 BlockKind::Common => '=',
@@ -193,12 +207,7 @@ mod tests {
 
     #[test]
     fn identical_traces() {
-        let d = DiffNlr::new(
-            TraceId::new(1, 2),
-            v(&["a", "b"]),
-            v(&["a", "b"]),
-            false,
-        );
+        let d = DiffNlr::new(TraceId::new(1, 2), v(&["a", "b"]), v(&["a", "b"]), false);
         assert!(d.is_identical());
         assert!(d.normal_only().is_empty());
         assert!(d.faulty_only().is_empty());

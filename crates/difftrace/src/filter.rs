@@ -95,13 +95,13 @@ fn compile_class(c: &KeepClass) -> CompiledClass {
         KeepClass::MpiAll => CompiledClass::Prefix("MPI_"),
         KeepClass::MpiCollectives => CompiledClass::OneOf(MPI_COLLECTIVES),
         KeepClass::MpiSendRecv => CompiledClass::OneOf(MPI_SENDRECV),
-        KeepClass::MpiInternal => CompiledClass::Re(
-            Regex::new("^(MPIDI_|MPIR_|MPID_)").expect("static pattern"),
-        ),
+        KeepClass::MpiInternal => {
+            CompiledClass::Re(Regex::new("^(MPIDI_|MPIR_|MPID_)").expect("static pattern"))
+        }
         KeepClass::OmpAll => CompiledClass::Prefix("GOMP_"),
-        KeepClass::OmpCritical => CompiledClass::Re(
-            Regex::new("^GOMP_critical_(start|end)$").expect("static pattern"),
-        ),
+        KeepClass::OmpCritical => {
+            CompiledClass::Re(Regex::new("^GOMP_critical_(start|end)$").expect("static pattern"))
+        }
         KeepClass::Memory => CompiledClass::Re(
             Regex::new_case_insensitive("memcpy|memchk|memset|memmove|alloc|free")
                 .expect("static pattern"),
@@ -113,7 +113,8 @@ fn compile_class(c: &KeepClass) -> CompiledClass {
             Regex::new_case_insensitive("poll|yield|sched").expect("static pattern"),
         ),
         KeepClass::Strings => CompiledClass::Re(
-            Regex::new_case_insensitive("^str(len|cpy|cmp|ncpy|ncmp|cat|chr)").expect("static pattern"),
+            Regex::new_case_insensitive("^str(len|cpy|cmp|ncpy|ncmp|cat|chr)")
+                .expect("static pattern"),
         ),
         // An invalid custom pattern matches nothing; callers surface
         // the error via `FilterConfig::validate` before running.

@@ -24,11 +24,26 @@ impl JsmMatrix {
     /// Compute from a formal context whose objects are the traces in
     /// `ids` order.
     pub fn from_context(ctx: &FormalContext, ids: Vec<TraceId>) -> JsmMatrix {
+        JsmMatrix::from_context_opts(ctx, ids, 1)
+    }
+
+    /// Like [`JsmMatrix::from_context`], computing the O(n²) rows on up
+    /// to `threads` threads (0 = available parallelism, ≤1 = inline).
+    /// `weighted_jaccard` is bitwise symmetric, so per-row computation
+    /// produces the exact same floats as the sequential
+    /// mirrored-triangle fill.
+    pub fn from_context_opts(ctx: &FormalContext, ids: Vec<TraceId>, threads: usize) -> JsmMatrix {
         assert_eq!(ctx.num_objects(), ids.len());
-        JsmMatrix {
-            ids,
-            m: fca::jaccard_matrix(ctx),
+        let threads = crate::sync::effective_threads(threads, ids.len());
+        if threads <= 1 {
+            return JsmMatrix {
+                ids,
+                m: fca::jaccard_matrix(ctx),
+            };
         }
+        let rows: Vec<usize> = (0..ids.len()).collect();
+        let m = crate::sync::par_map(&rows, threads, |_, &i| fca::jaccard_row(ctx, i));
+        JsmMatrix { ids, m }
     }
 
     /// Number of traces.
@@ -44,16 +59,24 @@ impl JsmMatrix {
     /// `JSM_D = |self − other|`, elementwise. Panics if the two
     /// matrices cover different trace sets — analyses of a pair must be
     /// aligned first (see `pipeline`).
-    #[allow(clippy::needless_range_loop)] // symmetric-matrix indexing
     pub fn diff(&self, other: &JsmMatrix) -> JsmMatrix {
+        self.diff_opts(other, 1)
+    }
+
+    /// [`JsmMatrix::diff`] computed row-by-row on up to `threads`
+    /// threads. `|a − b|` is computed per cell, so the split cannot
+    /// change any float.
+    pub fn diff_opts(&self, other: &JsmMatrix, threads: usize) -> JsmMatrix {
         assert_eq!(self.ids, other.ids, "JSMs must cover the same traces");
-        let n = self.len();
-        let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                m[i][j] = (self.m[i][j] - other.m[i][j]).abs();
-            }
-        }
+        let threads = crate::sync::effective_threads(threads, self.len());
+        let rows: Vec<usize> = (0..self.len()).collect();
+        let m = crate::sync::par_map(&rows, threads, |_, &i| {
+            self.m[i]
+                .iter()
+                .zip(&other.m[i])
+                .map(|(a, b)| (a - b).abs())
+                .collect::<Vec<f64>>()
+        });
         JsmMatrix {
             ids: self.ids.clone(),
             m,
@@ -63,11 +86,18 @@ impl JsmMatrix {
     /// Per-trace change score: the row sum (how much this trace's
     /// relations to everyone else changed). Used to rank suspects.
     pub fn row_scores(&self) -> Vec<(TraceId, f64)> {
-        self.ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, self.m[i].iter().sum::<f64>()))
-            .collect()
+        self.row_scores_opts(1)
+    }
+
+    /// [`JsmMatrix::row_scores`] with the row sums computed on up to
+    /// `threads` threads. Each row is summed left-to-right by one
+    /// thread, so the result is bitwise identical to the sequential
+    /// path.
+    pub fn row_scores_opts(&self, threads: usize) -> Vec<(TraceId, f64)> {
+        let threads = crate::sync::effective_threads(threads, self.len());
+        crate::sync::par_map(&self.ids, threads, |i, &id| {
+            (id, self.m[i].iter().sum::<f64>())
+        })
     }
 
     /// Render as CSV (header row + one line per trace).

@@ -82,6 +82,7 @@ pub mod pipeline;
 pub mod ranking;
 pub mod report;
 pub mod single_run;
+pub mod sync;
 
 pub use attributes::{AttrConfig, AttrKind, FreqMode};
 pub use classify::{extract_features, leave_one_out, FeatureVector, NearestCentroid, Sample};
@@ -89,7 +90,10 @@ pub use diffnlr::DiffNlr;
 pub use filter::{FilterConfig, FilteredSet, FilteredTrace, KeepClass};
 pub use jsm::JsmMatrix;
 pub use nlr_stage::NlrSet;
-pub use pipeline::{analyze, diff_runs, AnalysisRun, DiffRun, Params};
+pub use pipeline::{
+    analyze, analyze_aligned, analyze_aligned_opts, analyze_opts, diff_runs, diff_runs_opts,
+    AnalysisRun, DiffRun, Params, PipelineOptions,
+};
 pub use ranking::{render_ranking, sweep, sweep_parallel, RankingRow};
 pub use report::{generate as generate_report, ReportOptions};
 pub use single_run::{analyze_single, SingleRunReport};

@@ -7,7 +7,7 @@
 
 use crate::filter::FilteredSet;
 use dt_trace::TraceId;
-use nlr::{LoopTable, Nlr, NlrBuilder};
+use nlr::{LoopId, LoopTable, Nlr, NlrBuilder, RecordingInterner, SharedLoopTable};
 use std::collections::BTreeMap;
 
 /// NLR summaries of one execution's filtered traces.
@@ -33,6 +33,51 @@ impl NlrSet {
         NlrSet { nlrs, truncated }
     }
 
+    /// Summarize every trace of `set` on up to `threads` threads,
+    /// interning into the concurrent `shared` table. The resulting
+    /// summaries carry **provisional** loop IDs (scheduling-dependent);
+    /// also returned are the per-trace fold orders, in `set.traces`
+    /// order, which [`SharedLoopTable::canonicalize_into`] replays to
+    /// renumber deterministically — after which [`NlrSet::remap`]
+    /// rewrites the summaries. NLR folding decisions are independent of
+    /// the interner's numbering, so the structures are identical to a
+    /// sequential build.
+    pub fn build_shared(
+        set: &FilteredSet,
+        k: usize,
+        shared: &SharedLoopTable,
+        threads: usize,
+    ) -> (NlrSet, Vec<Vec<LoopId>>) {
+        let builder = NlrBuilder::new(k);
+        let built = crate::sync::par_map(&set.traces, threads, |_, t| {
+            let mut rec = RecordingInterner::new(shared);
+            let nlr = builder.build(&t.symbols, &mut rec);
+            (t.id, nlr, t.truncated, rec.into_order())
+        });
+        let mut nlrs = BTreeMap::new();
+        let mut truncated = BTreeMap::new();
+        let mut orders = Vec::with_capacity(built.len());
+        for (id, nlr, trunc, order) in built {
+            nlrs.insert(id, nlr);
+            truncated.insert(id, trunc);
+            orders.push(order);
+        }
+        (NlrSet { nlrs, truncated }, orders)
+    }
+
+    /// Rewrite every summary's loop references through `map`
+    /// (provisional ID → canonical ID, indexed by provisional ID).
+    pub fn remap(&self, map: &[LoopId]) -> NlrSet {
+        NlrSet {
+            nlrs: self
+                .nlrs
+                .iter()
+                .map(|(&id, n)| (id, n.remap_loops(&|l: LoopId| map[l.0 as usize])))
+                .collect(),
+            truncated: self.truncated.clone(),
+        }
+    }
+
     /// Look up one summary.
     pub fn get(&self, id: TraceId) -> Option<&Nlr> {
         self.nlrs.get(&id)
@@ -48,7 +93,11 @@ impl NlrSet {
         if self.nlrs.is_empty() {
             return 1.0;
         }
-        self.nlrs.values().map(|n| n.reduction_factor()).sum::<f64>() / self.nlrs.len() as f64
+        self.nlrs
+            .values()
+            .map(|n| n.reduction_factor())
+            .sum::<f64>()
+            / self.nlrs.len() as f64
     }
 }
 

@@ -1,14 +1,53 @@
 //! The end-to-end DiffTrace pipeline for one parameter combination.
+//!
+//! # Parallel execution
+//!
+//! Every stage of an iteration can run on multiple threads via the
+//! `_opts` entry points ([`analyze_aligned_opts`], [`analyze_opts`],
+//! [`diff_runs_opts`]) and a [`PipelineOptions::threads`] knob — with
+//! **byte-identical output** for every thread count. The only stage
+//! whose naive parallelization would change output is NLR construction
+//! (loop IDs are assigned in fold order, and IDs leak into attribute
+//! names and rendered summaries); see [`nlr::SharedLoopTable`] for the
+//! provisional-then-canonical renumbering that removes the schedule
+//! from the result. All other stages (mining, JSM rows, JSM diff, row
+//! scores) are pure per-item functions whose outputs are merged in a
+//! fixed order. `threads == 1` short-circuits to the plain sequential
+//! code path.
 
 use crate::attributes::{mine, AttrConfig};
-use crate::filter::{symbol_name, FilterConfig, FilteredTrace};
+use crate::filter::{symbol_name, FilterConfig, FilteredSet, FilteredTrace};
 use crate::jsm::JsmMatrix;
 use crate::nlr_stage::NlrSet;
+use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
 use dt_trace::{TraceId, TraceSet};
 use fca::{ConceptLattice, FormalContext};
-use nlr::LoopTable;
+use nlr::{LoopTable, SharedLoopTable};
 use std::collections::BTreeMap;
+
+/// Execution options orthogonal to the analysis [`Params`]: they may
+/// change how fast an answer is computed, never which answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Worker threads for the parallel stages. `1` (the default) is the
+    /// exact sequential path; `0` means all available parallelism; any
+    /// other value is taken literally.
+    pub threads: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions { threads: 1 }
+    }
+}
+
+impl PipelineOptions {
+    /// Options with the given thread count.
+    pub fn with_threads(threads: usize) -> PipelineOptions {
+        PipelineOptions { threads }
+    }
+}
 
 /// One point of the parameter space (the dashed box in Figure 1): the
 /// front-end filter (with its NLR K), the FCA attributes, and the
@@ -65,10 +104,41 @@ pub fn analyze_aligned(
     table: &mut LoopTable,
     id_universe: &[TraceId],
 ) -> AnalysisRun {
+    analyze_aligned_opts(set, params, table, id_universe, &PipelineOptions::default())
+}
+
+/// [`analyze_aligned`] with explicit execution options. Output is
+/// byte-identical for every `opts.threads` value (see the module docs).
+pub fn analyze_aligned_opts(
+    set: &TraceSet,
+    params: &Params,
+    table: &mut LoopTable,
+    id_universe: &[TraceId],
+    opts: &PipelineOptions,
+) -> AnalysisRun {
+    let threads = effective_threads(opts.threads, id_universe.len());
+    let aligned = align_filtered(set, params, id_universe);
+    let nlrs = if threads <= 1 {
+        NlrSet::build(&aligned, params.filter.nlr_k, table)
+    } else {
+        // Parallel NLR build: provisional IDs into a concurrent table,
+        // then a sequential replay of the recorded fold orders to
+        // restore the exact sequential numbering (see nlr::shared).
+        let shared = SharedLoopTable::from_table(table);
+        let (prov, orders) = NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
+        let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+        prov.remap(&map)
+    };
+    finish_run(set, params, &aligned, nlrs, id_universe, threads)
+}
+
+/// Filter `set` and align the result to `id_universe` order; traces
+/// missing from `set` become empty objects.
+fn align_filtered(set: &TraceSet, params: &Params, id_universe: &[TraceId]) -> FilteredSet {
     let filtered = params.filter.apply(set);
     let by_id: BTreeMap<TraceId, FilteredTrace> =
         filtered.traces.into_iter().map(|t| (t.id, t)).collect();
-    let aligned = crate::filter::FilteredSet {
+    FilteredSet {
         traces: id_universe
             .iter()
             .map(|&id| {
@@ -79,12 +149,25 @@ pub fn analyze_aligned(
                 })
             })
             .collect(),
-    };
-    let nlrs = NlrSet::build(&aligned, params.filter.nlr_k, table);
+    }
+}
 
-    let mut context = FormalContext::new();
+/// The back half of an analysis — attribute mining, formal context,
+/// lattice, JSM, dendrogram — given the (already canonical) summaries.
+/// Mining and JSM rows are pure per-trace/per-row functions and fan out
+/// across `threads`; the context is assembled sequentially in
+/// `id_universe` order so object/attribute numbering never depends on
+/// the schedule.
+fn finish_run(
+    set: &TraceSet,
+    params: &Params,
+    aligned: &FilteredSet,
+    nlrs: NlrSet,
+    id_universe: &[TraceId],
+    threads: usize,
+) -> AnalysisRun {
     let name = |s: u32| symbol_name(&set.registry, s);
-    for id in id_universe {
+    let mined: Vec<Vec<(String, f64)>> = crate::sync::par_map(id_universe, threads, |_, id| {
         let nlr = nlrs.get(*id).expect("aligned");
         let symbols: &[u32] = aligned
             .traces
@@ -92,14 +175,14 @@ pub fn analyze_aligned(
             .find(|t| t.id == *id)
             .map(|t| t.symbols.as_slice())
             .unwrap_or(&[]);
-        let attrs = mine(symbols, nlr, params.attrs, &name);
-        context.add_object(
-            &id.to_string(),
-            attrs.iter().map(|(k, w)| (k.as_str(), *w)),
-        );
+        mine(symbols, nlr, params.attrs, &name)
+    });
+    let mut context = FormalContext::new();
+    for (id, attrs) in id_universe.iter().zip(&mined) {
+        context.add_object(&id.to_string(), attrs.iter().map(|(k, w)| (k.as_str(), *w)));
     }
     let lattice = ConceptLattice::from_context(&context);
-    let jsm = JsmMatrix::from_context(&context, id_universe.to_vec());
+    let jsm = JsmMatrix::from_context_opts(&context, id_universe.to_vec(), threads);
     let dendrogram = linkage(&CondensedMatrix::from_similarity(&jsm.m), params.linkage);
     AnalysisRun {
         registry: set.registry.clone(),
@@ -114,8 +197,18 @@ pub fn analyze_aligned(
 
 /// Analyze a single execution (object set = its own traces).
 pub fn analyze(set: &TraceSet, params: &Params, table: &mut LoopTable) -> AnalysisRun {
+    analyze_opts(set, params, table, &PipelineOptions::default())
+}
+
+/// [`analyze`] with explicit execution options.
+pub fn analyze_opts(
+    set: &TraceSet,
+    params: &Params,
+    table: &mut LoopTable,
+    opts: &PipelineOptions,
+) -> AnalysisRun {
     let ids = set.ids();
-    analyze_aligned(set, params, table, &ids)
+    analyze_aligned_opts(set, params, table, &ids, opts)
 }
 
 /// The result of diffing a normal and a faulty execution.
@@ -147,6 +240,21 @@ const MAX_THREADS_LISTED: usize = 6;
 
 /// Run the full DiffTrace iteration on a (normal, faulty) pair.
 pub fn diff_runs(normal: &TraceSet, faulty: &TraceSet, params: &Params) -> DiffRun {
+    diff_runs_opts(normal, faulty, params, &PipelineOptions::default())
+}
+
+/// [`diff_runs`] with explicit execution options. With more than one
+/// thread the normal and faulty analyses run **concurrently** against
+/// one shared provisional loop table, then a single canonical replay
+/// (normal's fold orders first, faulty's second — the sequential
+/// interleaving) renumbers both; output is byte-identical to
+/// `threads == 1`.
+pub fn diff_runs_opts(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    params: &Params,
+    opts: &PipelineOptions,
+) -> DiffRun {
     // Union of trace IDs: a fault may have killed threads before they
     // traced anything, or spawned extra ones.
     let mut ids: Vec<TraceId> = normal.ids();
@@ -157,14 +265,43 @@ pub fn diff_runs(normal: &TraceSet, faulty: &TraceSet, params: &Params) -> DiffR
     }
     ids.sort();
 
+    let threads = effective_threads(opts.threads, 2 * ids.len().max(1));
     let mut table = LoopTable::new();
-    let normal_run = analyze_aligned(normal, params, &mut table, &ids);
-    let faulty_run = analyze_aligned(faulty, params, &mut table, &ids);
-    let jsm_d = faulty_run.jsm.diff(&normal_run.jsm);
+    let (normal_run, faulty_run) = if threads <= 1 {
+        let n = analyze_aligned(normal, params, &mut table, &ids);
+        let f = analyze_aligned(faulty, params, &mut table, &ids);
+        (n, f)
+    } else {
+        // Each side gets half the workers; both interleave on the same
+        // shared table, so every distinct loop body is interned once.
+        let half = (threads / 2).max(1);
+        let n_aligned = align_filtered(normal, params, &ids);
+        let f_aligned = align_filtered(faulty, params, &ids);
+        let shared = SharedLoopTable::new();
+        let ((n_prov, n_orders), (f_prov, f_orders)) = join(
+            true,
+            || NlrSet::build_shared(&n_aligned, params.filter.nlr_k, &shared, half),
+            || NlrSet::build_shared(&f_aligned, params.filter.nlr_k, &shared, half),
+        );
+        let map = shared.canonicalize_into(
+            n_orders
+                .into_iter()
+                .flatten()
+                .chain(f_orders.into_iter().flatten()),
+            &mut table,
+        );
+        let (n_nlrs, f_nlrs) = (n_prov.remap(&map), f_prov.remap(&map));
+        join(
+            true,
+            || finish_run(normal, params, &n_aligned, n_nlrs, &ids, half),
+            || finish_run(faulty, params, &f_aligned, f_nlrs, &ids, half),
+        )
+    };
+    let jsm_d = faulty_run.jsm.diff_opts(&normal_run.jsm, threads);
     let b = bscore(&normal_run.dendrogram, &faulty_run.dendrogram);
 
     // Thread-level suspects: row sums of JSM_D.
-    let mut thread_scores = jsm_d.row_scores();
+    let mut thread_scores = jsm_d.row_scores_opts(threads);
     thread_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     let tmax = thread_scores.first().map(|x| x.1).unwrap_or(0.0);
     let suspicious_threads: Vec<TraceId> = thread_scores
@@ -209,18 +346,81 @@ impl DiffRun {
         // Render via the *normal* execution's registry-independent
         // labels: loop IDs come from the shared table, symbols from the
         // context attribute names (both analyses used the same naming).
-        Some(crate::diffnlr::DiffNlr::new(
+        Some(crate::diffnlr::DiffNlr::from_blocks(
             id,
-            self.render_nlr_labels(n),
-            self.render_nlr_labels(f),
+            self.element_blocks(n.elements(), f.elements()),
             *self.faulty.nlrs.truncated.get(&id).unwrap_or(&false),
         ))
     }
 
-    fn render_nlr_labels(&self, nlr: &nlr::Nlr) -> Vec<String> {
-        // Both executions of a pair share one registry (one workload,
-        // one interner), so either analysis resolves any symbol.
-        nlr.render(&|s| symbol_name(&self.normal.registry, s))
+    /// Myers-diff two element sequences into rendered blocks, drilling
+    /// into loop bodies where the *structure* changed: when a single
+    /// loop is replaced by a single loop with the same trip count but a
+    /// different body, the interesting difference is inside the body
+    /// (Figure 7a's vanished `GOMP_critical_*` pair), so the body
+    /// sequences are diffed recursively under the two header lines.
+    /// Count-only changes and all other shapes stay opaque `L<id> ^ n`
+    /// references (Figures 5–6).
+    fn element_blocks(
+        &self,
+        normal: &[nlr::Element],
+        faulty: &[nlr::Element],
+    ) -> Vec<diffalg::Block<String>> {
+        use diffalg::{align_blocks, diff, Block, BlockKind};
+        use nlr::Element;
+
+        let label = |e: &Element| match e {
+            // Both executions of a pair share one registry (one
+            // workload, one interner), so either analysis resolves any
+            // symbol.
+            Element::Sym(s) => symbol_name(&self.normal.registry, *s),
+            Element::Loop { body, count } => format!("{body} ^ {count}"),
+        };
+        let script = diff(normal, faulty);
+        let blocks = align_blocks(&script, normal, faulty);
+        let mut out: Vec<Block<String>> = Vec::new();
+        let mut i = 0;
+        while i < blocks.len() {
+            let b = &blocks[i];
+            if b.kind == BlockKind::LeftOnly && i + 1 < blocks.len() {
+                let r = &blocks[i + 1];
+                if r.kind == BlockKind::RightOnly {
+                    if let (
+                        &[Element::Loop {
+                            body: lb,
+                            count: lc,
+                        }],
+                        &[Element::Loop {
+                            body: rb,
+                            count: rc,
+                        }],
+                    ) = (b.items.as_slice(), r.items.as_slice())
+                    {
+                        if lc == rc && lb != rb {
+                            out.push(Block {
+                                kind: BlockKind::LeftOnly,
+                                items: vec![label(&b.items[0])],
+                            });
+                            out.push(Block {
+                                kind: BlockKind::RightOnly,
+                                items: vec![label(&r.items[0])],
+                            });
+                            out.extend(
+                                self.element_blocks(self.table.body(lb), self.table.body(rb)),
+                            );
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            out.push(Block {
+                kind: b.kind,
+                items: b.items.iter().map(label).collect(),
+            });
+            i += 1;
+        }
+        out
     }
 
     /// Explain *why* trace `id` is suspicious: its attributes whose
@@ -235,7 +435,10 @@ impl DiffRun {
                 .iter()
                 .map(|m| {
                     let a = fca::AttrId(m as u32);
-                    (run.context.attr_name(a).to_string(), run.context.weight(g, a))
+                    (
+                        run.context.attr_name(a).to_string(),
+                        run.context.weight(g, a),
+                    )
                 })
                 .collect()
         };

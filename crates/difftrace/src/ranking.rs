@@ -59,71 +59,9 @@ pub fn sweep_parallel(
     threads: usize,
 ) -> Vec<RankingRow> {
     let params = grid(filters, attr_configs, method);
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(params.len().max(1));
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot_free::Slot<RankingRow>> =
-        (0..params.len()).map(|_| parking_lot_free::Slot::new()).collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= params.len() {
-                    break;
-                }
-                results[i].set(run_cell(normal, faulty, &params[i]));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    let mut rows: Vec<RankingRow> = results.into_iter().map(|s| s.take()).collect();
+    let mut rows = crate::sync::par_map(&params, threads, |_, p| run_cell(normal, faulty, p));
     sort_rows(&mut rows);
     rows
-}
-
-/// A tiny write-once cell so workers can deposit results without locks
-/// (each index is written by exactly one worker).
-mod parking_lot_free {
-    use std::cell::UnsafeCell;
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    pub struct Slot<T> {
-        set: AtomicBool,
-        value: UnsafeCell<Option<T>>,
-    }
-
-    // Safety: `set` is flipped with Release after the single write; a
-    // reader observes the value only via `take` after all workers have
-    // joined (the crossbeam scope is a happens-before barrier).
-    unsafe impl<T: Send> Sync for Slot<T> {}
-
-    impl<T> Slot<T> {
-        pub fn new() -> Slot<T> {
-            Slot {
-                set: AtomicBool::new(false),
-                value: UnsafeCell::new(None),
-            }
-        }
-
-        pub fn set(&self, v: T) {
-            // Each slot is written exactly once, by the worker that
-            // claimed its index.
-            unsafe { *self.value.get() = Some(v) };
-            self.set.store(true, Ordering::Release);
-        }
-
-        pub fn take(self) -> T {
-            assert!(self.set.load(Ordering::Acquire), "slot never written");
-            self.value.into_inner().expect("slot written once")
-        }
-    }
 }
 
 fn grid(filters: &[FilterConfig], attr_configs: &[AttrConfig], method: Method) -> Vec<Params> {

@@ -42,12 +42,13 @@ pub fn generate(d: &DiffRun, opts: &ReportOptions) -> String {
         d.params.attrs,
         d.params.linkage.name()
     );
-    let _ = writeln!(out, "traces: {}   B-score: {:.3}", d.normal.ids.len(), d.bscore);
     let _ = writeln!(
         out,
-        "suspicious processes: {:?}",
-        d.suspicious_processes
+        "traces: {}   B-score: {:.3}",
+        d.normal.ids.len(),
+        d.bscore
     );
+    let _ = writeln!(out, "suspicious processes: {:?}", d.suspicious_processes);
     let _ = writeln!(
         out,
         "suspicious threads:   [{}]",
@@ -73,9 +74,21 @@ pub fn generate(d: &DiffRun, opts: &ReportOptions) -> String {
     }
 
     if opts.heatmaps {
-        let _ = writeln!(out, "\n---- JSM (normal) ----\n{}", d.normal.jsm.render_heatmap());
-        let _ = writeln!(out, "---- JSM (faulty) ----\n{}", d.faulty.jsm.render_heatmap());
-        let _ = writeln!(out, "---- JSM_D = |faulty − normal| ----\n{}", d.jsm_d.render_heatmap());
+        let _ = writeln!(
+            out,
+            "\n---- JSM (normal) ----\n{}",
+            d.normal.jsm.render_heatmap()
+        );
+        let _ = writeln!(
+            out,
+            "---- JSM (faulty) ----\n{}",
+            d.faulty.jsm.render_heatmap()
+        );
+        let _ = writeln!(
+            out,
+            "---- JSM_D = |faulty − normal| ----\n{}",
+            d.jsm_d.render_heatmap()
+        );
     }
 
     if opts.dendrograms {

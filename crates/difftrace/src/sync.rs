@@ -1,0 +1,194 @@
+//! Concurrency primitives shared by the parallel pipeline stages.
+//!
+//! Everything here is built on `std` only: scoped threads
+//! (`std::thread::scope`), an atomic work-stealing index, and a
+//! write-once [`Slot`] per output cell. The combination gives a small,
+//! auditable `par_map` without pulling in an external thread pool.
+//!
+//! Determinism note: [`par_map`] assigns output cell `i` to input `i`,
+//! so the result order is always the input order regardless of how the
+//! OS schedules workers. Callers get byte-identical output for any
+//! thread count as long as `f` itself is a pure function of its inputs.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Resolve a user-facing thread-count knob: `0` means "all available
+/// parallelism", anything else is taken literally. The result is
+/// additionally capped at `work_items` so we never spawn idle workers.
+pub fn effective_threads(threads: usize, work_items: usize) -> usize {
+    let n = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    n.min(work_items.max(1))
+}
+
+/// A write-once cell: many threads may hold `&Slot`, exactly one calls
+/// [`Slot::set`], and ownership is recovered with [`Slot::take`] after
+/// all writers are joined.
+pub struct Slot<T> {
+    claimed: AtomicBool,
+    ready: AtomicBool,
+    value: UnsafeCell<Option<T>>,
+}
+
+// Safety: `claimed` admits exactly one writer (checked with a swap);
+// that single write is published by the Release store of `ready`, and
+// readers Acquire `ready` before touching `value`. `take` additionally
+// consumes the slot by value, so it has exclusive ownership.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    pub fn new() -> Slot<T> {
+        Slot {
+            claimed: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            value: UnsafeCell::new(None),
+        }
+    }
+
+    /// Deposit the value. Must be called at most once per slot; callers
+    /// guarantee this by claiming disjoint indices from an atomic
+    /// counter, and the claim flag turns any violation into a panic
+    /// instead of UB.
+    pub fn set(&self, v: T) {
+        let already = self.claimed.swap(true, Ordering::AcqRel);
+        assert!(!already, "Slot::set called twice");
+        // Safety: the swap above admits exactly one writer, and readers
+        // only dereference `value` after observing `ready` (below).
+        unsafe { *self.value.get() = Some(v) };
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// True once a value has been deposited and published.
+    pub fn is_set(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Recover the value. Panics if the slot was never written.
+    pub fn take(self) -> T {
+        assert!(self.ready.load(Ordering::Acquire), "slot never written");
+        self.value.into_inner().expect("slot written once")
+    }
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Slot<T> {
+        Slot::new()
+    }
+}
+
+/// Apply `f` to every index/item pair and collect the results in input
+/// order.
+///
+/// * `threads == 1` runs inline on the caller's thread — no spawning,
+///   no atomics on the hot path — so it is the *exact* sequential
+///   execution, not a simulation of one.
+/// * `threads == 0` uses the available parallelism.
+/// * Work is distributed dynamically (atomic next-index counter), which
+///   keeps long-tailed workloads balanced; output position is fixed by
+///   input index, which keeps results deterministic.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Slot<U>> = (0..items.len()).map(|_| Slot::new()).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                slots[i].set(f(i, &items[i]));
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.take()).collect()
+}
+
+/// Run two closures, possibly on two threads, and return both results.
+/// With `parallel == false` they run sequentially on the caller's
+/// thread (left first), which is the exact sequential path.
+pub fn join<A, B, RA, RB>(parallel: bool, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !parallel {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join: right branch panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 7, 0] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 0, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u32], 8, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        for parallel in [false, true] {
+            let (a, b) = join(parallel, || 1 + 1, || "two".len());
+            assert_eq!(a, 2);
+            assert_eq!(b, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot never written")]
+    fn take_unwritten_slot_panics() {
+        let s: Slot<u8> = Slot::new();
+        s.take();
+    }
+
+    #[test]
+    #[should_panic(expected = "Slot::set called twice")]
+    fn double_set_panics() {
+        let s: Slot<u8> = Slot::new();
+        s.set(1);
+        s.set(2);
+    }
+}

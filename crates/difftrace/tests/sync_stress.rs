@@ -1,0 +1,139 @@
+//! Stress tests for the concurrency primitives under the parallel
+//! engine: the write-once `Slot` protocol inside `par_map`, and the
+//! sharded `SharedLoopTable` interner. `loom` is not available in this
+//! build environment, so these hammer the real scheduler with heavy
+//! over-subscription and repetition instead; the `Slot` invariants
+//! (single writer, publish-before-read) are additionally checked by
+//! assertions inside the type itself, which any interleaving violation
+//! turns into a panic here.
+
+use difftrace::sync::{par_map, Slot};
+use nlr::{Element, LoopId, SharedLoopTable};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn par_map_under_heavy_oversubscription() {
+    // 64 threads on (likely) far fewer cores, 10k near-empty items:
+    // maximizes claim/publish races on the slot array.
+    let items: Vec<usize> = (0..10_000).collect();
+    for rep in 0..3 {
+        let out = par_map(&items, 64, |i, &x| {
+            assert_eq!(i, x);
+            x.wrapping_mul(2654435761) ^ rep
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i.wrapping_mul(2654435761) ^ rep);
+        }
+    }
+}
+
+#[test]
+fn par_map_runs_every_item_exactly_once() {
+    let calls = AtomicUsize::new(0);
+    let items: Vec<u32> = (0..4096).collect();
+    let out = par_map(&items, 16, |_, &x| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        x
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), items.len());
+    assert_eq!(out, items);
+}
+
+#[test]
+fn slot_handoff_across_many_threads() {
+    // Each round: one writer thread publishes into a fresh slot while
+    // reader threads spin on is_set; the value must never be observed
+    // torn or missing after the flag flips.
+    for round in 0..200u64 {
+        let slot: Slot<Vec<u64>> = Slot::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while !slot.is_set() {
+                        std::hint::spin_loop();
+                    }
+                    // Acquire on is_set orders this read after the write.
+                });
+            }
+            s.spawn(|| slot.set(vec![round; 32]));
+        });
+        assert_eq!(slot.take(), vec![round; 32]);
+    }
+}
+
+#[test]
+fn shared_table_contended_identical_bodies() {
+    // All threads intern the *same* few bodies as fast as possible —
+    // worst case for the dedup shard locks. Exactly one ID may ever
+    // exist per body.
+    let table = SharedLoopTable::new();
+    let results: Vec<Vec<LoopId>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                s.spawn(|| {
+                    (0..2_000u32)
+                        .map(|i| table.intern(vec![Element::Sym(i % 4)]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(table.len(), 4);
+    for per_thread in &results {
+        assert_eq!(
+            &per_thread[..4],
+            &results[0][..4],
+            "IDs disagree across threads"
+        );
+        for (i, id) in per_thread.iter().enumerate() {
+            assert_eq!(*id, per_thread[i % 4]);
+        }
+    }
+    for i in 0..4u32 {
+        let id = results[0][i as usize];
+        assert_eq!(table.body(id), &[Element::Sym(i)]);
+    }
+}
+
+#[test]
+fn shared_table_disjoint_bodies_cross_page_boundary() {
+    // Threads intern mostly-disjoint bodies; total crosses the arena's
+    // 1024-entry page boundary, exercising concurrent page init.
+    let table = SharedLoopTable::new();
+    let per_thread = 400u32;
+    let threads = 8u32;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let table = &table;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let id = table.intern(vec![Element::Sym(t * per_thread + i)]);
+                    assert_eq!(table.body(id), &[Element::Sym(t * per_thread + i)]);
+                }
+            });
+        }
+    });
+    assert_eq!(table.len(), (threads * per_thread) as usize);
+    // Every body is readable afterwards and distinct.
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..table.len() {
+        assert!(seen.insert(table.body(LoopId(i as u32)).to_vec()));
+    }
+}
+
+#[test]
+fn nested_par_map_inside_par_map() {
+    // diff_runs_opts nests par_map (per-side workers) inside join;
+    // exercise the same shape directly.
+    let outer: Vec<usize> = (0..8).collect();
+    let out = par_map(&outer, 4, |_, &o| {
+        let inner: Vec<usize> = (0..64).collect();
+        par_map(&inner, 4, |_, &i| o * 1000 + i)
+            .iter()
+            .sum::<usize>()
+    });
+    for (o, v) in out.iter().enumerate() {
+        assert_eq!(*v, o * 1000 * 64 + (0..64).sum::<usize>());
+    }
+}

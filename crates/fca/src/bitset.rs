@@ -189,7 +189,10 @@ mod tests {
     fn set_algebra() {
         let a: BitSet = [1, 3, 5, 64, 65].into_iter().collect();
         let b: BitSet = [3, 5, 65, 100].into_iter().collect();
-        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 5, 65]);
+        assert_eq!(
+            a.intersection(&b).iter().collect::<Vec<_>>(),
+            vec![3, 5, 65]
+        );
         assert_eq!(
             a.union(&b).iter().collect::<Vec<_>>(),
             vec![1, 3, 5, 64, 65, 100]

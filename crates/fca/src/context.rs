@@ -177,7 +177,11 @@ impl FormalContext {
         for g in 0..self.num_objects() {
             out.push_str(&format!("{:<12}", self.object_labels[g]));
             for m in 0..self.num_attrs() {
-                let mark = if self.incidence[g].contains(m) { "×" } else { "" };
+                let mark = if self.incidence[g].contains(m) {
+                    "×"
+                } else {
+                    ""
+                };
                 out.push_str(&format!("{mark:<18}"));
             }
             out.push('\n');

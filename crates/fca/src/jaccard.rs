@@ -31,6 +31,26 @@ pub fn weighted_jaccard(ctx: &FormalContext, a: usize, b: usize) -> f64 {
     }
 }
 
+/// One row of the pairwise similarity matrix: `row[j] =
+/// weighted_jaccard(i, j)`, with `row[i] = 1.0`.
+///
+/// `weighted_jaccard` iterates the attribute *union* in index order and
+/// combines with `min`/`max`, so it is bitwise symmetric in its two
+/// arguments: computing full rows independently (e.g. one row per
+/// thread) yields the exact same floats as [`jaccard_matrix`]'s
+/// mirrored upper triangle.
+pub fn jaccard_row(ctx: &FormalContext, i: usize) -> Vec<f64> {
+    (0..ctx.num_objects())
+        .map(|j| {
+            if i == j {
+                1.0
+            } else {
+                weighted_jaccard(ctx, i, j)
+            }
+        })
+        .collect()
+}
+
 /// The full symmetric pairwise similarity matrix.
 #[allow(clippy::needless_range_loop)] // triangular matrix indexing is clearer by index
 pub fn jaccard_matrix(ctx: &FormalContext) -> Vec<Vec<f64>> {
@@ -85,6 +105,22 @@ mod tests {
             }
         }
         assert_eq!(m[0][2], 0.0); // disjoint
+    }
+
+    #[test]
+    fn row_computation_is_bitwise_identical_to_matrix() {
+        let mut ctx = FormalContext::new();
+        ctx.add_object("a", [("x", 4.0), ("y", 1.0), ("q", 0.25)]);
+        ctx.add_object("b", [("x", 2.0), ("y", 1.0)]);
+        ctx.add_object("c", [("z", 3.0), ("q", 7.5)]);
+        ctx.add_object("d", []);
+        let m = jaccard_matrix(&ctx);
+        for (i, m_row) in m.iter().enumerate() {
+            let row = jaccard_row(&ctx, i);
+            for j in 0..4 {
+                assert_eq!(m_row[j].to_bits(), row[j].to_bits(), "({i},{j})");
+            }
+        }
     }
 
     #[test]

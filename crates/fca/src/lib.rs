@@ -49,5 +49,5 @@ pub mod lattice;
 
 pub use bitset::BitSet;
 pub use context::{AttrId, FormalContext};
-pub use jaccard::{jaccard_matrix, weighted_jaccard};
+pub use jaccard::{jaccard_matrix, jaccard_row, weighted_jaccard};
 pub use lattice::{Concept, ConceptLattice};

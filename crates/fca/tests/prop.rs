@@ -5,19 +5,14 @@ use fca::{BitSet, ConceptLattice, FormalContext};
 use proptest::prelude::*;
 
 fn random_context() -> impl Strategy<Value = FormalContext> {
-    proptest::collection::vec(proptest::collection::vec(0usize..8, 0..8), 1..7).prop_map(
-        |objs| {
-            let mut ctx = FormalContext::new();
-            for (i, attrs) in objs.iter().enumerate() {
-                let names: Vec<String> = attrs.iter().map(|a| format!("m{a}")).collect();
-                ctx.add_object_unweighted(
-                    &format!("g{i}"),
-                    names.iter().map(|s| s.as_str()),
-                );
-            }
-            ctx
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0usize..8, 0..8), 1..7).prop_map(|objs| {
+        let mut ctx = FormalContext::new();
+        for (i, attrs) in objs.iter().enumerate() {
+            let names: Vec<String> = attrs.iter().map(|a| format!("m{a}")).collect();
+            ctx.add_object_unweighted(&format!("g{i}"), names.iter().map(|s| s.as_str()));
+        }
+        ctx
+    })
 }
 
 /// All closed intents by fixpoint intersection, with their extents.

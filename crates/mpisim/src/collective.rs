@@ -177,11 +177,7 @@ impl CollInstance {
                 for p in self.payloads.iter().flatten() {
                     acc = Some(match acc {
                         None => p.clone(),
-                        Some(a) => a
-                            .iter()
-                            .zip(p)
-                            .map(|(&x, &y)| op.apply(x, y))
-                            .collect(),
+                        Some(a) => a.iter().zip(p).map(|(&x, &y)| op.apply(x, y)).collect(),
                     });
                 }
                 acc.unwrap_or_default()

@@ -56,6 +56,8 @@ mod tests {
             .to_string()
             .contains("deadlock"));
         assert!(MpiError::InvalidRank(9).to_string().contains('9'));
-        assert!(AbortReason::WatchdogTimeout.to_string().contains("watchdog"));
+        assert!(AbortReason::WatchdogTimeout
+            .to_string()
+            .contains("watchdog"));
     }
 }

@@ -277,7 +277,12 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["MPI_Init", "GOMP_parallel_start", "GOMP_parallel_end", "MPI_Finalize"]
+            vec![
+                "MPI_Init",
+                "GOMP_parallel_start",
+                "GOMP_parallel_end",
+                "MPI_Finalize"
+            ]
         );
     }
 
@@ -344,10 +349,7 @@ mod tests {
         assert_eq!(v[0].0, 0);
         assert!(v.iter().all(|&(_, t)| t == v[0].1));
         // The winner's trace carries the GOMP_single_start marker.
-        let t = out
-            .traces
-            .get(TraceId::new(0, v[0].1))
-            .unwrap();
+        let t = out.traces.get(TraceId::new(0, v[0].1)).unwrap();
         let count = t
             .calls()
             .filter(|e| out.traces.registry.name(e.fn_id()) == "GOMP_single_start")

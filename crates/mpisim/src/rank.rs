@@ -203,7 +203,11 @@ impl Rank {
         }
         let me = self.rank;
         self.traced("MPI_Recv", || {
-            self.internals(&["MPIDI_CH3U_Recvq_FDU_or_AEP", "poll_progress", "MPIDI_memcpy"]);
+            self.internals(&[
+                "MPIDI_CH3U_Recvq_FDU_or_AEP",
+                "poll_progress",
+                "MPIDI_memcpy",
+            ]);
             self.world.block_until(me, move |st| {
                 // Eagerly buffered message first …
                 if let Some(q) = st.mailbox.get_mut(&(src, me, tag)) {
@@ -703,7 +707,11 @@ mod tests {
             } else {
                 assert_eq!(red, None);
             }
-            let data = if rank.rank() == 1 { vec![7, 8] } else { vec![0, 0] };
+            let data = if rank.rank() == 1 {
+                vec![7, 8]
+            } else {
+                vec![0, 0]
+            };
             assert_eq!(rank.bcast(&data, 2, 1)?, vec![7, 8]);
             rank.barrier()?;
             rank.finalize()
@@ -804,15 +812,22 @@ mod tests {
                 .collect()
         };
         // Main-image mode (the paper's runs): no MPIDI_/MPIR_ names.
-        assert!(!names(&plain, 0).iter().any(|n| n.starts_with("MPIDI_")
-            || n.starts_with("MPIR_")));
+        assert!(!names(&plain, 0)
+            .iter()
+            .any(|n| n.starts_with("MPIDI_") || n.starts_with("MPIR_")));
         // All-images mode: eager-send path + collective internals show.
         let v = names(&all_images, 0);
-        assert!(v.contains(&"MPIDI_CH3_EagerContigSend".to_string()), "{v:?}");
+        assert!(
+            v.contains(&"MPIDI_CH3_EagerContigSend".to_string()),
+            "{v:?}"
+        );
         assert!(v.contains(&"tcp_sendmsg".to_string()));
         assert!(v.contains(&"MPIR_Allreduce_intra".to_string()));
         let r = names(&all_images, 1);
-        assert!(r.contains(&"MPIDI_CH3U_Recvq_FDU_or_AEP".to_string()), "{r:?}");
+        assert!(
+            r.contains(&"MPIDI_CH3U_Recvq_FDU_or_AEP".to_string()),
+            "{r:?}"
+        );
         assert!(r.contains(&"poll_progress".to_string()));
     }
 

@@ -105,9 +105,7 @@ where
                 // is frozen where it died and the rank still counts as
                 // finished, so the deadlock detector / watchdog see the
                 // survivors correctly instead of waiting forever.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    body(&rank)
-                }));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rank)));
                 let result = match result {
                     Ok(r) => r,
                     Err(_) => {
@@ -196,7 +194,12 @@ mod tests {
         assert_eq!(out.abort_reason, Some(AbortReason::WatchdogTimeout));
         assert!(!out.deadlocked);
         assert!(t0.elapsed() < Duration::from_secs(8), "watchdog too slow");
-        assert!(out.traces.get(dt_trace::TraceId::master(0)).unwrap().truncated);
+        assert!(
+            out.traces
+                .get(dt_trace::TraceId::master(0))
+                .unwrap()
+                .truncated
+        );
     }
 
     #[test]
@@ -220,7 +223,12 @@ mod tests {
             out.errors
         );
         // The crashed rank's trace is frozen mid-call.
-        assert!(out.traces.get(dt_trace::TraceId::master(1)).unwrap().truncated);
+        assert!(
+            out.traces
+                .get(dt_trace::TraceId::master(1))
+                .unwrap()
+                .truncated
+        );
         // And the whole thing resolves promptly (no watchdog wait).
         assert!(t0.elapsed() < Duration::from_secs(5));
     }

@@ -248,8 +248,8 @@ impl World {
             let v = st.version;
             st.blocked_at.insert(rank, v);
             let alive = self.size - st.finished;
-            let all_blocked_current = st.blocked_at.len() as u32 == alive
-                && st.blocked_at.values().all(|&bv| bv == v);
+            let all_blocked_current =
+                st.blocked_at.len() as u32 == alive && st.blocked_at.values().all(|&bv| bv == v);
             if all_blocked_current {
                 self.abort_locked(&mut st, AbortReason::Deadlock);
                 st.blocked_at.remove(&rank);
@@ -372,13 +372,10 @@ mod tests {
         let w = World::new(2, 64);
         assert_eq!(w.progress_version(), 0);
         w.mutate(|st| {
-            st.mailbox
-                .entry((0, 1, 0))
-                .or_default()
-                .push_back(Msg {
-                    data: vec![42],
-                    vc: VectorClock::zero(2),
-                });
+            st.mailbox.entry((0, 1, 0)).or_default().push_back(Msg {
+                data: vec![42],
+                vc: VectorClock::zero(2),
+            });
         })
         .unwrap();
         assert_eq!(w.progress_version(), 1);
@@ -390,9 +387,7 @@ mod tests {
         let w2 = w.clone();
         let h = thread::spawn(move || {
             w2.block_until(1, |st| {
-                st.mailbox
-                    .get_mut(&(0, 1, 7))
-                    .and_then(|q| q.pop_front())
+                st.mailbox.get_mut(&(0, 1, 7)).and_then(|q| q.pop_front())
             })
         });
         thread::sleep(Duration::from_millis(20));

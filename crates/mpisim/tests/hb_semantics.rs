@@ -136,7 +136,14 @@ fn otf_export_orders_cross_rank_events() {
     // receive's Lamport time, which exceeds the producer's send time.
     let stamp = |needle: &str| -> u64 {
         let line = log.lines().find(|l| l.contains(needle)).unwrap();
-        line.split("t=").nth(1).unwrap().split('.').next().unwrap().parse().unwrap()
+        line.split("t=")
+            .nth(1)
+            .unwrap()
+            .split('.')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
     };
     assert!(stamp("ENTER consume") > stamp("ENTER produce"));
     assert!(log.contains("loc=0.0"));

@@ -2,7 +2,7 @@
 //! driver that finds deeper loop nests.
 
 use crate::element::{Element, Nlr};
-use crate::table::LoopTable;
+use crate::table::LoopInterner;
 
 /// Configurable NLR recognizer.
 ///
@@ -34,8 +34,15 @@ impl NlrBuilder {
         self.k
     }
 
-    /// Summarize `input`, interning loop bodies into `table`.
-    pub fn build(&self, input: &[u32], table: &mut LoopTable) -> Nlr {
+    /// Summarize `input`, interning loop bodies into `table` — a plain
+    /// [`crate::LoopTable`], a `&`[`crate::SharedLoopTable`] for
+    /// concurrent builds, or any other [`LoopInterner`]. The folding
+    /// decisions depend only on the input and the bodies this build
+    /// interned itself, never on what the table already contained — so
+    /// the resulting *structure* is table-independent (only the ID
+    /// numbering varies), which is what makes parallel NLR construction
+    /// with post-hoc canonical renumbering exact.
+    pub fn build<I: LoopInterner + ?Sized>(&self, input: &[u32], table: &mut I) -> Nlr {
         let mut elements: Vec<Element> = input.iter().map(|&s| Element::Sym(s)).collect();
         // Pass 1 finds depth-1 loops; each subsequent pass treats the
         // previous summary's loops as atomic symbols and can therefore
@@ -52,7 +59,7 @@ impl NlrBuilder {
     }
 
     /// One stack-machine pass over an element sequence.
-    fn pass(&self, input: &[Element], table: &mut LoopTable) -> Vec<Element> {
+    fn pass<I: LoopInterner + ?Sized>(&self, input: &[Element], table: &mut I) -> Vec<Element> {
         let mut stack: Vec<Element> = Vec::with_capacity(input.len().min(4096));
         for &e in input {
             stack.push(e);
@@ -63,7 +70,7 @@ impl NlrBuilder {
 
     /// Procedure 1: repeatedly apply (in priority order) loop merge,
     /// loop extension, and loop folding to the top of the stack.
-    fn reduce(&self, stack: &mut Vec<Element>, table: &mut LoopTable) {
+    fn reduce<I: LoopInterner + ?Sized>(&self, stack: &mut Vec<Element>, table: &mut I) {
         loop {
             if self.try_merge_adjacent(stack)
                 || self.try_extend(stack, table)
@@ -107,7 +114,7 @@ impl NlrBuilder {
     /// If the top `b` elements equal the body of the loop right below
     /// them, absorb them as one more iteration:
     /// `… L(body)^c body` → `… L(body)^(c+1)`.
-    fn try_extend(&self, stack: &mut Vec<Element>, table: &LoopTable) -> bool {
+    fn try_extend<I: LoopInterner + ?Sized>(&self, stack: &mut Vec<Element>, table: &I) -> bool {
         let n = stack.len();
         for b in 1..=self.k.min(n.saturating_sub(1)) {
             let loop_pos = n - b - 1;
@@ -133,7 +140,7 @@ impl NlrBuilder {
 
     /// If the top `2·b` elements are two equal halves, fold them into a
     /// fresh loop of two iterations: `… X X` → `… L(X)^2`.
-    fn try_fold(&self, stack: &mut Vec<Element>, table: &mut LoopTable) -> bool {
+    fn try_fold<I: LoopInterner + ?Sized>(&self, stack: &mut Vec<Element>, table: &mut I) -> bool {
         let n = stack.len();
         for b in 1..=self.k.min(n / 2) {
             // Cheap prefilter: the halves can only match if their last
@@ -163,6 +170,7 @@ impl NlrBuilder {
 mod tests {
     use super::*;
     use crate::element::LoopId;
+    use crate::table::LoopTable;
 
     fn build(k: usize, input: &[u32]) -> (Nlr, LoopTable) {
         let mut table = LoopTable::new();
@@ -200,14 +208,26 @@ mod tests {
         let input = [0, 1, 2, 3, 4, 3, 4, 3, 4, 3, 4, 5];
         let (nlr, table) = build(10, &input);
         let names = |s: u32| {
-            ["MPI_Init", "MPI_Comm_Rank", "MPI_Comm_Size", "MPI_Send", "MPI_Recv", "MPI_Finalize"]
-                [s as usize]
+            [
+                "MPI_Init",
+                "MPI_Comm_Rank",
+                "MPI_Comm_Size",
+                "MPI_Send",
+                "MPI_Recv",
+                "MPI_Finalize",
+            ][s as usize]
                 .to_string()
         };
         let rendered = nlr.render(&names);
         assert_eq!(
             rendered,
-            vec!["MPI_Init", "MPI_Comm_Rank", "MPI_Comm_Size", "L0 ^ 4", "MPI_Finalize"]
+            vec![
+                "MPI_Init",
+                "MPI_Comm_Rank",
+                "MPI_Comm_Size",
+                "L0 ^ 4",
+                "MPI_Finalize"
+            ]
         );
         assert_eq!(
             table.render_body(LoopId(0), &names),

@@ -130,6 +130,28 @@ impl Nlr {
             .join(" ")
     }
 
+    /// A copy of this summary with every top-level loop reference
+    /// renumbered through `f`. Nested references live in the loop
+    /// *table*, not in the summary, so remapping the table and the
+    /// top-level elements together relabels the whole structure — used
+    /// when canonicalizing provisional IDs after a parallel build.
+    pub fn remap_loops<F: Fn(LoopId) -> LoopId>(&self, f: &F) -> Nlr {
+        Nlr {
+            elements: self
+                .elements
+                .iter()
+                .map(|&e| match e {
+                    Element::Loop { body, count } => Element::Loop {
+                        body: f(body),
+                        count,
+                    },
+                    sym => sym,
+                })
+                .collect(),
+            input_len: self.input_len,
+        }
+    }
+
     /// Render with a symbol-name resolver, e.g.
     /// `["MPI_Init", "L0 ^ 4", "MPI_Finalize"]` (cf. Table III).
     pub fn render<F: Fn(u32) -> String>(&self, name: &F) -> Vec<String> {

@@ -46,8 +46,10 @@
 
 pub mod builder;
 pub mod element;
+pub mod shared;
 pub mod table;
 
 pub use builder::NlrBuilder;
 pub use element::{Element, LoopId, Nlr};
-pub use table::LoopTable;
+pub use shared::{RecordingInterner, SharedLoopTable};
+pub use table::{LoopInterner, LoopTable};

@@ -11,11 +11,32 @@
 use crate::element::{Element, LoopId};
 use std::collections::HashMap;
 
+/// The interface the NLR builder needs from a loop-body store: intern a
+/// body to an ID and read a body back. Implemented by the plain
+/// single-threaded [`LoopTable`], by `&`[`crate::SharedLoopTable`]
+/// (concurrent interning), and by [`crate::RecordingInterner`] (which
+/// additionally records the fold order for canonical renumbering).
+pub trait LoopInterner {
+    /// Intern `body`, returning its (possibly pre-existing) ID.
+    fn intern(&mut self, body: Vec<Element>) -> LoopId;
+    /// The body of `id`. Panics on a foreign ID.
+    fn body(&self, id: LoopId) -> &[Element];
+}
+
 /// Interning table: loop body (element sequence) → [`LoopId`].
 #[derive(Debug, Clone, Default)]
 pub struct LoopTable {
     bodies: Vec<Vec<Element>>,
     by_body: HashMap<Vec<Element>, LoopId>,
+}
+
+impl LoopInterner for LoopTable {
+    fn intern(&mut self, body: Vec<Element>) -> LoopId {
+        LoopTable::intern(self, body)
+    }
+    fn body(&self, id: LoopId) -> &[Element] {
+        LoopTable::body(self, id)
+    }
 }
 
 impl LoopTable {

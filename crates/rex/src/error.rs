@@ -26,7 +26,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

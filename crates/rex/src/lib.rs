@@ -327,8 +327,7 @@ mod tests {
 
     #[test]
     fn regex_set() {
-        let set =
-            RegexSet::new_case_insensitive(["memcpy", "memchk", "alloc", "malloc"]).unwrap();
+        let set = RegexSet::new_case_insensitive(["memcpy", "memchk", "alloc", "malloc"]).unwrap();
         assert!(set.is_match("xmalloc"));
         assert!(set.is_match("MEMCPY"));
         assert!(!set.is_match("strlen"));

@@ -170,21 +170,36 @@ impl Compiler {
                 let s = self.push(State::Split(PENDING, PENDING));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }, Hole { state: s, branch: 1 }],
+                    outs: vec![
+                        Hole {
+                            state: s,
+                            branch: 0,
+                        },
+                        Hole {
+                            state: s,
+                            branch: 1,
+                        },
+                    ],
                 }
             }
             Ast::Literal(c) => {
                 let s = self.push(State::Char(Matcher::Literal(*c), PENDING));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }],
+                    outs: vec![Hole {
+                        state: s,
+                        branch: 0,
+                    }],
                 }
             }
             Ast::Dot => {
                 let s = self.push(State::Char(Matcher::Dot, PENDING));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }],
+                    outs: vec![Hole {
+                        state: s,
+                        branch: 0,
+                    }],
                 }
             }
             Ast::Class { negated, ranges } => {
@@ -197,21 +212,30 @@ impl Compiler {
                 ));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }],
+                    outs: vec![Hole {
+                        state: s,
+                        branch: 0,
+                    }],
                 }
             }
             Ast::AnchorStart => {
                 let s = self.push(State::Assert(Assertion::Start, PENDING));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }],
+                    outs: vec![Hole {
+                        state: s,
+                        branch: 0,
+                    }],
                 }
             }
             Ast::AnchorEnd => {
                 let s = self.push(State::Assert(Assertion::End, PENDING));
                 Frag {
                     start: s,
-                    outs: vec![Hole { state: s, branch: 0 }],
+                    outs: vec![Hole {
+                        state: s,
+                        branch: 0,
+                    }],
                 }
             }
             Ast::Concat(parts) => {
@@ -355,7 +379,9 @@ mod tests {
 
     #[test]
     fn no_pending_targets_after_compile() {
-        for p in ["a", "abc", "a|b", "a*", "a+", "a?", "(ab)*c", "a{2,4}", "^a$", "[a-z]+", ""] {
+        for p in [
+            "a", "abc", "a|b", "a*", "a+", "a?", "(ab)*c", "a{2,4}", "^a$", "[a-z]+", "",
+        ] {
             let n = nfa(p);
             for (i, s) in n.states.iter().enumerate() {
                 match s {

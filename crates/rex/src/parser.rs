@@ -40,7 +40,12 @@ impl Parser {
         self.chars
             .get(self.pos)
             .map(|&(b, _)| b)
-            .unwrap_or_else(|| self.chars.last().map(|&(b, c)| b + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(b, c)| b + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -221,7 +226,8 @@ impl Parser {
                 Some('\\') => self.class_escape(start)?,
                 Some(c) => c,
             };
-            if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
             {
                 self.bump(); // consume '-'
                 let hi = match self.bump() {

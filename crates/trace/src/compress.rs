@@ -404,7 +404,9 @@ mod tests {
         let mut x = 12345u64;
         let sym: Vec<u32> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u32
             })
             .collect();
@@ -480,7 +482,10 @@ mod tests {
 
     #[test]
     fn streaming_edge_cases() {
-        assert_eq!(decompress(&StreamCompressor::new().finish()).unwrap(), vec![]);
+        assert_eq!(
+            decompress(&StreamCompressor::new().finish()).unwrap(),
+            vec![]
+        );
         let mut sc = StreamCompressor::new();
         sc.extend([1, 2, 3]);
         assert_eq!(decompress(&sc.finish()).unwrap(), vec![1, 2, 3]);
@@ -499,7 +504,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let mut at = 0;

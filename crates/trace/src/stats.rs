@@ -68,8 +68,7 @@ impl TraceSetStats {
             for t in set.process_traces(p) {
                 distinct.extend(t.events.iter().map(|e| e.fn_id().0));
             }
-            let traces: Vec<&TraceStats> =
-                per_trace.iter().filter(|s| s.id.process == p).collect();
+            let traces: Vec<&TraceStats> = per_trace.iter().filter(|s| s.id.process == p).collect();
             per_process.push(ProcessStats {
                 process: p,
                 threads: traces.len(),
@@ -90,8 +89,7 @@ impl TraceSetStats {
         if self.per_process.is_empty() {
             return 0.0;
         }
-        self.per_process.iter().map(|p| p.calls as f64).sum::<f64>()
-            / self.per_process.len() as f64
+        self.per_process.iter().map(|p| p.calls as f64).sum::<f64>() / self.per_process.len() as f64
     }
 
     /// Average distinct functions per process (the paper's "410 distinct

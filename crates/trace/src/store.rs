@@ -176,7 +176,10 @@ pub fn save_dir(set: &TraceSet, dir: &Path) -> Result<(), StoreError> {
         buf.extend_from_slice(THREAD_MAGIC);
         buf.push(u8::from(t.truncated));
         buf.extend_from_slice(&compress::compress(&t.to_symbols()));
-        std::fs::write(dir.join(format!("{}.{}.dtt", t.id.process, t.id.thread)), buf)?;
+        std::fs::write(
+            dir.join(format!("{}.{}.dtt", t.id.process, t.id.thread)),
+            buf,
+        )?;
     }
     Ok(())
 }

@@ -88,21 +88,19 @@ impl Trace {
                     Some(open) if open == *f => {}
                     Some(open) => problems.push((
                         i,
-                        format!(
-                            "return from fn#{} while fn#{} is innermost",
-                            f.0, open.0
-                        ),
+                        format!("return from fn#{} while fn#{} is innermost", f.0, open.0),
                     )),
-                    None => {
-                        problems.push((i, format!("return from fn#{} with no open call", f.0)))
-                    }
+                    None => problems.push((i, format!("return from fn#{} with no open call", f.0))),
                 },
             }
         }
         if !self.truncated && !stack.is_empty() {
             problems.push((
                 self.events.len(),
-                format!("{} call(s) never returned in a non-truncated trace", stack.len()),
+                format!(
+                    "{} call(s) never returned in a non-truncated trace",
+                    stack.len()
+                ),
             ));
         }
         problems
@@ -117,7 +115,10 @@ impl Trace {
     pub fn from_symbols(id: TraceId, symbols: &[u32], truncated: bool) -> Trace {
         Trace {
             id,
-            events: symbols.iter().map(|&s| TraceEvent::from_symbol(s)).collect(),
+            events: symbols
+                .iter()
+                .map(|&s| TraceEvent::from_symbol(s))
+                .collect(),
             truncated,
         }
     }
@@ -294,7 +295,10 @@ mod tests {
             TraceEvent::Return(a),
         ];
         let probs = t2.validate_nesting();
-        assert!(probs.iter().any(|(_, m)| m.contains("innermost")), "{probs:?}");
+        assert!(
+            probs.iter().any(|(_, m)| m.contains("innermost")),
+            "{probs:?}"
+        );
         // Open call: allowed only for truncated traces.
         let mut t3 = Trace::new(TraceId::new(0, 0));
         t3.events = vec![TraceEvent::Call(a)];

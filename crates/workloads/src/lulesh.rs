@@ -157,9 +157,7 @@ fn lagrange_nodal(rank: &Rank, cfg: &LuleshConfig, dom: &mut Domain) {
                 |_omp| {},
                 move |omp| {
                     for r in omp.static_iters(cfg2.regions) {
-                        let scope = omp
-                            .tracer()
-                            .enter(&format!("IntegrateStressForElems_R{r}"));
+                        let scope = omp.tracer().enter(&format!("IntegrateStressForElems_R{r}"));
                         let mut acc = 0u64;
                         for _e in 0..cfg2.elems_per_region {
                             omp.tracer().leaf("CalcElemShapeFunctionDerivatives");
@@ -373,10 +371,7 @@ mod tests {
         assert!(names.contains(&"CommSend".to_string()));
         assert_eq!(names.last().unwrap(), "MPI_Finalize");
         assert_eq!(
-            names
-                .iter()
-                .filter(|n| *n == "LagrangeLeapFrog")
-                .count(),
+            names.iter().filter(|n| *n == "LagrangeLeapFrog").count(),
             2,
             "one LagrangeLeapFrog per cycle"
         );

@@ -127,10 +127,16 @@ fn odd_even_sort(
         let mut send_first = me.is_multiple_of(2);
         let mut bogus_recv = false;
         match fault {
-            Some(OddEvenFault::SwapBug { rank: fr, after_iter }) if fr == me && i >= after_iter => {
+            Some(OddEvenFault::SwapBug {
+                rank: fr,
+                after_iter,
+            }) if fr == me && i >= after_iter => {
                 send_first = !send_first;
             }
-            Some(OddEvenFault::DlBug { rank: fr, after_iter }) if fr == me && i >= after_iter => {
+            Some(OddEvenFault::DlBug {
+                rank: fr,
+                after_iter,
+            }) if fr == me && i >= after_iter => {
                 bogus_recv = true;
             }
             _ => {}

@@ -87,10 +87,7 @@ impl StencilConfig {
 
 /// Run the solver; also returns rank 0's gathered final field (empty
 /// if the run died before gathering).
-pub fn run_stencil(
-    cfg: &StencilConfig,
-    registry: Arc<FunctionRegistry>,
-) -> (RunOutcome, Vec<i64>) {
+pub fn run_stencil(cfg: &StencilConfig, registry: Arc<FunctionRegistry>) -> (RunOutcome, Vec<i64>) {
     let cfg = cfg.clone();
     let final_field: Mutex<Vec<i64>> = Mutex::new(Vec::new());
     let sim = SimConfig::new(cfg.ranks).with_watchdog(std::time::Duration::from_secs(20));
@@ -118,12 +115,16 @@ pub fn run_stencil(
             let mut stale = false;
             let mut right_peer = right;
             match cfg.fault {
-                Some(StencilFault::StaleHalo { rank: fr, after_iter })
-                    if fr == me && iter >= after_iter =>
-                {
+                Some(StencilFault::StaleHalo {
+                    rank: fr,
+                    after_iter,
+                }) if fr == me && iter >= after_iter => {
                     stale = true;
                 }
-                Some(StencilFault::WrongNeighbor { rank: fr, wrong_peer }) if fr == me => {
+                Some(StencilFault::WrongNeighbor {
+                    rank: fr,
+                    wrong_peer,
+                }) if fr == me => {
                     right_peer = Some(wrong_peer);
                 }
                 _ => {}
@@ -156,7 +157,11 @@ pub fn run_stencil(
             let mut local_residual = 0i64;
             for i in 0..cells {
                 let l = if i == 0 { left_halo } else { field[i - 1] };
-                let r = if i + 1 == cells { right_halo } else { field[i + 1] };
+                let r = if i + 1 == cells {
+                    right_halo
+                } else {
+                    field[i + 1]
+                };
                 // Saturating fixed-point arithmetic: the flipped-sign
                 // fault anti-diffuses and would overflow (a trap in
                 // debug builds); real codes in f64 would go to ±inf —

@@ -81,9 +81,8 @@ impl TspInstance {
                     }
                     let (a, b) = (tour[i], tour[i + 1]);
                     let (c, d) = (tour[j], tour[(j + 1) % n]);
-                    let delta = self.dist(a, c) + self.dist(b, d)
-                        - self.dist(a, b)
-                        - self.dist(c, d);
+                    let delta =
+                        self.dist(a, c) + self.dist(b, d) - self.dist(a, b) - self.dist(c, d);
                     if delta < -1e-9 {
                         tour[i + 1..=j].reverse();
                         best += delta;

@@ -26,7 +26,10 @@ fn report(name: &str, set: &TraceSet) {
         "  compressed / thread (avg):   {:.2} KB",
         stats.avg_compressed_bytes_per_thread() / 1024.0
     );
-    println!("  compression ratio:           {:.0}×", stats.overall_ratio());
+    println!(
+        "  compression ratio:           {:.0}×",
+        stats.overall_ratio()
+    );
     println!();
 }
 

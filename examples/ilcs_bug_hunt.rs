@@ -43,14 +43,15 @@ fn main() {
         cluster::Method::Ward,
     );
     println!("{}", render_ranking(&rows));
-    println!(
-        "every informative row flags trace 6.4 — the planted bug site\n"
-    );
+    println!("every informative row flags trace 6.4 — the planted bug site\n");
 
-    let params = Params::new(filters[0].clone(), AttrConfig {
-        kind: AttrKind::Single,
-        freq: FreqMode::NoFreq,
-    });
+    let params = Params::new(
+        filters[0].clone(),
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::NoFreq,
+        },
+    );
     let d = diff_runs(&normal, &faulty, &params);
     println!("{}", d.diff_nlr(TraceId::new(6, 4)).unwrap());
     println!(

@@ -29,7 +29,11 @@ fn main() {
     // its parallel region, so it produced a single trace.
     for p in out.traces.processes() {
         let n = out.traces.process_traces(p).len();
-        let marker = if n == 1 { "   <- spawned no workers!" } else { "" };
+        let marker = if n == 1 {
+            "   <- spawned no workers!"
+        } else {
+            ""
+        };
         println!("rank {p}: {n} traces{marker}");
     }
 
@@ -45,10 +49,20 @@ fn main() {
     for (i, c) in report.clusters.iter().enumerate() {
         println!(
             "  {i}: {}",
-            c.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            c.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
-    println!("\noutliers: {:?}", report.outliers.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!(
+        "\noutliers: {:?}",
+        report
+            .outliers
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
     println!(
         "\nrank 2 never entered the Lagrange phase: it spawned no\n\
          workers, and its master trace lacks the whole kernel family —\n\

@@ -57,10 +57,7 @@ fn main() {
             nfield != ffield,
             d.bscore
         );
-        println!(
-            "  suspicious processes: {:?}",
-            d.suspicious_processes
-        );
+        println!("  suspicious processes: {:?}", d.suspicious_processes);
         if let Some(&top) = d.suspicious_threads.first() {
             let dn = d.diff_nlr(top).unwrap();
             if dn.is_identical() {

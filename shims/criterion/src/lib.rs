@@ -1,0 +1,335 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the part of criterion's API its benches use: `Criterion` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros. Statistics are
+//! simpler than real criterion's (mean/min/max over timed batches,
+//! printed as plain text) but the bench *code* is identical, so swapping
+//! the real crate back in later is a Cargo.toml-only change.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        let cfg = self.clone();
+        run_one(&cfg, &name.into(), None, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_name());
+        run_one(self.criterion, &label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_name());
+        run_one(self.criterion, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts `&str`, `String`, or `BenchmarkId` as a benchmark label.
+pub trait IntoBenchmarkName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Passed to the benchmark closure; `iter` measures the routine.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+
+        // Aim each sample at measurement_time / sample_size.
+        let sample_budget = self
+            .cfg
+            .measurement
+            .checked_div(self.cfg.sample_size as u32)
+            .unwrap_or(Duration::from_millis(10));
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            self.samples.push(
+                elapsed
+                    .checked_div(iters_per_sample as u32)
+                    .unwrap_or_default(),
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        cfg,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = *b.samples.iter().min().unwrap();
+    let max = *b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  thrpt: {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  thrpt: {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} time: [{} {} {}]{thr}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// Define a benchmark group function. Both real-criterion forms are
+/// supported: `criterion_group!(benches, f1, f2)` and
+/// `criterion_group!{name = benches; config = expr; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("id", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,103 @@
+//! The deterministic case runner and its RNG.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (the `cases` knob is the only one this
+/// workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generation RNG: xoshiro256** seeded per (test name, case index),
+/// so every case replays identically across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index — a stable
+/// cross-platform seed.
+fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (u64::from(case) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Execute `body` for each case with a per-case deterministic RNG.
+/// On failure, reports the test name, case index, and seed, then
+/// re-raises the panic.
+pub fn run<F: Fn(&mut TestRng)>(cfg: &ProptestConfig, name: &str, body: F) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases)
+        .max(1);
+    for case in 0..cases {
+        let seed = seed_for(name, case);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!(
+                "proptest(shim): property `{name}` failed at case {case}/{cases} \
+                 (seed {seed:#018x}; rerun replays the same sequence)"
+            );
+            resume_unwind(payload);
+        }
+    }
+}

@@ -1,2 +1,4 @@
 //! Umbrella crate re-exporting the DiffTrace reproduction workspace.
-pub use difftrace; pub use workloads; pub use mpisim;
+pub use difftrace;
+pub use mpisim;
+pub use workloads;

@@ -27,7 +27,13 @@ fn table_vi_flags_thread_6_4() {
         nlr_k: 10,
         ..FilterConfig::default()
     }];
-    let rows = sweep(&normal, &faulty, &filters, &AttrConfig::ALL, cluster::Method::Ward);
+    let rows = sweep(
+        &normal,
+        &faulty,
+        &filters,
+        &AttrConfig::ALL,
+        cluster::Method::Ward,
+    );
     assert_eq!(rows.len(), 6);
     for r in &rows {
         assert_eq!(

@@ -10,8 +10,12 @@ use std::sync::Arc;
 
 /// Random "call trace": loopy with a small alphabet plus noise.
 fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
-    let loopy = (1usize..5, 1usize..20, proptest::collection::vec(0u32..6, 1..6)).prop_map(
-        |(reps_outer, reps_inner, body)| {
+    let loopy = (
+        1usize..5,
+        1usize..20,
+        proptest::collection::vec(0u32..6, 1..6),
+    )
+        .prop_map(|(reps_outer, reps_inner, body)| {
             let mut v = Vec::new();
             for _ in 0..reps_outer {
                 for _ in 0..reps_inner {
@@ -20,8 +24,7 @@ fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
                 v.push(7); // separator
             }
             v
-        },
-    );
+        });
     let noisy = proptest::collection::vec(0u32..10, 0..100);
     prop_oneof![loopy, noisy]
 }

@@ -13,11 +13,7 @@ fn ilcs_ranking_tables_are_identical_across_harness_runs() {
     let table = || {
         let reg = Arc::new(FunctionRegistry::new());
         let normal = run_ilcs(&IlcsConfig::paper(None), reg.clone()).traces;
-        let faulty = run_ilcs(
-            &IlcsConfig::paper(Some(IlcsConfig::omp_crit_bug())),
-            reg,
-        )
-        .traces;
+        let faulty = run_ilcs(&IlcsConfig::paper(Some(IlcsConfig::omp_crit_bug())), reg).traces;
         let rows = sweep(
             &normal,
             &faulty,
@@ -33,7 +29,10 @@ fn ilcs_ranking_tables_are_identical_across_harness_runs() {
 #[test]
 fn lulesh_master_traces_are_bit_identical_across_runs() {
     let shape = || {
-        let out = run_lulesh(&LuleshConfig::paper(None), Arc::new(FunctionRegistry::new()));
+        let out = run_lulesh(
+            &LuleshConfig::paper(None),
+            Arc::new(FunctionRegistry::new()),
+        );
         let mut v = Vec::new();
         for p in 0..8u32 {
             let t = out.traces.get(dt_trace::TraceId::master(p)).unwrap();

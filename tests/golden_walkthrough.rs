@@ -19,10 +19,7 @@ Loop bodies:
 L0 = [MPI_Send - MPI_Recv]
 L1 = [MPI_Recv - MPI_Send]
 ";
-    assert!(
-        r.contains(expected_nlr),
-        "Table III snapshot changed:\n{r}"
-    );
+    assert!(r.contains(expected_nlr), "Table III snapshot changed:\n{r}");
 }
 
 #[test]
@@ -47,7 +44,10 @@ fn e2_lattice_is_bit_stable() {
         "({1.0, 3.0}, {MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init, L1})",
         "({}, {L0, MPI_Comm_rank, MPI_Comm_size, MPI_Finalize, MPI_Init, L1})",
     ] {
-        assert!(r.contains(line), "lattice snapshot changed: missing {line}\n{r}");
+        assert!(
+            r.contains(line),
+            "lattice snapshot changed: missing {line}\n{r}"
+        );
     }
 }
 

@@ -8,7 +8,11 @@ use nlr::LoopTable;
 use std::sync::Arc;
 use workloads::{run_oddeven, OddEvenConfig};
 
-fn oddeven(ranks: u32, fault: Option<workloads::OddEvenFault>, reg: Arc<FunctionRegistry>) -> dt_trace::TraceSet {
+fn oddeven(
+    ranks: u32,
+    fault: Option<workloads::OddEvenFault>,
+    reg: Arc<FunctionRegistry>,
+) -> dt_trace::TraceSet {
     let cfg = OddEvenConfig {
         ranks,
         values_per_rank: 4,
