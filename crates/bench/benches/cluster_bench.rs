@@ -35,11 +35,11 @@ fn bench_cluster(c: &mut Criterion) {
     let d = jsm_like(40, false);
     let z = linkage(&d, Method::Ward);
     g.bench_function("fcluster_maxclust_40", |b| {
-        b.iter(|| black_box(fcluster_maxclust(black_box(&z), 4)))
+        b.iter(|| black_box(fcluster_maxclust(black_box(&z), 4)));
     });
     let z2 = linkage(&jsm_like(40, true), Method::Ward);
     g.bench_function("bscore_40", |b| {
-        b.iter(|| black_box(bscore(black_box(&z), black_box(&z2))))
+        b.iter(|| black_box(bscore(black_box(&z), black_box(&z2))));
     });
     g.finish();
 

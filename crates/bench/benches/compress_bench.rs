@@ -38,7 +38,7 @@ fn bench_compress(c: &mut Criterion) {
         for (name, data) in [("loopy", loopy(n)), ("random", random(n))] {
             g.throughput(Throughput::Elements(n as u64));
             g.bench_with_input(BenchmarkId::new(name, n), &data, |b, data| {
-                b.iter(|| black_box(compress(black_box(data))).len())
+                b.iter(|| black_box(compress(black_box(data))).len());
             });
             let blob = compress(&data);
             g.bench_with_input(

@@ -26,7 +26,7 @@ fn bench_diff(c: &mut Criterion) {
                 BenchmarkId::new(format!("n{n}"), edits),
                 &(a, b),
                 |bench, (a, b)| {
-                    bench.iter(|| black_box(diff(black_box(a), black_box(b))).distance())
+                    bench.iter(|| black_box(diff(black_box(a), black_box(b))).distance());
                 },
             );
         }

@@ -52,7 +52,7 @@ fn bench_hb(c: &mut Criterion) {
                         }
                     }
                     black_box(count)
-                })
+                });
             },
         );
         g.bench_with_input(
@@ -75,7 +75,7 @@ fn bench_hb(c: &mut Criterion) {
             a.merge(black_box(&b_clock));
             a.tick(3);
             black_box(a.lamport())
-        })
+        });
     });
     g.finish();
 }

@@ -1,0 +1,76 @@
+//! Compressed-domain vs expanded-domain lint throughput.
+//!
+//! TL001–TL003 have two implementations with property-tested verdict
+//! agreement: one walking the expanded event streams, one working
+//! directly on the NLR terms (`tracelint::compressed`). The paper's
+//! whole premise is that compressed-domain processing scales with the
+//! *summary* size, not the trace length — this benchmark measures that
+//! gap on oddeven corpora of growing rank counts. Throughput is
+//! reported in (raw) events per second for both, so the compressed
+//! series should pull away as loops get longer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use difftrace::{lint_set, LintDomain, LintOptions};
+use dt_trace::{FunctionRegistry, TraceSet};
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::{run_oddeven, OddEvenConfig};
+
+fn corpus(ranks: u32, values_per_rank: usize) -> TraceSet {
+    let registry = Arc::new(FunctionRegistry::new());
+    let cfg = OddEvenConfig {
+        ranks,
+        values_per_rank,
+        ..OddEvenConfig::paper(None)
+    };
+    run_oddeven(&cfg, registry).traces
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(10);
+    for ranks in [16u32, 64] {
+        let set = corpus(ranks, 4);
+        let total_events: usize = set.iter().map(|t| t.events.len()).sum();
+        g.throughput(Throughput::Elements(total_events as u64));
+
+        let opts = |domain| LintOptions {
+            domain,
+            ..LintOptions::default()
+        };
+        // The two domains must agree before their speeds mean anything.
+        let expanded = lint_set(&set, &opts(LintDomain::Expanded));
+        let compressed = lint_set(&set, &opts(LintDomain::Compressed));
+        for id in set.ids() {
+            assert_eq!(
+                expanded.verdicts_for(id),
+                compressed.verdicts_for(id),
+                "domains disagree on {id}"
+            );
+        }
+
+        for (label, domain) in [
+            ("expanded", LintDomain::Expanded),
+            ("compressed", LintDomain::Compressed),
+        ] {
+            let o = opts(domain);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{ranks}ranks/{total_events}ev")),
+                &o,
+                |b, o| b.iter(|| black_box(lint_set(black_box(&set), o).error_count())),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` stays
+/// practical; pass `--measurement-time` on the CLI to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {name = benches; config = short(); targets = bench_lint}
+criterion_main!(benches);

@@ -65,7 +65,7 @@ fn bench_parallel(c: &mut Criterion) {
                         diff_runs_opts(black_box(&normal), black_box(&faulty), &params, opts)
                             .bscore,
                     )
-                })
+                });
             });
         }
     }

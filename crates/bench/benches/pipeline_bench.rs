@@ -34,7 +34,7 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, params| {
                 b.iter(|| {
                     black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
-                })
+                });
             },
         );
     }
@@ -55,7 +55,7 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, params| {
                 b.iter(|| {
                     black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
-                })
+                });
             },
         );
     }
@@ -75,7 +75,7 @@ fn bench_pipeline(c: &mut Criterion) {
             |b, params| {
                 b.iter(|| {
                     black_box(diff_runs(black_box(&normal), black_box(&faulty), params).bscore)
-                })
+                });
             },
         );
     }

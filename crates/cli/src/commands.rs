@@ -1,12 +1,44 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    diff_runs_opts, render_ranking, sweep_parallel, AttrConfig, AttrKind, FilterConfig, FreqMode,
-    Params, PipelineOptions,
+    diff_runs_opts, lint_set, render_ranking, sweep_parallel, try_diff_runs_opts, AttrConfig,
+    AttrKind, FilterConfig, FreqMode, LintDomain, LintGate, LintOptions, Params, PipelineOptions,
 };
 use dt_trace::{store, FunctionRegistry, TraceId, TraceSetStats};
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// CLI failure modes; `main` maps each variant to a distinct exit code
+/// (see the EXIT CODES section of the help text).
+#[derive(Debug)]
+pub enum CliError {
+    /// Ordinary failure — bad arguments, unreadable input. Exit code 2.
+    Msg(String),
+    /// The lint gate denied the inputs (`--gate deny`). Exit code 3,
+    /// so CI scripts can tell "traces are broken" from "tool misused".
+    LintDenied(String),
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Msg(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Msg(m.to_string())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Msg(m) | CliError::LintDenied(m) => write!(f, "{m}"),
+        }
+    }
+}
 
 const HELP: &str = "\
 difftrace — whole-program trace analysis and diffing for debugging
@@ -24,16 +56,31 @@ USAGE:
       Coverage of every predefined Table I filter on this trace set
       (how many events each keeps) — guidance for the iterative loop.
 
+  difftrace lint <file.dtts>... [--format text|json] [--gate warn|deny]
+          [--domain expanded|compressed] [--deep] [--threads N] [--filter CODE]
+      Static trace analysis *before* any diffing: stack discipline
+      (TL001), cross-rank collective order (TL002), truncation (TL003),
+      dead filters (TL004), NLR roundtrip (TL005), and — under --deep —
+      the FCA lattice postconditions (TL006). --domain compressed runs
+      TL001–TL003 directly on the NLR terms without expansion (same
+      verdicts, no event spans). --filter probes that filter's classes
+      for TL004 (bad custom patterns become diagnostics, not argument
+      errors); without it the Table I presets are audited. --gate deny
+      exits 3 when any error-severity diagnostic fires.
+
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
-          [--threads N] [--full]
+          [--threads N] [--full] [--gate off|warn|deny]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
       --threads 0 (default) parallelizes the iteration across all
       cores; --threads 1 forces the sequential path. The output is
       byte-identical either way.
-      Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward.
+      --gate runs the tracelint pre-pass first: warn reports findings
+      and continues, deny refuses to diff broken traces (exit code 3).
+      Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward
+      --gate off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
       No-reference outlier analysis of ONE execution (the paper's
@@ -57,22 +104,30 @@ CODES:
            cust:<regex>
   attrs    sing|doub|ctxt . actual|log10|noFreq
   linkage  single complete average weighted centroid median ward
+
+EXIT CODES:
+  0  success
+  2  error (bad arguments, unreadable input, …)
+  3  lint gate denied: `--gate deny` found error-severity diagnostics
 ";
 
-pub fn dispatch(args: &[String]) -> Result<(), String> {
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     match args.first().map(|s| s.as_str()) {
         None | Some("help") | Some("--help") | Some("-h") => {
             print!("{HELP}");
             Ok(())
         }
-        Some("demo") => demo(&args[1..]),
-        Some("info") => info(&args[1..]),
-        Some("filters") => filters(&args[1..]),
-        Some("single") => single(&args[1..]),
-        Some("export") => export(&args[1..]),
+        Some("demo") => demo(&args[1..]).map_err(CliError::Msg),
+        Some("info") => info(&args[1..]).map_err(CliError::Msg),
+        Some("filters") => filters(&args[1..]).map_err(CliError::Msg),
+        Some("single") => single(&args[1..]).map_err(CliError::Msg),
+        Some("export") => export(&args[1..]).map_err(CliError::Msg),
+        Some("lint") => lint_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
-        Some("sweep") => sweep_cmd(&args[1..]),
-        Some(other) => Err(format!("unknown command `{other}` (try `difftrace help`)")),
+        Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
+        Some(other) => Err(CliError::Msg(format!(
+            "unknown command `{other}` (try `difftrace help`)"
+        ))),
     }
 }
 
@@ -278,6 +333,89 @@ fn single(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut paths = Vec::new();
+    let mut format = "text".to_string();
+    let mut gate = LintGate::Warn;
+    let mut opts = LintOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--format" => {
+                format = value("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (text|json)").into());
+                }
+            }
+            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
+            "--domain" => opts.domain = LintDomain::parse(&value("--domain")?)?,
+            "--deep" => opts.deep = true,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            // Lenient on purpose: a bad custom pattern must surface as
+            // a TL004 diagnostic with a byte span, not an arg error.
+            "--filter" => opts.filter = Some(FilterConfig::parse_lenient(&value("--filter")?)?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` for `lint`").into())
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: difftrace lint <file.dtts>... [options]".into());
+    }
+    let (rendered, errors) = lint_render(&paths, &format, &opts)?;
+    print!("{rendered}");
+    if gate == LintGate::Deny && errors > 0 {
+        return Err(CliError::LintDenied(format!(
+            "lint gate denied: {errors} error(s) across {} file(s)",
+            paths.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Render lint reports for `paths` — split out from [`lint_cmd`] so
+/// tests can assert the output is byte-identical across thread counts.
+/// Returns the rendered output and the total error count.
+fn lint_render(
+    paths: &[String],
+    format: &str,
+    opts: &LintOptions,
+) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut errors = 0;
+    for path in paths {
+        let set = load(path)?;
+        let report = lint_set(&set, opts);
+        errors += report.error_count();
+        if format == "json" {
+            if paths.len() == 1 {
+                out.push_str(&report.render_json());
+            } else {
+                // One object per line, tagged with its file.
+                out.push_str(&format!(
+                    "{{\"path\":\"{}\",\"report\":{}}}\n",
+                    path.replace('\\', "\\\\").replace('"', "\\\""),
+                    report.render_json().trim_end()
+                ));
+            }
+        } else {
+            if paths.len() > 1 {
+                out.push_str(&format!("== {path}\n"));
+            }
+            out.push_str(&report.render_text());
+        }
+    }
+    Ok((out, errors))
+}
+
 struct DiffOpts {
     normal: String,
     faulty: String,
@@ -288,6 +426,7 @@ struct DiffOpts {
     jobs: usize,
     threads: usize,
     full: bool,
+    gate: LintGate,
 }
 
 fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
@@ -299,6 +438,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut jobs = 0usize;
     let mut threads = 0usize;
     let mut full = false;
+    let mut gate = LintGate::Off;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -329,6 +469,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
             "--jobs" => jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
             "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
             "--full" => full = true,
+            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}` for `{cmd}`"))
             }
@@ -350,10 +491,11 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         jobs,
         threads,
         full,
+        gate,
     })
 }
 
-fn diff_cmd(args: &[String]) -> Result<(), String> {
+fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args, "diff")?;
     let normal = load(&opts.normal)?;
     let faulty = load(&opts.faulty)?;
@@ -371,12 +513,28 @@ fn diff_cmd(args: &[String]) -> Result<(), String> {
         attrs,
         linkage: opts.linkage,
     };
-    let d = diff_runs_opts(
+    let d = match try_diff_runs_opts(
         &normal,
         &faulty,
         &params,
-        &PipelineOptions::with_threads(opts.threads),
-    );
+        &PipelineOptions {
+            threads: opts.threads,
+            lint: opts.gate,
+        },
+    ) {
+        Ok(d) => d,
+        Err(fail) => {
+            eprint!("lint (normal):\n{}", fail.normal.render_text());
+            eprint!("lint (faulty):\n{}", fail.faulty.render_text());
+            return Err(CliError::LintDenied(fail.to_string()));
+        }
+    };
+    if let Some((n, f)) = &d.lint {
+        if !n.is_clean() || !f.is_clean() {
+            eprint!("lint (normal):\n{}", n.render_text());
+            eprint!("lint (faulty):\n{}", f.render_text());
+        }
+    }
     if opts.full {
         print!(
             "{}",
@@ -610,6 +768,90 @@ mod tests {
             "sing.actual",
             "--jobs",
             "2",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+
+        // Clean corpus under its live filter: lint passes, any gate.
+        dispatch(&s(&[
+            "lint",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--gate",
+            "deny",
+        ]))
+        .unwrap();
+        dispatch(&s(&["lint", &n, "--format", "json"])).unwrap();
+        dispatch(&s(&["lint", &n, "--domain", "compressed", "--deep"])).unwrap();
+
+        // Byte-identical output across thread counts, both formats and
+        // both domains.
+        for format in ["text", "json"] {
+            for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+                let render = |threads: usize| {
+                    lint_render(
+                        &[n.clone(), f.clone()],
+                        format,
+                        &LintOptions {
+                            threads,
+                            domain,
+                            ..LintOptions::default()
+                        },
+                    )
+                    .unwrap()
+                };
+                let base = render(1);
+                assert_eq!(base, render(2), "{format}/{domain:?}");
+                assert_eq!(base, render(0), "{format}/{domain:?}");
+            }
+        }
+
+        // A broken custom filter pattern is a TL004 *diagnostic* (with
+        // a byte span), not an argument error — and trips `deny` with
+        // the dedicated error kind.
+        let denied = dispatch(&s(&[
+            "lint",
+            &n,
+            "--filter",
+            "11.cust:*bad.K10",
+            "--gate",
+            "deny",
+        ]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+        let (out, errors) = lint_render(
+            std::slice::from_ref(&n),
+            "json",
+            &LintOptions {
+                filter: Some(FilterConfig::parse_lenient("11.cust:*bad.K10").unwrap()),
+                ..LintOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(errors, 1);
+        assert!(out.contains("\"code\":\"TL004\""), "{out}");
+        assert!(out.contains("\"span\":{\"start\":0,\"end\":1}"), "{out}");
+
+        // The diff gate wires through PipelineOptions.
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--gate",
+            "deny",
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();

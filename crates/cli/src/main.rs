@@ -8,6 +8,10 @@
 //! ```
 //!
 //! See `difftrace help` for the options of each command.
+//!
+//! Exit codes: 0 success, 2 ordinary error, 3 lint gate denied
+//! (`--gate deny` found error-severity diagnostics) — distinct so CI
+//! scripts can gate on broken traces specifically.
 
 mod commands;
 
@@ -17,7 +21,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(commands::CliError::LintDenied(e)) => {
+            eprintln!("difftrace: {e}");
+            ExitCode::from(3)
+        }
+        Err(commands::CliError::Msg(e)) => {
             eprintln!("difftrace: {e}");
             ExitCode::from(2)
         }

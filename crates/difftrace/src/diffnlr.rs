@@ -27,14 +27,14 @@ impl DiffNlr {
     /// "MPI_Finalize"]`).
     pub fn new(
         id: TraceId,
-        normal: Vec<String>,
-        faulty: Vec<String>,
+        normal: &[String],
+        faulty: &[String],
         faulty_truncated: bool,
     ) -> DiffNlr {
-        let script = diff(&normal, &faulty);
+        let script = diff(normal, faulty);
         DiffNlr {
             id,
-            blocks: align_blocks(&script, &normal, &faulty),
+            blocks: align_blocks(&script, normal, faulty),
             faulty_truncated,
         }
     }
@@ -153,8 +153,8 @@ mod tests {
         // T5: L1^16; T'5: L1^7 L0^9 — both reach MPI_Finalize.
         let d = DiffNlr::new(
             TraceId::master(5),
-            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
-            v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
+            &v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            &v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
             false,
         );
         assert!(!d.is_identical());
@@ -173,8 +173,8 @@ mod tests {
         // T'5 never reaches MPI_Finalize.
         let d = DiffNlr::new(
             TraceId::master(5),
-            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
-            v(&["MPI_Init", "L1 ^ 7", "MPI_Recv"]),
+            &v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            &v(&["MPI_Init", "L1 ^ 7", "MPI_Recv"]),
             true,
         );
         assert!(d.normal_only().contains(&"MPI_Finalize"));
@@ -185,8 +185,8 @@ mod tests {
     fn side_by_side_layout() {
         let d = DiffNlr::new(
             TraceId::master(5),
-            v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
-            v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
+            &v(&["MPI_Init", "L1 ^ 16", "MPI_Finalize"]),
+            &v(&["MPI_Init", "L1 ^ 7", "L0 ^ 9", "MPI_Finalize"]),
             false,
         );
         let s = d.render_side_by_side();
@@ -201,13 +201,13 @@ mod tests {
         assert!(right.starts_with(' '), "{right:?}");
         assert!(!s.contains("truncated"));
         // Truncation note appears when flagged.
-        let d2 = DiffNlr::new(TraceId::master(5), v(&["a"]), v(&["b"]), true);
+        let d2 = DiffNlr::new(TraceId::master(5), &v(&["a"]), &v(&["b"]), true);
         assert!(d2.render_side_by_side().contains("truncated"));
     }
 
     #[test]
     fn identical_traces() {
-        let d = DiffNlr::new(TraceId::new(1, 2), v(&["a", "b"]), v(&["a", "b"]), false);
+        let d = DiffNlr::new(TraceId::new(1, 2), &v(&["a", "b"]), &v(&["a", "b"]), false);
         assert!(d.is_identical());
         assert!(d.normal_only().is_empty());
         assert!(d.faulty_only().is_empty());

@@ -178,6 +178,56 @@ impl FilterConfig {
         Ok(())
     }
 
+    /// Probe every keep class against a corpus of *distinct* function
+    /// names, without re-scanning any trace. Regex-backed classes are
+    /// counted through the rex match counter; prefix/set classes are
+    /// counted directly. This powers tracelint's dead-filter rule
+    /// (TL004).
+    pub fn probe_classes(&self, names: &[String]) -> Vec<ClassProbe> {
+        self.keep
+            .iter()
+            .map(|class| {
+                let (pattern, parse_error) = match class {
+                    KeepClass::Custom(p) => (
+                        Some(p.clone()),
+                        Regex::new(p).err().map(|e| (e.position, e.message)),
+                    ),
+                    _ => (None, None),
+                };
+                if let Some(err) = parse_error {
+                    return ClassProbe {
+                        code: class.code().to_string(),
+                        pattern,
+                        matched: 0,
+                        parse_error: Some(err),
+                        satisfiable: false,
+                    };
+                }
+                let compiled = compile_class(class);
+                let (matched, satisfiable) = match &compiled {
+                    CompiledClass::Re(re) => {
+                        re.reset_match_count();
+                        for n in names {
+                            re.is_match(n);
+                        }
+                        (re.match_count(), re.is_satisfiable())
+                    }
+                    _ => {
+                        let hits = names.iter().filter(|n| compiled.matches(n)).count();
+                        (hits as u64, true)
+                    }
+                };
+                ClassProbe {
+                    code: class.code().to_string(),
+                    pattern,
+                    matched,
+                    parse_error: None,
+                    satisfiable,
+                }
+            })
+            .collect()
+    }
+
     fn keeps(&self, name: &str, compiled: &[CompiledClass]) -> bool {
         if self.drop_plt && (name.ends_with("@plt") || name.contains(".plt")) {
             return false;
@@ -250,6 +300,26 @@ impl fmt::Display for FilterConfig {
     }
 }
 
+/// Result of probing one keep class against a name corpus
+/// ([`FilterConfig::probe_classes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassProbe {
+    /// The class's filter code (`mpiall`, `cust`, …).
+    pub code: String,
+    /// For custom classes, the pattern text.
+    pub pattern: Option<String>,
+    /// Distinct corpus names the class matched.
+    pub matched: u64,
+    /// Parse failure for a custom pattern: byte offset into the
+    /// pattern, plus the parser's message.
+    pub parse_error: Option<(usize, String)>,
+    /// Whether the pattern can match *any* string (always true for
+    /// built-in classes; `rex`'s satisfiability analysis for custom
+    /// ones). `false` with no parse error means the pattern is
+    /// structurally dead, e.g. `a^b`.
+    pub satisfiable: bool,
+}
+
 /// How much of a trace set a filter keeps — the feedback a user needs
 /// when turning the front-end-filter knob of the iterative loop
 /// (Figure 1 of the paper).
@@ -315,12 +385,17 @@ pub fn table_i_catalog(k: usize) -> Vec<(&'static str, FilterConfig)> {
     ]
 }
 
-impl std::str::FromStr for FilterConfig {
-    type Err = String;
+impl FilterConfig {
+    /// Parse a filter code *without* validating custom patterns.
+    ///
+    /// `difftrace lint` uses this so that a bad custom regex becomes a
+    /// TL004 diagnostic with a byte-offset span rather than an
+    /// argument-parsing error.
+    pub fn parse_lenient(code: &str) -> Result<FilterConfig, String> {
+        FilterConfig::parse_code(code, false)
+    }
 
-    /// Parse a filter code like `11.mem.ompcrit.K10` or
-    /// `01.mpiall.cust:^CPU_.K50` (custom patterns follow `cust:`).
-    fn from_str(code: &str) -> Result<FilterConfig, String> {
+    fn parse_code(code: &str, validate: bool) -> Result<FilterConfig, String> {
         let mut parts = code.split('.');
         let flags = parts.next().ok_or("empty filter code")?;
         if flags.len() != 2 || !flags.chars().all(|c| c == '0' || c == '1') {
@@ -363,8 +438,20 @@ impl std::str::FromStr for FilterConfig {
             };
             cfg.keep.push(class);
         }
-        cfg.validate()?;
+        if validate {
+            cfg.validate()?;
+        }
         Ok(cfg)
+    }
+}
+
+impl std::str::FromStr for FilterConfig {
+    type Err = String;
+
+    /// Parse a filter code like `11.mem.ompcrit.K10` or
+    /// `01.mpiall.cust:^CPU_.K50` (custom patterns follow `cust:`).
+    fn from_str(code: &str) -> Result<FilterConfig, String> {
+        FilterConfig::parse_code(code, true)
     }
 }
 

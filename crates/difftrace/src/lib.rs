@@ -77,9 +77,11 @@ pub mod classify;
 pub mod diffnlr;
 pub mod filter;
 pub mod jsm;
+pub mod lint;
 pub mod nlr_stage;
 pub mod pipeline;
 pub mod ranking;
+pub mod recording;
 pub mod report;
 pub mod single_run;
 pub mod sync;
@@ -87,13 +89,15 @@ pub mod sync;
 pub use attributes::{AttrConfig, AttrKind, FreqMode};
 pub use classify::{extract_features, leave_one_out, FeatureVector, NearestCentroid, Sample};
 pub use diffnlr::DiffNlr;
-pub use filter::{FilterConfig, FilteredSet, FilteredTrace, KeepClass};
+pub use filter::{ClassProbe, FilterConfig, FilteredSet, FilteredTrace, KeepClass};
 pub use jsm::JsmMatrix;
+pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use pipeline::{
     analyze, analyze_aligned, analyze_aligned_opts, analyze_opts, diff_runs, diff_runs_opts,
-    AnalysisRun, DiffRun, Params, PipelineOptions,
+    try_diff_runs_opts, AnalysisRun, DiffRun, Params, PipelineOptions,
 };
 pub use ranking::{render_ranking, sweep, sweep_parallel, RankingRow};
+pub use recording::record_masters;
 pub use report::{generate as generate_report, ReportOptions};
 pub use single_run::{analyze_single, SingleRunReport};

@@ -1,0 +1,525 @@
+//! The tracelint pre-pass: static trace analysis before any diffing.
+//!
+//! [`lint_set`] runs the TL001–TL006 rule families (see the
+//! `tracelint` crate) over one execution's raw traces, in parallel per
+//! trace, with **byte-identical diagnostics for every thread count**:
+//! per-trace checks fan out through [`crate::sync::par_map`] (whose
+//! output is input-ordered), cross-trace checks run sequentially, and
+//! [`LintReport::new`] sorts canonically.
+//!
+//! [`LintGate`] threads the pass through [`crate::PipelineOptions`]:
+//! `Warn` attaches the reports to the [`crate::DiffRun`], `Deny` makes
+//! [`crate::try_diff_runs_opts`] refuse to diff when any error-severity
+//! diagnostic fires.
+
+use crate::attributes::{AttrConfig, AttrKind, FreqMode};
+use crate::filter::{table_i_catalog, ClassProbe, FilterConfig};
+use crate::nlr_stage::NlrSet;
+use crate::pipeline::{analyze_opts, Params, PipelineOptions};
+use crate::sync::{effective_threads, par_map};
+use dt_trace::{Trace, TraceId, TraceSet};
+use nlr::{LoopTable, Nlr, SharedLoopTable};
+use std::fmt;
+use tracelint::compressed::{
+    check_collective_order_compressed, check_stack_discipline_compressed, rank_streams,
+    CollProjector, EffectChecker,
+};
+use tracelint::rules;
+use tracelint::{Diagnostic, LintReport, RuleCode, Span};
+
+/// When lint findings stop the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintGate {
+    /// Skip the lint pass entirely (the default).
+    #[default]
+    Off,
+    /// Run the pass and attach its reports, but never stop.
+    Warn,
+    /// Refuse to run the pipeline if any **error**-severity diagnostic
+    /// fires (warnings pass).
+    Deny,
+}
+
+impl LintGate {
+    /// Parse a CLI-style gate name.
+    pub fn parse(s: &str) -> Result<LintGate, String> {
+        match s {
+            "off" => Ok(LintGate::Off),
+            "warn" => Ok(LintGate::Warn),
+            "deny" => Ok(LintGate::Deny),
+            other => Err(format!("unknown lint gate `{other}` (off|warn|deny)")),
+        }
+    }
+}
+
+/// Which implementation family checks the per-trace rules TL001–TL003.
+///
+/// Both produce the same *verdicts* (that equivalence is
+/// property-tested in `tracelint`); the expanded domain adds precise
+/// event-offset spans, the compressed domain never expands the NLR
+/// terms and is the one to measure for throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintDomain {
+    /// Scan the expanded event streams.
+    #[default]
+    Expanded,
+    /// Check the NLR terms directly.
+    Compressed,
+}
+
+impl LintDomain {
+    /// Parse a CLI-style domain name.
+    pub fn parse(s: &str) -> Result<LintDomain, String> {
+        match s {
+            "expanded" => Ok(LintDomain::Expanded),
+            "compressed" => Ok(LintDomain::Compressed),
+            other => Err(format!(
+                "unknown lint domain `{other}` (expanded|compressed)"
+            )),
+        }
+    }
+}
+
+/// Configuration for one lint pass.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Worker threads (same convention as
+    /// [`PipelineOptions::threads`]: `1` sequential, `0` all cores).
+    pub threads: usize,
+    /// Implementation family for TL001–TL003.
+    pub domain: LintDomain,
+    /// Also run the expensive TL006 lattice postconditions.
+    pub deep: bool,
+    /// Filter whose keep classes TL004 probes (and whose `K` sizes the
+    /// NLR terms). `None` probes the Table I presets instead.
+    pub filter: Option<FilterConfig>,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            threads: 1,
+            domain: LintDomain::Expanded,
+            deep: false,
+            filter: None,
+        }
+    }
+}
+
+impl LintOptions {
+    /// Options for the pipeline pre-pass: probe the pipeline's own
+    /// filter, expanded domain for precise spans, no deep pass.
+    pub fn for_pipeline(params: &Params, threads: usize) -> LintOptions {
+        LintOptions {
+            threads,
+            domain: LintDomain::Expanded,
+            deep: false,
+            filter: Some(params.filter.clone()),
+        }
+    }
+}
+
+/// Lint one execution. See the module docs for the determinism
+/// guarantees.
+pub fn lint_set(set: &TraceSet, opts: &LintOptions) -> LintReport {
+    let traces: Vec<&Trace> = set.iter().collect();
+    let threads = effective_threads(opts.threads, traces.len().max(1));
+    let k = opts.filter.as_ref().map_or(10, |f| f.nlr_k);
+
+    // NLR terms over the *raw* symbol streams (no filtering — lint
+    // checks the traces as recorded). TL005 needs them always; the
+    // compressed domain checks TL001–TL003 on them too.
+    let raw: Vec<RawTrace> = traces
+        .iter()
+        .map(|t| RawTrace {
+            id: t.id,
+            symbols: t.events.iter().map(|e| e.to_symbol()).collect(),
+            truncated: t.truncated,
+        })
+        .collect();
+    let (nlrs, table) = build_raw_nlrs(&raw, k, threads);
+
+    // Per-trace rules, fanned out; output order is input order.
+    let registry = &set.registry;
+    let per_trace: Vec<Vec<Diagnostic>> = par_map(&raw, threads, |i, rt| {
+        let term = nlrs.get(rt.id).expect("term built for every trace");
+        let mut out = Vec::new();
+        match opts.domain {
+            LintDomain::Expanded => {
+                out.extend(rules::check_stack_discipline(traces[i], registry));
+            }
+            LintDomain::Compressed => {
+                let mut checker = EffectChecker::new(&table);
+                out.extend(check_stack_discipline_compressed(
+                    &mut checker,
+                    rt.id,
+                    term,
+                    rt.truncated,
+                    registry,
+                ));
+            }
+        }
+        out.extend(rules::check_roundtrip(rt.id, &rt.symbols, term, &table));
+        out
+    });
+    let mut diags: Vec<Diagnostic> = per_trace.into_iter().flatten().collect();
+
+    // Cross-trace and corpus-level rules, sequential.
+    match opts.domain {
+        LintDomain::Expanded => diags.extend(rules::check_collective_order(set)),
+        LintDomain::Compressed => {
+            let coll = rules::collective_fn_ids(registry);
+            let mut projector = CollProjector::new(&table, &coll);
+            let terms: Vec<(TraceId, &Nlr, bool)> = nlrs
+                .nlrs
+                .iter()
+                .map(|(&id, n)| (id, n, *nlrs.truncated.get(&id).unwrap_or(&false)))
+                .collect();
+            let ranks = rank_streams(&terms, &mut projector);
+            diags.extend(check_collective_order_compressed(
+                &ranks, &projector, registry,
+            ));
+        }
+    }
+    diags.extend(dead_filter_diags(
+        opts.filter.as_ref(),
+        &registry.names(),
+        k,
+    ));
+    if opts.deep {
+        diags.extend(deep_lattice_diags(set, opts, k));
+    }
+    LintReport::new(diags)
+}
+
+/// A raw (unfiltered) symbol stream.
+struct RawTrace {
+    id: TraceId,
+    symbols: Vec<u32>,
+    truncated: bool,
+}
+
+/// Build NLR terms for the raw streams — sequentially under one table,
+/// or in parallel through a shared provisional table followed by the
+/// canonical renumbering replay (identical output either way; see
+/// `nlr::shared`).
+fn build_raw_nlrs(raw: &[RawTrace], k: usize, threads: usize) -> (NlrSet, LoopTable) {
+    let as_filtered = crate::filter::FilteredSet {
+        traces: raw
+            .iter()
+            .map(|rt| crate::filter::FilteredTrace {
+                id: rt.id,
+                symbols: rt.symbols.clone(),
+                truncated: rt.truncated,
+            })
+            .collect(),
+    };
+    let mut table = LoopTable::new();
+    let nlrs = if threads <= 1 {
+        NlrSet::build(&as_filtered, k, &mut table)
+    } else {
+        let shared = SharedLoopTable::new();
+        let (prov, orders) = NlrSet::build_shared(&as_filtered, k, &shared, threads);
+        let map = shared.canonicalize_into(orders.into_iter().flatten(), &mut table);
+        prov.remap(&map)
+    };
+    (nlrs, table)
+}
+
+/// TL004: dead-filter analysis. With a filter, probe its keep classes;
+/// without one, probe every Table I preset against the corpus's
+/// distinct function names.
+fn dead_filter_diags(filter: Option<&FilterConfig>, names: &[String], k: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    match filter {
+        Some(cfg) => {
+            for probe in cfg.probe_classes(names) {
+                out.extend(probe_diag(&probe, names.len()));
+            }
+        }
+        None => {
+            for (label, cfg) in table_i_catalog(k) {
+                if cfg.keep.is_empty() {
+                    continue; // "Everything" keeps all — never dead.
+                }
+                let dead = cfg.probe_classes(names).iter().all(|p| p.matched == 0);
+                if dead {
+                    out.push(
+                        Diagnostic::warning(
+                            RuleCode::DeadFilter,
+                            format!(
+                                "Table I filter `{label}` matches none of the {} distinct \
+                                 function name(s) in this corpus",
+                                names.len()
+                            ),
+                        )
+                        .with_hint("running the pipeline under this filter would diff empty NLRs"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One keep class's probe result, as diagnostics.
+fn probe_diag(probe: &ClassProbe, corpus: usize) -> Vec<Diagnostic> {
+    let describe = |p: &ClassProbe| match &p.pattern {
+        Some(pat) => format!("custom pattern `{pat}`"),
+        None => format!("filter class `{}`", p.code),
+    };
+    if let Some((at, msg)) = &probe.parse_error {
+        return vec![Diagnostic::error(
+            RuleCode::DeadFilter,
+            format!("{} fails to parse at byte {at}: {msg}", describe(probe)),
+        )
+        .with_span(Span::at(*at))
+        .with_hint("the span is a byte offset into the pattern string")];
+    }
+    if !probe.satisfiable {
+        return vec![Diagnostic::error(
+            RuleCode::DeadFilter,
+            format!(
+                "{} cannot match any string (contradictory anchors)",
+                describe(probe)
+            ),
+        )
+        .with_hint("remove the unreachable `^`/`$` assertion")];
+    }
+    if probe.matched == 0 {
+        return vec![Diagnostic::warning(
+            RuleCode::DeadFilter,
+            format!(
+                "{} matches none of the {corpus} distinct function name(s) in this corpus",
+                describe(probe)
+            ),
+        )
+        .with_hint("a filter that keeps nothing makes every downstream stage vacuous")];
+    }
+    Vec::new()
+}
+
+/// TL006 (deep): run the front half of the pipeline and check the
+/// Godin postconditions of the resulting concept lattice.
+fn deep_lattice_diags(set: &TraceSet, opts: &LintOptions, k: usize) -> Vec<Diagnostic> {
+    let filter = opts
+        .filter
+        .clone()
+        .unwrap_or_else(|| FilterConfig::everything(k));
+    let params = Params::new(
+        filter,
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+    );
+    let mut table = LoopTable::new();
+    let run = analyze_opts(
+        set,
+        &params,
+        &mut table,
+        &PipelineOptions {
+            threads: opts.threads,
+            lint: LintGate::Off,
+        },
+    );
+    rules::check_lattice(&run.lattice, &run.context)
+}
+
+/// Lint reports for both executions of a diff, returned by
+/// [`crate::try_diff_runs_opts`] when [`LintGate::Deny`] trips.
+#[derive(Debug, Clone)]
+pub struct LintFailure {
+    /// Report for the normal execution.
+    pub normal: LintReport,
+    /// Report for the faulty execution.
+    pub faulty: LintReport,
+}
+
+impl fmt::Display for LintFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lint gate denied: {} error(s) in the normal run, {} in the faulty run",
+            self.normal.error_count(),
+            self.faulty.error_count()
+        )
+    }
+}
+
+impl std::error::Error for LintFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_masters;
+    use dt_trace::FunctionRegistry;
+    use std::sync::Arc;
+    use tracelint::Severity;
+
+    fn clean_run() -> TraceSet {
+        let registry = Arc::new(FunctionRegistry::new());
+        record_masters(&registry, 4, |_p, tr| {
+            tr.leaf("MPI_Init");
+            for _ in 0..6 {
+                tr.leaf("MPI_Allreduce");
+                tr.leaf("compute");
+            }
+            tr.leaf("MPI_Finalize");
+        })
+    }
+
+    fn run_with_divergent_rank() -> TraceSet {
+        let registry = Arc::new(FunctionRegistry::new());
+        record_masters(&registry, 4, |p, tr| {
+            tr.leaf("MPI_Init");
+            if p == 2 {
+                tr.leaf("MPI_Reduce");
+            } else {
+                tr.leaf("MPI_Allreduce");
+            }
+            tr.leaf("MPI_Finalize");
+        })
+    }
+
+    #[test]
+    fn clean_run_lints_clean() {
+        // With the pipeline's own (live) filter, nothing fires.
+        let report = lint_set(
+            &clean_run(),
+            &LintOptions {
+                filter: Some(FilterConfig::mpi_all(10)),
+                ..LintOptions::default()
+            },
+        );
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn divergent_rank_trips_tl002_in_both_domains() {
+        let set = run_with_divergent_rank();
+        for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+            let report = lint_set(
+                &set,
+                &LintOptions {
+                    domain,
+                    ..LintOptions::default()
+                },
+            );
+            assert!(
+                report.codes().contains(&RuleCode::CollectiveOrder),
+                "{domain:?}: {}",
+                report.render_text()
+            );
+            assert!(report.has_errors());
+        }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts() {
+        let set = run_with_divergent_rank();
+        for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+            let base = lint_set(
+                &set,
+                &LintOptions {
+                    threads: 1,
+                    domain,
+                    ..LintOptions::default()
+                },
+            );
+            for threads in [2usize, 0] {
+                let got = lint_set(
+                    &set,
+                    &LintOptions {
+                        threads,
+                        domain,
+                        ..LintOptions::default()
+                    },
+                );
+                assert_eq!(
+                    base.render_text(),
+                    got.render_text(),
+                    "{domain:?}/{threads}"
+                );
+                assert_eq!(
+                    base.render_json(),
+                    got.render_json(),
+                    "{domain:?}/{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_and_broken_custom_filters_trip_tl004() {
+        let set = clean_run();
+        // Dead (valid but matches nothing) → warning.
+        let dead = lint_set(
+            &set,
+            &LintOptions {
+                filter: Some(FilterConfig::parse_lenient("11.cust:^CUDA_.K10").unwrap()),
+                ..LintOptions::default()
+            },
+        );
+        assert!(dead.codes().contains(&RuleCode::DeadFilter));
+        assert_eq!(dead.error_count(), 0);
+        assert_eq!(dead.warning_count(), 1);
+
+        // Unparsable → error, span at the offending byte (the `*`
+        // at byte 0 has nothing to repeat).
+        let broken = lint_set(
+            &set,
+            &LintOptions {
+                filter: Some(FilterConfig::parse_lenient("11.cust:*oops.K10").unwrap()),
+                ..LintOptions::default()
+            },
+        );
+        let d = broken
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == RuleCode::DeadFilter)
+            .expect("TL004 fired");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span, Some(Span::at(0)));
+
+        // Unsatisfiable anchors → error.
+        let unsat = lint_set(
+            &set,
+            &LintOptions {
+                filter: Some(FilterConfig::parse_lenient("11.cust:a$b.K10").unwrap()),
+                ..LintOptions::default()
+            },
+        );
+        assert!(unsat.has_errors());
+        assert!(unsat.render_text().contains("cannot match any string"));
+    }
+
+    #[test]
+    fn preset_probe_flags_dead_table_i_rows() {
+        // Without a filter the pass audits the Table I presets. A
+        // pure-MPI corpus leaves the OMP preset (among others) dead —
+        // warnings only, never errors.
+        let report = lint_set(&clean_run(), &LintOptions::default());
+        assert!(!report.has_errors(), "{}", report.render_text());
+        let text = report.render_text();
+        assert!(text.contains("OMP All"), "{text}");
+        assert!(!text.contains("`MPI All`"), "{text}");
+        assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| d.code == RuleCode::DeadFilter));
+    }
+
+    #[test]
+    fn deep_pass_checks_the_lattice() {
+        let report = lint_set(
+            &clean_run(),
+            &LintOptions {
+                deep: true,
+                filter: Some(FilterConfig::mpi_all(10)),
+                ..LintOptions::default()
+            },
+        );
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

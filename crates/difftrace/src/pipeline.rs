@@ -18,6 +18,7 @@
 use crate::attributes::{mine, AttrConfig};
 use crate::filter::{symbol_name, FilterConfig, FilteredSet, FilteredTrace};
 use crate::jsm::JsmMatrix;
+use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
 use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
@@ -34,18 +35,29 @@ pub struct PipelineOptions {
     /// exact sequential path; `0` means all available parallelism; any
     /// other value is taken literally.
     pub threads: usize,
+    /// Whether the tracelint pre-pass runs before diffing, and whether
+    /// its findings stop the pipeline (see [`crate::lint::LintGate`]).
+    /// Applies to [`diff_runs_opts`] / [`try_diff_runs_opts`]; the
+    /// single-execution entry points never lint.
+    pub lint: LintGate,
 }
 
 impl Default for PipelineOptions {
     fn default() -> PipelineOptions {
-        PipelineOptions { threads: 1 }
+        PipelineOptions {
+            threads: 1,
+            lint: LintGate::Off,
+        }
     }
 }
 
 impl PipelineOptions {
     /// Options with the given thread count.
     pub fn with_threads(threads: usize) -> PipelineOptions {
-        PipelineOptions { threads }
+        PipelineOptions {
+            threads,
+            ..PipelineOptions::default()
+        }
     }
 }
 
@@ -230,6 +242,9 @@ pub struct DiffRun {
     pub suspicious_threads: Vec<TraceId>,
     /// The shared loop table (normal + faulty).
     pub table: LoopTable,
+    /// Lint reports of the pre-pass (normal, faulty) when it ran
+    /// ([`LintGate::Warn`], or a passing [`LintGate::Deny`]).
+    pub lint: Option<(tracelint::LintReport, tracelint::LintReport)>,
 }
 
 /// Fraction of the maximum change score a process/thread must reach to
@@ -249,12 +264,50 @@ pub fn diff_runs(normal: &TraceSet, faulty: &TraceSet, params: &Params) -> DiffR
 /// (normal's fold orders first, faulty's second — the sequential
 /// interleaving) renumbers both; output is byte-identical to
 /// `threads == 1`.
+///
+/// # Panics
+///
+/// Panics if `opts.lint` is [`LintGate::Deny`] and the pre-pass finds
+/// an error; use [`try_diff_runs_opts`] to handle that case.
 pub fn diff_runs_opts(
     normal: &TraceSet,
     faulty: &TraceSet,
     params: &Params,
     opts: &PipelineOptions,
 ) -> DiffRun {
+    match try_diff_runs_opts(normal, faulty, params, opts) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`diff_runs_opts`], returning the lint reports instead of panicking
+/// when [`LintGate::Deny`] refuses the inputs.
+pub fn try_diff_runs_opts(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    params: &Params,
+    opts: &PipelineOptions,
+) -> Result<DiffRun, LintFailure> {
+    // The tracelint pre-pass, if gated on: broken traces produce
+    // confusing diffs, so surface structural defects *before* spending
+    // time on NLR/FCA/JSM.
+    let lint = match opts.lint {
+        LintGate::Off => None,
+        LintGate::Warn | LintGate::Deny => {
+            let lopts = LintOptions::for_pipeline(params, opts.threads);
+            let n = lint_set(normal, &lopts);
+            let f = lint_set(faulty, &lopts);
+            if opts.lint == LintGate::Deny && (n.has_errors() || f.has_errors()) {
+                return Err(LintFailure {
+                    normal: n,
+                    faulty: f,
+                });
+            }
+            Some((n, f))
+        }
+    };
+
     // Union of trace IDs: a fault may have killed threads before they
     // traced anything, or spawned extra ones.
     let mut ids: Vec<TraceId> = normal.ids();
@@ -325,7 +378,7 @@ pub fn diff_runs_opts(
         .map(|(p, _)| *p)
         .collect();
 
-    DiffRun {
+    Ok(DiffRun {
         params: params.clone(),
         normal: normal_run,
         faulty: faulty_run,
@@ -334,7 +387,8 @@ pub fn diff_runs_opts(
         suspicious_processes,
         suspicious_threads,
         table,
-    }
+        lint,
+    })
 }
 
 impl DiffRun {
@@ -469,15 +523,14 @@ impl DiffRun {
 mod tests {
     use super::*;
     use crate::attributes::{AttrKind, FreqMode};
-    use dt_trace::{FunctionRegistry, TraceCollector};
+    use dt_trace::FunctionRegistry;
     use std::sync::Arc;
 
     fn two_runs() -> (TraceSet, TraceSet, Arc<FunctionRegistry>) {
         let registry = Arc::new(FunctionRegistry::new());
         let mk = |loops: &[usize]| {
-            let collector = TraceCollector::shared(registry.clone());
-            for (p, &n) in loops.iter().enumerate() {
-                let tr = collector.tracer(TraceId::master(p as u32));
+            crate::record_masters(&registry, loops.len() as u32, |p, tr| {
+                let n = loops[p as usize];
                 let _m = tr.enter("main");
                 tr.leaf("MPI_Init");
                 for _ in 0..n {
@@ -485,10 +538,7 @@ mod tests {
                     tr.leaf("MPI_Recv");
                 }
                 tr.leaf("MPI_Finalize");
-                drop(_m);
-                tr.finish();
-            }
-            collector.into_trace_set()
+            })
         };
         // Normal: all ranks loop 8×; faulty: rank 2 loops only once.
         let normal = mk(&[8, 8, 8, 8]);
@@ -545,18 +595,14 @@ mod tests {
         // attribute set ⇒ JSM_D = 0 everywhere.
         let registry = Arc::new(FunctionRegistry::new());
         let mk = |counts: &[usize]| {
-            let collector = TraceCollector::shared(registry.clone());
-            for (p, &n) in counts.iter().enumerate() {
-                let tr = collector.tracer(TraceId::master(p as u32));
+            crate::record_masters(&registry, counts.len() as u32, |p, tr| {
                 tr.leaf("MPI_Init");
-                for _ in 0..n {
+                for _ in 0..counts[p as usize] {
                     tr.leaf("MPI_Send");
                     tr.leaf("MPI_Recv");
                 }
                 tr.leaf("MPI_Finalize");
-                tr.finish();
-            }
-            collector.into_trace_set()
+            })
         };
         let normal = mk(&[8, 8, 8, 8]);
         let faulty = mk(&[8, 8, 3, 8]);
@@ -593,13 +639,9 @@ mod tests {
     fn missing_traces_align_as_empty_objects() {
         let (normal, _, registry) = two_runs();
         // Faulty run lost rank 3 entirely.
-        let collector = TraceCollector::shared(registry);
-        for p in 0..3u32 {
-            let tr = collector.tracer(TraceId::master(p));
+        let faulty = crate::record_masters(&registry, 3, |_p, tr| {
             tr.leaf("MPI_Init");
-            tr.finish();
-        }
-        let faulty = collector.into_trace_set();
+        });
         let d = diff_runs(&normal, &faulty, &params());
         assert_eq!(d.normal.ids.len(), 4);
         assert_eq!(d.faulty.ids.len(), 4);

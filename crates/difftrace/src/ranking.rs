@@ -143,15 +143,13 @@ impl fmt::Display for RankingRow {
 mod tests {
     use super::*;
     use crate::attributes::{AttrKind, FreqMode};
-    use dt_trace::{FunctionRegistry, TraceCollector};
+    use dt_trace::FunctionRegistry;
     use std::sync::Arc;
 
     fn runs() -> (TraceSet, TraceSet) {
         let registry = Arc::new(FunctionRegistry::new());
         let mk = |bad_rank: Option<u32>| {
-            let collector = TraceCollector::shared(registry.clone());
-            for p in 0..4u32 {
-                let tr = collector.tracer(TraceId::master(p));
+            crate::record_masters(&registry, 4, |p, tr| {
                 tr.leaf("MPI_Init");
                 let n = if Some(p) == bad_rank { 2 } else { 10 };
                 for _ in 0..n {
@@ -159,9 +157,7 @@ mod tests {
                     tr.leaf("MPI_Bcast");
                 }
                 tr.leaf("MPI_Finalize");
-                tr.finish();
-            }
-            collector.into_trace_set()
+            })
         };
         (mk(None), mk(Some(1)))
     }

@@ -1,0 +1,51 @@
+//! Shared recording boilerplate.
+//!
+//! Almost every synthetic workload in this workspace records one
+//! master trace per MPI rank: make a collector, hand each rank a
+//! tracer, drive it, finish it, collect. [`record_masters`] is that
+//! loop, written once.
+
+use dt_trace::{FunctionRegistry, TraceCollector, TraceId, TraceSet, Tracer};
+use std::sync::Arc;
+
+/// Record one master trace per rank in `0..ranks` and collect them
+/// into a [`TraceSet`].
+///
+/// `body` receives the rank number and its [`Tracer`]; the helper owns
+/// the collector, calls [`Tracer::finish`] after each rank, and
+/// returns the finished set. Ranks sharing `registry` across calls
+/// produce comparable symbol streams (the usual normal/faulty pairing).
+pub fn record_masters<F>(registry: &Arc<FunctionRegistry>, ranks: u32, mut body: F) -> TraceSet
+where
+    F: FnMut(u32, &Tracer),
+{
+    let collector = TraceCollector::shared(registry.clone());
+    for p in 0..ranks {
+        let tr = collector.tracer(TraceId::master(p));
+        body(p, &tr);
+        tr.finish();
+    }
+    collector.into_trace_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_one_master_trace_per_rank() {
+        let registry = Arc::new(FunctionRegistry::new());
+        let set = record_masters(&registry, 3, |p, tr| {
+            tr.leaf("MPI_Init");
+            for _ in 0..p {
+                tr.leaf("MPI_Send");
+            }
+        });
+        assert_eq!(set.iter().count(), 3);
+        for (p, t) in set.iter().enumerate() {
+            assert_eq!(t.id, TraceId::master(p as u32));
+            // Each event pairs with a return: (1 + p) calls → 2(1+p).
+            assert_eq!(t.events.len(), 2 * (1 + p));
+        }
+    }
+}

@@ -131,15 +131,13 @@ mod tests {
     use crate::attributes::{AttrConfig, AttrKind, FreqMode};
     use crate::filter::FilterConfig;
     use crate::pipeline::{diff_runs, Params};
-    use dt_trace::{FunctionRegistry, TraceCollector, TraceId};
+    use dt_trace::FunctionRegistry;
     use std::sync::Arc;
 
     fn diff() -> DiffRun {
         let registry = Arc::new(FunctionRegistry::new());
         let mk = |bad: bool| {
-            let collector = TraceCollector::shared(registry.clone());
-            for p in 0..4u32 {
-                let tr = collector.tracer(TraceId::master(p));
+            crate::record_masters(&registry, 4, |p, tr| {
                 tr.leaf("MPI_Init");
                 let n = if bad && p == 1 { 2 } else { 8 };
                 for _ in 0..n {
@@ -147,9 +145,7 @@ mod tests {
                     tr.leaf("MPI_Recv");
                 }
                 tr.leaf("MPI_Finalize");
-                tr.finish();
-            }
-            collector.into_trace_set()
+            })
         };
         diff_runs(
             &mk(false),

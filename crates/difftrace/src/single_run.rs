@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use crate::attributes::{AttrConfig, AttrKind, FreqMode};
     use crate::filter::FilterConfig;
-    use dt_trace::{FunctionRegistry, TraceCollector};
+    use dt_trace::FunctionRegistry;
     use std::sync::Arc;
 
     fn params() -> Params {
@@ -103,9 +103,7 @@ mod tests {
     /// 7 healthy ranks reach Finalize; one truncated rank does not.
     fn truncated_run() -> TraceSet {
         let registry = Arc::new(FunctionRegistry::new());
-        let collector = TraceCollector::shared(registry);
-        for p in 0..8u32 {
-            let tr = collector.tracer(TraceId::master(p));
+        crate::record_masters(&registry, 8, |p, tr| {
             tr.leaf("MPI_Init");
             for _ in 0..4 {
                 tr.leaf("MPI_Send");
@@ -119,9 +117,7 @@ mod tests {
                 tr.call(f);
                 tr.poison();
             }
-            tr.finish();
-        }
-        collector.into_trace_set()
+        })
     }
 
     #[test]
@@ -137,14 +133,10 @@ mod tests {
         // may exist but clusters sizes are as even as possible — and
         // with k forced to 1 there are none.
         let registry = Arc::new(FunctionRegistry::new());
-        let collector = TraceCollector::shared(registry);
-        for p in 0..4u32 {
-            let tr = collector.tracer(TraceId::master(p));
+        let set = crate::record_masters(&registry, 4, |_p, tr| {
             tr.leaf("MPI_Init");
             tr.leaf("MPI_Finalize");
-            tr.finish();
-        }
-        let set = collector.into_trace_set();
+        });
         let report = analyze_single(&set, &params(), 1);
         assert!(report.outliers.is_empty());
         assert_eq!(report.clusters.len(), 1);

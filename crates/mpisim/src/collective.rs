@@ -42,6 +42,40 @@ pub enum CollKind {
     Scatter,
 }
 
+impl CollKind {
+    /// Every collective kind the simulator models, in a fixed order.
+    pub const ALL: [CollKind; 7] = [
+        CollKind::Barrier,
+        CollKind::Allreduce,
+        CollKind::Reduce,
+        CollKind::Bcast,
+        CollKind::Allgather,
+        CollKind::Gather,
+        CollKind::Scatter,
+    ];
+
+    /// The MPI entry-point name this kind corresponds to in traces.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "MPI_Barrier",
+            CollKind::Allreduce => "MPI_Allreduce",
+            CollKind::Reduce => "MPI_Reduce",
+            CollKind::Bcast => "MPI_Bcast",
+            CollKind::Allgather => "MPI_Allgather",
+            CollKind::Gather => "MPI_Gather",
+            CollKind::Scatter => "MPI_Scatter",
+        }
+    }
+
+    /// Inverse of [`CollKind::mpi_name`]: recognize a traced function
+    /// name as a collective. Trace analyses (tracelint's cross-rank
+    /// collective-order rule) use this to project call streams onto
+    /// collective sequences without hard-coding name lists.
+    pub fn from_mpi_name(name: &str) -> Option<CollKind> {
+        CollKind::ALL.iter().copied().find(|k| k.mpi_name() == name)
+    }
+}
+
 /// The matching signature of one collective call. MPI requires all
 /// ranks of a communicator to make *compatible* calls in the same
 /// order; a rank arriving with a different signature (wrong count,
@@ -110,7 +144,7 @@ impl CollInstance {
         op: Option<ReduceOp>,
         payload: Option<Vec<i64>>,
     ) {
-        self.arrive_stamped(rank, sig, op, payload, None)
+        self.arrive_stamped(rank, sig, op, payload, None);
     }
 
     /// [`CollInstance::arrive`] with the arriving rank's vector clock.

@@ -335,6 +335,11 @@ impl Rank {
 
     /// `MPI_Wait`: completes a request. Returns the received payload
     /// for receive requests, `None` for sends.
+    ///
+    /// Takes the request by value: like MPI's `MPI_Wait`, completing a
+    /// request invalidates the handle, and consuming it makes double
+    /// waits unrepresentable.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn wait(&self, req: Request) -> Result<Option<Vec<i64>>, MpiError> {
         let me = self.rank;
         self.internals(&["MPID_Progress_wait", "poll_progress"]);
@@ -399,7 +404,7 @@ impl Rank {
             }
             self.world.mutate(|st| {
                 st.stamp(me, name);
-                arrive_collective(st, size, slot, me, sig, op, payload)
+                arrive_collective(st, size, slot, me, sig, op, payload);
             })?;
             self.world
                 .block_until(me, move |st| take_collective(st, slot, me))

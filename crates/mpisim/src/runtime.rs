@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of one simulated execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// Number of MPI ranks.
     pub world_size: u32,
@@ -123,7 +123,7 @@ where
         // Watchdog: poll the progress version; abort on stall. Exits
         // when every rank has finished.
         let world_w = Arc::clone(&world);
-        let cfg = config.clone();
+        let cfg = config;
         s.spawn(move || {
             let mut last_version = world_w.progress_version();
             let mut last_change = Instant::now();

@@ -42,7 +42,9 @@ pub mod vm;
 
 pub use error::ParseError;
 
-use nfa::Nfa;
+use nfa::{Assertion, Nfa, State};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A compiled regular expression.
 ///
@@ -52,6 +54,11 @@ use nfa::Nfa;
 pub struct Regex {
     pattern: String,
     nfa: Nfa,
+    /// Successful-match counter, shared across clones (an `Arc` so a
+    /// pattern compiled once and cloned into worker threads accumulates
+    /// one total). Lets callers ask "did this filter ever match?"
+    /// without re-scanning the corpus.
+    hits: Arc<AtomicU64>,
 }
 
 impl Regex {
@@ -72,6 +79,7 @@ impl Regex {
         Ok(Regex {
             pattern: pattern.to_string(),
             nfa,
+            hits: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -80,15 +88,87 @@ impl Regex {
         &self.pattern
     }
 
+    /// How many times [`Regex::is_match`] / [`Regex::find`] succeeded
+    /// on this regex (counting across clones). Cheap dead-filter
+    /// detection: after a filtering pass, `match_count() == 0` means
+    /// the pattern selected nothing.
+    pub fn match_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Reset the shared match counter to zero.
+    pub fn reset_match_count(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Can this pattern match *any* input at all?
+    ///
+    /// Performs an abstract reachability walk over the compiled NFA,
+    /// tracking whether characters have been consumed (so `a^b` — a
+    /// start anchor after a consumed character — is unsatisfiable) and
+    /// whether an end anchor has committed (so `a$b` is unsatisfiable).
+    /// Conservative in one direction only: `true` may be returned for
+    /// exotic satisfiable-looking patterns built from character classes
+    /// that accept no character, but `false` is always definitive.
+    pub fn is_satisfiable(&self) -> bool {
+        // Abstract state: (nfa state, consumed_any, past_end_anchor).
+        let n = self.nfa.states.len();
+        let idx = |s: usize, consumed: bool, ended: bool| {
+            s * 4 + usize::from(consumed) * 2 + usize::from(ended)
+        };
+        let mut seen = vec![false; n * 4];
+        let mut work = vec![(self.nfa.start, false, false)];
+        while let Some((s, consumed, ended)) = work.pop() {
+            let slot = idx(s, consumed, ended);
+            if seen[slot] {
+                continue;
+            }
+            seen[slot] = true;
+            match &self.nfa.states[s] {
+                State::Match => return true,
+                State::Split(a, b) => {
+                    work.push((*a, consumed, ended));
+                    work.push((*b, consumed, ended));
+                }
+                State::Char(_, next) => {
+                    // Consuming input is impossible once `$` committed.
+                    if !ended {
+                        work.push((*next, true, ended));
+                    }
+                }
+                State::Assert(Assertion::Start, next) => {
+                    // `^` holds only if nothing was consumed yet (the
+                    // search may always begin at input position 0).
+                    if !consumed {
+                        work.push((*next, consumed, ended));
+                    }
+                }
+                State::Assert(Assertion::End, next) => {
+                    // `$` holds if the input ends here — commit to it.
+                    work.push((*next, consumed, true));
+                }
+            }
+        }
+        false
+    }
+
     /// Does the pattern match anywhere in `input` (unanchored search)?
     pub fn is_match(&self, input: &str) -> bool {
-        vm::is_match(&self.nfa, input)
+        let m = vm::is_match(&self.nfa, input);
+        if m {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        m
     }
 
     /// Leftmost match as a `(start, end)` byte range, preferring the
     /// longest match at the leftmost starting position.
     pub fn find(&self, input: &str) -> Option<(usize, usize)> {
-        vm::find(&self.nfa, input)
+        let m = vm::find(&self.nfa, input);
+        if m.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        m
     }
 
     /// Split `input` around matches (like `str::split` with a regex
@@ -363,6 +443,33 @@ mod tests {
         assert!(Regex::new("[a-").is_err());
         assert!(Regex::new(r"a\").is_err());
         assert!(Regex::new("a{3,1}").is_err());
+    }
+
+    #[test]
+    fn match_counter_counts_hits_across_clones() {
+        let re = Regex::new("^MPI_").unwrap();
+        assert_eq!(re.match_count(), 0);
+        assert!(re.is_match("MPI_Send"));
+        assert!(!re.is_match("memcpy")); // misses are not counted
+        let clone = re.clone();
+        assert!(clone.is_match("MPI_Recv"));
+        assert_eq!(clone.find("MPI_Wait"), Some((0, 4)));
+        // Clones share one counter.
+        assert_eq!(re.match_count(), 3);
+        re.reset_match_count();
+        assert_eq!(clone.match_count(), 0);
+    }
+
+    #[test]
+    fn satisfiability_analysis() {
+        for p in ["abc", "^a$", "a*", "", "^$", "a|b$", "(x^|y)z"] {
+            assert!(Regex::new(p).unwrap().is_satisfiable(), "{p}");
+        }
+        // A start anchor after consumed input, or input after a
+        // committed end anchor, can never match.
+        for p in ["a^b", "a$b", "x(^y)z", "a$."] {
+            assert!(!Regex::new(p).unwrap().is_satisfiable(), "{p}");
+        }
     }
 
     #[test]

@@ -386,7 +386,7 @@ mod tests {
             for (i, s) in n.states.iter().enumerate() {
                 match s {
                     State::Char(_, t) | State::Assert(_, t) => {
-                        assert_ne!(*t, PENDING, "pattern {p}: state {i} dangling")
+                        assert_ne!(*t, PENDING, "pattern {p}: state {i} dangling");
                     }
                     State::Split(a, b) => {
                         assert_ne!(*a, PENDING, "pattern {p}: state {i} dangling");

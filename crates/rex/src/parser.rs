@@ -87,6 +87,9 @@ impl Parser {
     fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
         let mut node = self.parse_atom()?;
         loop {
+            // Remember where the operator itself sits *before* bumping
+            // past it, so errors point at `*`, not at what follows.
+            let op_at = self.byte_pos();
             let (min, max) = match self.peek() {
                 Some('*') => {
                     self.bump();
@@ -108,7 +111,7 @@ impl Parser {
             };
             if matches!(node, Ast::AnchorStart | Ast::AnchorEnd | Ast::Empty) {
                 return Err(ParseError::new(
-                    self.byte_pos(),
+                    op_at,
                     "repetition operator applied to nothing repeatable",
                 ));
             }
@@ -220,24 +223,26 @@ impl Parser {
             ranges.push((']', ']'));
         }
         loop {
+            let item_at = self.byte_pos();
             let lo = match self.bump() {
                 None => return Err(ParseError::new(start, "unterminated character class")),
                 Some(']') => break,
-                Some('\\') => self.class_escape(start)?,
+                Some('\\') => self.class_escape(item_at)?,
                 Some(c) => c,
             };
             if self.peek() == Some('-')
                 && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
             {
                 self.bump(); // consume '-'
+                let hi_at = self.byte_pos();
                 let hi = match self.bump() {
                     None => return Err(ParseError::new(start, "unterminated character class")),
-                    Some('\\') => self.class_escape(start)?,
+                    Some('\\') => self.class_escape(hi_at)?,
                     Some(c) => c,
                 };
                 if hi < lo {
                     return Err(ParseError::new(
-                        start,
+                        item_at,
                         format!("invalid class range `{lo}-{hi}`"),
                     ));
                 }
@@ -253,15 +258,17 @@ impl Parser {
     }
 
     /// Escapes valid inside a class resolve to a single character.
-    fn class_escape(&mut self, start: usize) -> Result<char, ParseError> {
+    /// `at` is the byte offset of the backslash, so errors point at the
+    /// offending escape rather than at the class's opening bracket.
+    fn class_escape(&mut self, at: usize) -> Result<char, ParseError> {
         match self.bump() {
-            None => Err(ParseError::new(start, "dangling `\\` in character class")),
+            None => Err(ParseError::new(at, "dangling `\\` in character class")),
             Some('n') => Ok('\n'),
             Some('t') => Ok('\t'),
             Some('r') => Ok('\r'),
             Some(c) if !c.is_alphanumeric() => Ok(c),
             Some(c) => Err(ParseError::new(
-                start,
+                at,
                 format!("unsupported escape `\\{c}` in character class"),
             )),
         }
@@ -355,6 +362,22 @@ mod tests {
         assert_eq!(err.position, 2);
         let err = parse("a{2,1}").unwrap_err();
         assert!(err.message.contains("invalid repetition"));
+    }
+
+    #[test]
+    fn error_positions_point_at_offending_byte() {
+        // Repetition operator on an anchor: points at the operator.
+        let err = parse("^*").unwrap_err();
+        assert_eq!(err.position, 1);
+        let err = parse("ab$+").unwrap_err();
+        assert_eq!(err.position, 3);
+        // Bad escape inside a class: points at the backslash.
+        let err = parse(r"x[a\d]").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert!(err.message.contains("character class"));
+        // Inverted range: points at the range, not the `[`.
+        let err = parse("q[b-a]").unwrap_err();
+        assert_eq!(err.position, 2);
     }
 
     #[test]

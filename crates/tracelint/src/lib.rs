@@ -1,0 +1,459 @@
+//! `tracelint` — static analysis for whole-program traces.
+//!
+//! DiffTrace's diffing pipeline (filter → NLR → FCA → JSM → ranking)
+//! silently trusts its inputs: an unbalanced call/return stream, a
+//! rank-divergent collective order, or a dead filter pattern flows
+//! straight into the summarization stages and corrupts the ranking
+//! downstream. `tracelint` checks traces and pipeline configuration
+//! *before* diffing and emits structured diagnostics with stable rule
+//! codes, so problems are reported at the input where they originate
+//! instead of as a mysterious B-score three stages later.
+//!
+//! # Rule catalog
+//!
+//! | code  | checks                                             | compressed-domain |
+//! |-------|----------------------------------------------------|-------------------|
+//! | TL001 | call/return balance and stack discipline           | yes ([`compressed::StackEffect`]) |
+//! | TL002 | cross-rank collective-sequence consistency         | yes (projected compressed streams) |
+//! | TL003 | truncated/poisoned/empty-trace detection           | yes (shares TL001's stack effects) |
+//! | TL004 | dead-filter analysis (patterns matching nothing)   | n/a (configuration rule) |
+//! | TL005 | NLR lossless-roundtrip verification                | n/a (relates both domains) |
+//! | TL006 | FCA lattice postconditions (Godin invariants)      | n/a (`--deep` only) |
+//!
+//! Rules TL001–TL003 have two implementations: the *expanded* rules in
+//! [`rules`] walk raw event streams and report precise event offsets;
+//! the *compressed* rules in [`compressed`] run directly on the
+//! NLR-compressed term without expansion — O(compressed size) instead
+//! of O(trace), in the spirit of Kini et al.'s compressed-trace race
+//! detection. A property test asserts the two always agree on the
+//! verdict.
+//!
+//! This crate is pure analysis: it depends on the substrate crates
+//! (`dt-trace`, `nlr`, `fca`, `mpisim`, `rex`) but not on the pipeline.
+//! The `difftrace` crate wires it into `PipelineOptions` gating and the
+//! `difftrace lint` CLI subcommand.
+
+pub mod compressed;
+pub mod rules;
+
+use dt_trace::TraceId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// `Error`s indicate inputs the pipeline cannot analyze meaningfully
+/// (and fail a `LintGate::Deny` run); `Warning`s flag suspicious but
+/// analyzable inputs — e.g. a truncated trace *is* the hang signature
+/// the paper diffs against, so truncation alone is never an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but analyzable.
+    Warning,
+    /// The pipeline's assumptions are violated.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable rule identifiers. The numeric codes are part of the output
+/// format contract (scripts grep for them); never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    /// TL001 — call/return balance and stack discipline.
+    StackDiscipline,
+    /// TL002 — cross-rank collective-sequence consistency.
+    CollectiveOrder,
+    /// TL003 — truncated / poisoned / empty trace.
+    Truncation,
+    /// TL004 — filter pattern that selects nothing (or cannot).
+    DeadFilter,
+    /// TL005 — NLR expansion does not reproduce the original stream.
+    NlrRoundtrip,
+    /// TL006 — FCA lattice postcondition (Godin invariant) violated.
+    LatticeInvariant,
+}
+
+impl RuleCode {
+    /// The stable `TL0xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleCode::StackDiscipline => "TL001",
+            RuleCode::CollectiveOrder => "TL002",
+            RuleCode::Truncation => "TL003",
+            RuleCode::DeadFilter => "TL004",
+            RuleCode::NlrRoundtrip => "TL005",
+            RuleCode::LatticeInvariant => "TL006",
+        }
+    }
+
+    /// One-line description of what the rule checks.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleCode::StackDiscipline => "call/return balance and stack discipline",
+            RuleCode::CollectiveOrder => "cross-rank collective-sequence consistency",
+            RuleCode::Truncation => "truncated or poisoned trace",
+            RuleCode::DeadFilter => "dead filter pattern",
+            RuleCode::NlrRoundtrip => "NLR lossless roundtrip",
+            RuleCode::LatticeInvariant => "FCA lattice postconditions",
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A half-open `[start, end)` range. For trace diagnostics the unit is
+/// *event offsets* within the trace; for TL004 it is *byte offsets*
+/// within the filter pattern string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First offset covered.
+    pub start: usize,
+    /// One past the last offset covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A single offset, `[at, at+1)`.
+    pub fn at(at: usize) -> Span {
+        Span {
+            start: at,
+            end: at + 1,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// One finding: rule code, severity, optional trace/span anchor, a
+/// human-readable message, and an optional fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: RuleCode,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The trace the finding anchors to; `None` for corpus-wide or
+    /// configuration findings (TL004, TL006).
+    pub trace: Option<TraceId>,
+    /// Event-offset span (byte span for TL004); `None` when the
+    /// finding has no precise location (e.g. compressed-domain checks).
+    pub span: Option<Span>,
+    /// What went wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A bare diagnostic; attach anchors with the `with_*` builders.
+    pub fn new(code: RuleCode, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            trace: None,
+            span: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Shorthand for an error.
+    pub fn error(code: RuleCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// Shorthand for a warning.
+    pub fn warning(code: RuleCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    /// Anchor to a trace.
+    pub fn with_trace(mut self, id: TraceId) -> Diagnostic {
+        self.trace = Some(id);
+        self
+    }
+
+    /// Anchor to a span within the trace (or pattern).
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a fix hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Diagnostic {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// Canonical ordering key: per-trace findings first (by trace, then
+    /// span start), then corpus-wide findings; ties broken by code,
+    /// severity, and message so the full order is total. The report
+    /// sorts by this, which is what makes output byte-identical
+    /// regardless of how many threads produced the diagnostics.
+    fn sort_key(&self) -> (bool, Option<TraceId>, usize, RuleCode, Severity, &str) {
+        (
+            self.trace.is_none(),
+            self.trace,
+            self.span.map_or(0, |s| s.start),
+            self.code,
+            self.severity,
+            &self.message,
+        )
+    }
+}
+
+/// The result of a lint pass: diagnostics in canonical order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Build a report, sorting `diagnostics` into canonical order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> LintReport {
+        diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        LintReport { diagnostics }
+    }
+
+    /// The findings, canonically ordered.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// True if nothing fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any finding is an error (what `LintGate::Deny` trips on).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// The distinct rule codes that fired.
+    pub fn codes(&self) -> BTreeSet<RuleCode> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// The `(code, severity)` verdict set for one trace — the unit the
+    /// compressed/expanded agreement property is stated over.
+    pub fn verdicts_for(&self, id: TraceId) -> BTreeSet<(RuleCode, Severity)> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.trace == Some(id))
+            .map(|d| (d.code, d.severity))
+            .collect()
+    }
+
+    /// Human-readable rendering, one finding per line (plus indented
+    /// hint lines), ending with a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(d.severity.label());
+            out.push('[');
+            out.push_str(d.code.as_str());
+            out.push(']');
+            if let Some(t) = d.trace {
+                out.push_str(&format!(" trace {t}"));
+            }
+            if let Some(s) = d.span {
+                out.push_str(&format!(" @ {s}"));
+            }
+            out.push_str(": ");
+            out.push_str(&d.message);
+            out.push('\n');
+            if let Some(h) = &d.hint {
+                out.push_str("  hint: ");
+                out.push_str(h);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled; the workspace has no serde). The
+    /// schema is stable:
+    ///
+    /// ```json
+    /// {"errors":1,"warnings":0,"diagnostics":[
+    ///   {"code":"TL001","severity":"error","trace":"3.0",
+    ///    "span":{"start":5,"end":6},"message":"…","hint":"…"}]}
+    /// ```
+    ///
+    /// `trace`, `span`, and `hint` are omitted when absent.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\"",
+                d.code.as_str(),
+                d.severity.label()
+            ));
+            if let Some(t) = d.trace {
+                out.push_str(&format!(",\"trace\":\"{t}\""));
+            }
+            if let Some(s) = d.span {
+                out.push_str(&format!(
+                    ",\"span\":{{\"start\":{},\"end\":{}}}",
+                    s.start, s.end
+                ));
+            }
+            out.push_str(",\"message\":\"");
+            out.push_str(&json_escape(&d.message));
+            out.push('"');
+            if let Some(h) = &d.hint {
+                out.push_str(",\"hint\":\"");
+                out.push_str(&json_escape(h));
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(RuleCode::StackDiscipline.to_string(), "TL001");
+        assert_eq!(RuleCode::CollectiveOrder.to_string(), "TL002");
+        assert_eq!(RuleCode::Truncation.to_string(), "TL003");
+        assert_eq!(RuleCode::DeadFilter.to_string(), "TL004");
+        assert_eq!(RuleCode::NlrRoundtrip.to_string(), "TL005");
+        assert_eq!(RuleCode::LatticeInvariant.to_string(), "TL006");
+    }
+
+    #[test]
+    fn report_sorts_canonically_and_counts() {
+        let global = Diagnostic::warning(RuleCode::DeadFilter, "dead");
+        let late = Diagnostic::error(RuleCode::StackDiscipline, "late")
+            .with_trace(TraceId::master(1))
+            .with_span(Span::at(9));
+        let early = Diagnostic::error(RuleCode::Truncation, "early")
+            .with_trace(TraceId::master(0))
+            .with_span(Span::at(2));
+        // Insertion order scrambled on purpose.
+        let r = LintReport::new(vec![global.clone(), late.clone(), early.clone()]);
+        assert_eq!(r.diagnostics(), &[early, late, global]);
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.codes().len(), 3);
+    }
+
+    #[test]
+    fn text_rendering_shape() {
+        let d = Diagnostic::error(RuleCode::StackDiscipline, "crossed return")
+            .with_trace(TraceId::new(2, 1))
+            .with_span(Span::new(4, 5))
+            .with_hint("check instrumentation");
+        let txt = LintReport::new(vec![d]).render_text();
+        assert!(txt.contains("error[TL001] trace 2.1 @ [4, 5): crossed return"));
+        assert!(txt.contains("  hint: check instrumentation"));
+        assert!(txt.ends_with("1 error(s), 0 warning(s)\n"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_omits() {
+        let d = Diagnostic::warning(RuleCode::DeadFilter, "pattern `a\"b\\` is dead");
+        let js = LintReport::new(vec![d]).render_json();
+        assert!(js.starts_with("{\"errors\":0,\"warnings\":1,"));
+        assert!(js.contains(r#"pattern `a\"b\\` is dead"#));
+        // No trace/span/hint keys when absent.
+        assert!(!js.contains("\"trace\""));
+        assert!(!js.contains("\"span\""));
+        assert!(!js.contains("\"hint\""));
+        let with_all = Diagnostic::error(RuleCode::NlrRoundtrip, "m")
+            .with_trace(TraceId::master(7))
+            .with_span(Span::at(3))
+            .with_hint("h\nnewline");
+        let js = LintReport::new(vec![with_all]).render_json();
+        assert!(js.contains("\"trace\":\"7.0\""));
+        assert!(js.contains("\"span\":{\"start\":3,\"end\":4}"));
+        assert!(js.contains("\"hint\":\"h\\nnewline\""));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = LintReport::default();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        assert_eq!(
+            r.render_json(),
+            "{\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -315,7 +315,7 @@ mod tests {
             b.iter(|| {
                 calls += 1;
                 black_box(calls)
-            })
+            });
         });
         assert!(calls > 0);
     }
@@ -327,7 +327,7 @@ mod tests {
         g.sample_size(3);
         g.throughput(Throughput::Elements(10));
         g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         g.bench_function("id", |b| b.iter(|| black_box(1)));
         g.finish();
