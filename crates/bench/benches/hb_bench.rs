@@ -3,14 +3,14 @@
 //! query time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpisim::{HbEvent, HbLog, VectorClock};
+use mpisim::{HbLog, HbOp, VectorClock};
 use std::hint::black_box;
 
 /// A synthetic log: `ranks` ranks each emitting `per_rank` events in a
 /// round-robin causal chain.
 fn synthetic_log(ranks: usize, per_rank: usize) -> HbLog {
     let mut clocks: Vec<VectorClock> = (0..ranks).map(|_| VectorClock::zero(ranks)).collect();
-    let mut events = Vec::with_capacity(ranks * per_rank);
+    let mut log = HbLog::new(ranks);
     for step in 0..per_rank {
         for r in 0..ranks {
             // Receive from the previous rank's latest state, then tick.
@@ -18,19 +18,20 @@ fn synthetic_log(ranks: usize, per_rank: usize) -> HbLog {
             let prev_vc = clocks[prev].clone();
             clocks[r].merge(&prev_vc);
             clocks[r].tick(r);
-            events.push(HbEvent {
-                trace: dt_trace::TraceId::master(r as u32),
-                name: if step % 2 == 0 {
-                    "MPI_Send"
-                } else {
-                    "MPI_Recv"
-                }
-                .to_string(),
-                vc: clocks[r].clone(),
-            });
+            let name = if step % 2 == 0 {
+                "MPI_Send"
+            } else {
+                "MPI_Recv"
+            };
+            log.push(
+                dt_trace::TraceId::master(r as u32),
+                name,
+                HbOp::Local,
+                &clocks[r],
+            );
         }
     }
-    HbLog { events }
+    log
 }
 
 fn bench_hb(c: &mut Criterion) {

@@ -1,0 +1,84 @@
+//! Compressed-domain vs expanded-domain hbcheck progress summaries.
+//!
+//! The per-rank progress summary (call counts, open-call stack,
+//! innermost open call — the inputs to HB002/HB005) has two
+//! implementations with property-tested agreement: one replaying the
+//! expanded event stream, one folding the NLR term with closed-form
+//! loop repetition. The expanded walk is O(events); the compressed one
+//! is O(term size), so on a high-repetition trace (`reps` iterations
+//! of one loop body) its cost should stay flat while the expanded
+//! walk grows linearly — the asymptotic win this bench exhibits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dt_trace::TraceId;
+use hbcheck::{compressed::Summarizer, expanded};
+use nlr::{LoopTable, NlrBuilder};
+use std::hint::black_box;
+
+// The loop body's period (2·(FNS−1) = 6 symbols) must fit the NLR
+// window K below, or nothing folds and there is no compressed domain
+// to speak of.
+const FNS: u32 = 4;
+const NLR_K: usize = 10;
+
+/// `reps` iterations of a fixed nested loop body, plus a dangling open
+/// call so the open-stack machinery has work to do.
+fn high_repetition_stream(reps: usize) -> Vec<u32> {
+    let call = |f: u32| f << 1;
+    let ret = |f: u32| (f << 1) | 1;
+    let mut v = vec![call(0)];
+    for _ in 0..reps {
+        for f in 1..FNS {
+            v.push(call(f));
+        }
+        for f in (1..FNS).rev() {
+            v.push(ret(f));
+        }
+    }
+    v.push(call(1)); // never returns: the trace ends inside fn 1
+    v
+}
+
+fn bench_hbcheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbcheck_summarize");
+    g.sample_size(10);
+    let id = TraceId::master(0);
+    for reps in [1_000usize, 10_000, 100_000] {
+        let syms = high_repetition_stream(reps);
+        let mut table = LoopTable::new();
+        let term = NlrBuilder::new(NLR_K).build(&syms, &mut table);
+        assert_eq!(term.expand(&table), syms, "NLR must be lossless");
+        assert!(
+            term.elements().len() * 100 < syms.len(),
+            "the stream must actually fold ({} elements for {} events)",
+            term.elements().len(),
+            syms.len()
+        );
+
+        // The two domains must agree before their speeds mean anything.
+        let exp = expanded::summarize(id, &syms, true);
+        let mut s = Summarizer::new(&table);
+        assert_eq!(exp, s.summarize(id, &term, true), "domains disagree");
+
+        g.throughput(Throughput::Elements(syms.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("expanded", format!("{reps}reps/{}ev", syms.len())),
+            &syms,
+            |b, syms| b.iter(|| black_box(expanded::summarize(id, black_box(syms), true))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compressed", format!("{reps}reps/{}ev", syms.len())),
+            &term,
+            |b, term| {
+                b.iter(|| {
+                    let mut s = Summarizer::new(&table);
+                    black_box(s.summarize(id, black_box(term), true))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hbcheck);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    diff_runs_opts, lint_set, render_ranking, sweep_parallel, try_diff_runs_opts, AttrConfig,
-    AttrKind, FilterConfig, FreqMode, LintDomain, LintGate, LintOptions, Params, PipelineOptions,
+    diff_runs_opts, hbcheck_set, lint_set, render_ranking, sweep_parallel, try_diff_runs_hb_opts,
+    AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate,
+    LintOptions, Params, PipelineOptions,
 };
-use dt_trace::{store, FunctionRegistry, TraceId, TraceSetStats};
+use dt_trace::hb::HbLog;
+use dt_trace::{store, FunctionRegistry, TraceId, TraceSet, TraceSetStats};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -44,10 +46,13 @@ const HELP: &str = "\
 difftrace — whole-program trace analysis and diffing for debugging
 
 USAGE:
-  difftrace demo <oddeven|oddeven-dl|ilcs-crit|ilcs-size|ilcs-op|lulesh> <outdir>
+  difftrace demo <workload> <outdir>
       Run the workload twice (healthy + with its paper fault) under the
       simulated MPI runtime; write <outdir>/normal.dtts and
-      <outdir>/faulty.dtts.
+      <outdir>/faulty.dtts (with their happens-before logs).
+      Workloads: oddeven oddeven-dl ilcs-crit ilcs-size ilcs-op lulesh
+      stencil-tag (halo-exchange tag mismatch → recv↔recv deadlock)
+      lulesh-coll (rank deserts a collective → wait-for cycle).
 
   difftrace info <file.dtts>
       Per-process/per-thread statistics of a stored trace set.
@@ -68,9 +73,21 @@ USAGE:
       errors); without it the Table I presets are audited. --gate deny
       exits 3 when any error-severity diagnostic fires.
 
+  difftrace hbcheck <file.dtts>... [--format text|json] [--gate warn|deny]
+          [--domain expanded|compressed] [--threads N]
+      Happens-before analysis of recorded runs: wait-for-graph deadlock
+      cycles (HB001), operations blocked on finished peers (HB002),
+      unmatched sends (HB003), racy channels — concurrent sends to one
+      receiver slot (HB004), and least-progressed-rank hang triage
+      (HB005). Needs traces recorded with a happens-before section
+      (`difftrace demo` writes one). --domain compressed computes the
+      per-rank progress summaries on the NLR terms without expansion
+      (same verdicts, property-tested). --gate deny exits 3 when any
+      error-severity diagnostic fires.
+
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
-          [--threads N] [--full] [--gate off|warn|deny]
+          [--threads N] [--full] [--gate off|warn|deny] [--hb off|warn|deny]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
@@ -79,8 +96,12 @@ USAGE:
       byte-identical either way.
       --gate runs the tracelint pre-pass first: warn reports findings
       and continues, deny refuses to diff broken traces (exit code 3).
+      --hb runs the hbcheck pre-pass over the runs' happens-before
+      logs: warn attaches the reports and annotates diffNLR views of
+      deadlocked ranks with their wait-for cycle, deny refuses to diff
+      a deadlocked/racy run (exit code 3).
       Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward
-      --gate off.
+      --gate off --hb off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
       No-reference outlier analysis of ONE execution (the paper's
@@ -108,7 +129,8 @@ CODES:
 EXIT CODES:
   0  success
   2  error (bad arguments, unreadable input, …)
-  3  lint gate denied: `--gate deny` found error-severity diagnostics
+  3  gate denied: `--gate deny` / `--hb deny` found error-severity
+     diagnostics
 ";
 
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -123,6 +145,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("single") => single(&args[1..]).map_err(CliError::Msg),
         Some("export") => export(&args[1..]).map_err(CliError::Msg),
         Some("lint") => lint_cmd(&args[1..]),
+        Some("hbcheck") => hbcheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
         Some(other) => Err(CliError::Msg(format!(
@@ -136,13 +159,13 @@ fn demo(args: &[String]) -> Result<(), String> {
         return Err("usage: difftrace demo <workload> <outdir>".to_string());
     };
     let registry = Arc::new(FunctionRegistry::new());
-    let (normal, faulty) = run_demo_pair(workload, &registry)?;
+    let ((normal, normal_hb), (faulty, faulty_hb)) = run_demo_pair(workload, &registry)?;
     std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let out = PathBuf::from(outdir);
     let np = out.join("normal.dtts");
     let fp = out.join("faulty.dtts");
-    store::save(&normal, &np).map_err(|e| e.to_string())?;
-    store::save(&faulty, &fp).map_err(|e| e.to_string())?;
+    store::save_full(&normal, &normal_hb, &np).map_err(|e| e.to_string())?;
+    store::save_full(&faulty, &faulty_hb, &fp).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} traces) and {} ({} traces)",
         np.display(),
@@ -153,69 +176,89 @@ fn demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One recorded execution: its traces plus its happens-before log.
+type RecordedRun = (TraceSet, HbLog);
+
 fn run_demo_pair(
     workload: &str,
     registry: &Arc<FunctionRegistry>,
-) -> Result<(dt_trace::TraceSet, dt_trace::TraceSet), String> {
+) -> Result<(RecordedRun, RecordedRun), String> {
     use workloads::*;
-    let pair = |n: dt_trace::TraceSet, f: dt_trace::TraceSet| Ok((n, f));
+    let pair = |n: RunOutcome, f: RunOutcome| Ok(((n.traces, n.hb), (f.traces, f.hb)));
     match workload {
         "oddeven" => pair(
-            run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces,
+            run_oddeven(&OddEvenConfig::paper(None), registry.clone()),
             run_oddeven(
                 &OddEvenConfig::paper(Some(OddEvenConfig::swap_bug())),
                 registry.clone(),
-            )
-            .traces,
+            ),
         ),
         "oddeven-dl" => pair(
-            run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces,
+            run_oddeven(&OddEvenConfig::paper(None), registry.clone()),
             run_oddeven(
                 &OddEvenConfig::paper(Some(OddEvenConfig::dl_bug())),
                 registry.clone(),
-            )
-            .traces,
+            ),
         ),
         "ilcs-crit" => pair(
-            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()),
             run_ilcs(
                 &IlcsConfig::paper(Some(IlcsConfig::omp_crit_bug())),
                 registry.clone(),
-            )
-            .traces,
+            ),
         ),
         "ilcs-size" => pair(
-            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()),
             run_ilcs(
                 &IlcsConfig::paper(Some(IlcsConfig::coll_size_bug())),
                 registry.clone(),
-            )
-            .traces,
+            ),
         ),
         "ilcs-op" => pair(
-            run_ilcs(&IlcsConfig::paper(None), registry.clone()).traces,
+            run_ilcs(&IlcsConfig::paper(None), registry.clone()),
             run_ilcs(
                 &IlcsConfig::paper(Some(IlcsConfig::wrong_op_bug())),
                 registry.clone(),
-            )
-            .traces,
+            ),
         ),
         "lulesh" => pair(
-            run_lulesh(&LuleshConfig::paper(None), registry.clone()).traces,
+            run_lulesh(&LuleshConfig::paper(None), registry.clone()),
             run_lulesh(
                 &LuleshConfig::paper(Some(LuleshConfig::skip_bug())),
                 registry.clone(),
+            ),
+        ),
+        "stencil-tag" => pair(
+            run_stencil(&StencilConfig::default_8(), registry.clone()).0,
+            run_stencil(
+                &StencilConfig {
+                    fault: Some(StencilFault::TagMismatch { rank: 1 }),
+                    ..StencilConfig::default_8()
+                },
+                registry.clone(),
             )
-            .traces,
+            .0,
+        ),
+        "lulesh-coll" => pair(
+            run_lulesh(&LuleshConfig::paper(None), registry.clone()),
+            run_lulesh(
+                &LuleshConfig::paper(Some(LuleshFault::SkipCollective { rank: 2 })),
+                registry.clone(),
+            ),
         ),
         other => Err(format!(
-            "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, lulesh)"
+            "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, \
+             lulesh, stencil-tag, lulesh-coll)"
         )),
     }
 }
 
-fn load(path: &str) -> Result<dt_trace::TraceSet, String> {
+fn load(path: &str) -> Result<TraceSet, String> {
     store::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_full(path: &str) -> Result<(TraceSet, HbLog), String> {
+    store::load_full(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn info(args: &[String]) -> Result<(), String> {
@@ -416,6 +459,91 @@ fn lint_render(
     Ok((out, errors))
 }
 
+fn hbcheck_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut paths = Vec::new();
+    let mut format = "text".to_string();
+    let mut gate = LintGate::Warn;
+    let mut opts = HbOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--format" => {
+                format = value("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (text|json)").into());
+                }
+            }
+            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
+            "--domain" => opts.domain = LintDomain::parse(&value("--domain")?)?,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` for `hbcheck`").into())
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: difftrace hbcheck <file.dtts>... [options]".into());
+    }
+    let (rendered, errors) = hbcheck_render(&paths, &format, &opts)?;
+    print!("{rendered}");
+    if gate == LintGate::Deny && errors > 0 {
+        return Err(CliError::LintDenied(format!(
+            "hbcheck gate denied: {errors} error(s) across {} file(s)",
+            paths.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Render hbcheck reports for `paths` — split out from [`hbcheck_cmd`]
+/// so tests can assert the output is byte-identical across thread
+/// counts and domains. Returns the rendered output and the total error
+/// count.
+fn hbcheck_render(
+    paths: &[String],
+    format: &str,
+    opts: &HbOptions,
+) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut errors = 0;
+    for path in paths {
+        let (set, hb) = load_full(path)?;
+        if hb.world_size() == 0 {
+            return Err(format!(
+                "{path}: no happens-before section — re-record the run (e.g. `difftrace demo`) \
+                 to get one"
+            ));
+        }
+        let report = hbcheck_set(&set, &hb, opts);
+        errors += report.error_count();
+        if format == "json" {
+            if paths.len() == 1 {
+                out.push_str(&report.render_json());
+            } else {
+                out.push_str(&format!(
+                    "{{\"path\":\"{}\",\"report\":{}}}\n",
+                    path.replace('\\', "\\\\").replace('"', "\\\""),
+                    report.render_json().trim_end()
+                ));
+            }
+        } else {
+            if paths.len() > 1 {
+                out.push_str(&format!("== {path}\n"));
+            }
+            out.push_str(&report.render_text());
+        }
+    }
+    Ok((out, errors))
+}
+
 struct DiffOpts {
     normal: String,
     faulty: String,
@@ -427,6 +555,7 @@ struct DiffOpts {
     threads: usize,
     full: bool,
     gate: LintGate,
+    hb: LintGate,
 }
 
 fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
@@ -439,6 +568,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut threads = 0usize;
     let mut full = false;
     let mut gate = LintGate::Off;
+    let mut hb = LintGate::Off;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -470,6 +600,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
             "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
             "--full" => full = true,
             "--gate" => gate = LintGate::parse(&value("--gate")?)?,
+            "--hb" => hb = LintGate::parse(&value("--hb")?)?,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}` for `{cmd}`"))
             }
@@ -492,13 +623,14 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         threads,
         full,
         gate,
+        hb,
     })
 }
 
 fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args, "diff")?;
-    let normal = load(&opts.normal)?;
-    let faulty = load(&opts.faulty)?;
+    let (normal, normal_hb) = load_full(&opts.normal)?;
+    let (faulty, faulty_hb) = load_full(&opts.faulty)?;
     let filter = opts
         .filters
         .into_iter()
@@ -513,19 +645,36 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
         attrs,
         linkage: opts.linkage,
     };
-    let d = match try_diff_runs_opts(
+    let hb_logs = if opts.hb != LintGate::Off {
+        if normal_hb.world_size() == 0 || faulty_hb.world_size() == 0 {
+            eprintln!("note: --hb ignored — the inputs carry no happens-before section");
+            None
+        } else {
+            Some((&normal_hb, &faulty_hb))
+        }
+    } else {
+        None
+    };
+    let d = match try_diff_runs_hb_opts(
         &normal,
         &faulty,
+        hb_logs,
         &params,
         &PipelineOptions {
             threads: opts.threads,
             lint: opts.gate,
+            hb: opts.hb,
         },
     ) {
         Ok(d) => d,
-        Err(fail) => {
+        Err(DiffDenied::Lint(fail)) => {
             eprint!("lint (normal):\n{}", fail.normal.render_text());
             eprint!("lint (faulty):\n{}", fail.faulty.render_text());
+            return Err(CliError::LintDenied(fail.to_string()));
+        }
+        Err(DiffDenied::Hb(fail)) => {
+            eprint!("hbcheck (normal):\n{}", fail.normal.render_text());
+            eprint!("hbcheck (faulty):\n{}", fail.faulty.render_text());
             return Err(CliError::LintDenied(fail.to_string()));
         }
     };
@@ -533,6 +682,12 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
         if !n.is_clean() || !f.is_clean() {
             eprint!("lint (normal):\n{}", n.render_text());
             eprint!("lint (faulty):\n{}", f.render_text());
+        }
+    }
+    if let Some(pre) = &d.hb {
+        if !pre.normal.is_clean() || !pre.faulty.is_clean() {
+            eprint!("hbcheck (normal):\n{}", pre.normal.render_text());
+            eprint!("hbcheck (faulty):\n{}", pre.faulty.render_text());
         }
     }
     if opts.full {
@@ -854,6 +1009,81 @@ mod tests {
             "deny",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hbcheck_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_hbcheck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "stencil-tag", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+
+        // The healthy run is clean under the strictest gate.
+        dispatch(&s(&["hbcheck", &n, "--gate", "deny"])).unwrap();
+        // The tag-mismatch run deadlocks: warn reports and passes …
+        dispatch(&s(&["hbcheck", &f, "--format", "json"])).unwrap();
+        // … deny exits with the dedicated error kind.
+        let denied = dispatch(&s(&["hbcheck", &f, "--gate", "deny"]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+
+        // The faulty report names the cycle, in both formats.
+        let (text, errors) =
+            hbcheck_render(std::slice::from_ref(&f), "text", &HbOptions::default()).unwrap();
+        assert!(errors > 0);
+        assert!(text.contains("HB001"), "{text}");
+        assert!(text.contains("wait-for cycle"), "{text}");
+
+        // Byte-identical output across thread counts and domains.
+        for format in ["text", "json"] {
+            let render = |threads: usize, domain: LintDomain| {
+                hbcheck_render(
+                    &[n.clone(), f.clone()],
+                    format,
+                    &HbOptions {
+                        threads,
+                        domain,
+                        ..HbOptions::default()
+                    },
+                )
+                .unwrap()
+            };
+            let base = render(1, LintDomain::Expanded);
+            for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+                for threads in [1usize, 2, 0] {
+                    assert_eq!(
+                        base,
+                        render(threads, domain),
+                        "{format}/{domain:?}/{threads}"
+                    );
+                }
+            }
+        }
+
+        // The diff pipeline wires the gate through: warn diffs and
+        // annotates, deny refuses with exit-code-3 semantics.
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--hb",
+            "warn",
+        ]))
+        .unwrap();
+        let denied = dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--hb",
+            "deny",
+        ]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,6 +20,9 @@ pub struct DiffNlr {
     pub blocks: Vec<Block<String>>,
     /// Was the faulty trace truncated (thread killed mid-call)?
     pub faulty_truncated: bool,
+    /// Why the faulty trace diverged, when a pre-pass established it
+    /// (e.g. the hbcheck wait-for cycle this thread participates in).
+    pub divergence_cause: Option<String>,
 }
 
 impl DiffNlr {
@@ -36,6 +39,7 @@ impl DiffNlr {
             id,
             blocks: align_blocks(&script, normal, faulty),
             faulty_truncated,
+            divergence_cause: None,
         }
     }
 
@@ -47,7 +51,14 @@ impl DiffNlr {
             id,
             blocks,
             faulty_truncated,
+            divergence_cause: None,
         }
+    }
+
+    /// Attach (or clear) the established divergence cause.
+    pub fn with_cause(mut self, cause: Option<String>) -> DiffNlr {
+        self.divergence_cause = cause;
+        self
     }
 
     /// True when normal and faulty are identical.
@@ -108,6 +119,9 @@ impl DiffNlr {
                 ""
             ));
         }
+        if let Some(cause) = &self.divergence_cause {
+            out.push_str(&format!("cause: {cause}\n"));
+        }
         out
     }
 
@@ -129,6 +143,9 @@ impl DiffNlr {
         }
         if self.faulty_truncated {
             out.push_str("  ! faulty trace truncated: the last call above never returned\n");
+        }
+        if let Some(cause) = &self.divergence_cause {
+            out.push_str(&format!("  ! cause: {cause}\n"));
         }
         out
     }

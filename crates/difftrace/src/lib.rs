@@ -76,6 +76,7 @@ pub mod attributes;
 pub mod classify;
 pub mod diffnlr;
 pub mod filter;
+pub mod hbcheck;
 pub mod jsm;
 pub mod lint;
 pub mod nlr_stage;
@@ -90,12 +91,14 @@ pub use attributes::{AttrConfig, AttrKind, FreqMode};
 pub use classify::{extract_features, leave_one_out, FeatureVector, NearestCentroid, Sample};
 pub use diffnlr::DiffNlr;
 pub use filter::{ClassProbe, FilterConfig, FilteredSet, FilteredTrace, KeepClass};
+pub use hbcheck::{hbcheck_set, HbFailure, HbOptions, HbPrePass};
 pub use jsm::JsmMatrix;
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use pipeline::{
     analyze, analyze_aligned, analyze_aligned_opts, analyze_opts, diff_runs, diff_runs_opts,
-    try_diff_runs_opts, AnalysisRun, DiffRun, Params, PipelineOptions,
+    try_diff_runs_hb_opts, try_diff_runs_opts, AnalysisRun, DiffDenied, DiffRun, Params,
+    PipelineOptions,
 };
 pub use ranking::{render_ranking, sweep, sweep_parallel, RankingRow};
 pub use recording::record_masters;

@@ -193,17 +193,17 @@ pub fn lint_set(set: &TraceSet, opts: &LintOptions) -> LintReport {
 }
 
 /// A raw (unfiltered) symbol stream.
-struct RawTrace {
-    id: TraceId,
-    symbols: Vec<u32>,
-    truncated: bool,
+pub(crate) struct RawTrace {
+    pub(crate) id: TraceId,
+    pub(crate) symbols: Vec<u32>,
+    pub(crate) truncated: bool,
 }
 
 /// Build NLR terms for the raw streams — sequentially under one table,
 /// or in parallel through a shared provisional table followed by the
 /// canonical renumbering replay (identical output either way; see
 /// `nlr::shared`).
-fn build_raw_nlrs(raw: &[RawTrace], k: usize, threads: usize) -> (NlrSet, LoopTable) {
+pub(crate) fn build_raw_nlrs(raw: &[RawTrace], k: usize, threads: usize) -> (NlrSet, LoopTable) {
     let as_filtered = crate::filter::FilteredSet {
         traces: raw
             .iter()
@@ -320,7 +320,7 @@ fn deep_lattice_diags(set: &TraceSet, opts: &LintOptions, k: usize) -> Vec<Diagn
         &mut table,
         &PipelineOptions {
             threads: opts.threads,
-            lint: LintGate::Off,
+            ..PipelineOptions::default()
         },
     );
     rules::check_lattice(&run.lattice, &run.context)

@@ -17,6 +17,7 @@
 
 use crate::attributes::{mine, AttrConfig};
 use crate::filter::{symbol_name, FilterConfig, FilteredSet, FilteredTrace};
+use crate::hbcheck::{HbFailure, HbOptions, HbPrePass};
 use crate::jsm::JsmMatrix;
 use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
@@ -40,6 +41,12 @@ pub struct PipelineOptions {
     /// Applies to [`diff_runs_opts`] / [`try_diff_runs_opts`]; the
     /// single-execution entry points never lint.
     pub lint: LintGate,
+    /// Whether the hbcheck pre-pass (wait-for-graph deadlock detection,
+    /// race pairs, hang triage — see [`crate::hbcheck`]) runs before
+    /// diffing. It needs the executions' happens-before logs, so it
+    /// only applies to [`try_diff_runs_hb_opts`]; entry points without
+    /// logs ignore this gate.
+    pub hb: LintGate,
 }
 
 impl Default for PipelineOptions {
@@ -47,6 +54,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             threads: 1,
             lint: LintGate::Off,
+            hb: LintGate::Off,
         }
     }
 }
@@ -245,6 +253,11 @@ pub struct DiffRun {
     /// Lint reports of the pre-pass (normal, faulty) when it ran
     /// ([`LintGate::Warn`], or a passing [`LintGate::Deny`]).
     pub lint: Option<(tracelint::LintReport, tracelint::LintReport)>,
+    /// Happens-before reports when the hbcheck pre-pass ran
+    /// ([`PipelineOptions::hb`] with logs passed to
+    /// [`try_diff_runs_hb_opts`]). The faulty run's deadlock cycles
+    /// annotate `diffNLR` views as the divergence cause.
+    pub hb: Option<HbPrePass>,
 }
 
 /// Fraction of the maximum change score a process/thread must reach to
@@ -289,6 +302,46 @@ pub fn try_diff_runs_opts(
     params: &Params,
     opts: &PipelineOptions,
 ) -> Result<DiffRun, LintFailure> {
+    try_diff_runs_hb_opts(normal, faulty, None, params, opts).map_err(|e| match e {
+        DiffDenied::Lint(l) => l,
+        // Without HB logs the hbcheck gate never runs.
+        DiffDenied::Hb(_) => unreachable!("hbcheck gate without HB logs"),
+    })
+}
+
+/// A gated pre-pass refused to diff.
+#[derive(Debug)]
+pub enum DiffDenied {
+    /// The tracelint gate tripped.
+    Lint(LintFailure),
+    /// The hbcheck gate tripped.
+    Hb(HbFailure),
+}
+
+impl std::fmt::Display for DiffDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffDenied::Lint(e) => e.fmt(f),
+            DiffDenied::Hb(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DiffDenied {}
+
+/// [`try_diff_runs_opts`] with the executions' happens-before logs:
+/// when `hb_logs` is `Some` and [`PipelineOptions::hb`] is not `Off`,
+/// the hbcheck pre-pass (deadlock cycles, orphan operations, races,
+/// hang triage) runs over both runs before any diffing, its reports
+/// attach to [`DiffRun::hb`], and `Deny` refuses to diff on any
+/// error-severity finding.
+pub fn try_diff_runs_hb_opts(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    hb_logs: Option<(&dt_trace::hb::HbLog, &dt_trace::hb::HbLog)>,
+    params: &Params,
+    opts: &PipelineOptions,
+) -> Result<DiffRun, DiffDenied> {
     // The tracelint pre-pass, if gated on: broken traces produce
     // confusing diffs, so surface structural defects *before* spending
     // time on NLR/FCA/JSM.
@@ -299,12 +352,32 @@ pub fn try_diff_runs_opts(
             let n = lint_set(normal, &lopts);
             let f = lint_set(faulty, &lopts);
             if opts.lint == LintGate::Deny && (n.has_errors() || f.has_errors()) {
-                return Err(LintFailure {
+                return Err(DiffDenied::Lint(LintFailure {
                     normal: n,
                     faulty: f,
-                });
+                }));
             }
             Some((n, f))
+        }
+    };
+
+    // The hbcheck pre-pass: a deadlocked or racy run diffs confusingly
+    // (truncated traces everywhere), so name the semantic cause first.
+    let hb = match (opts.hb, hb_logs) {
+        (LintGate::Off, _) | (_, None) => None,
+        (gate, Some((nhb, fhb))) => {
+            let hopts = HbOptions {
+                threads: opts.threads,
+                ..HbOptions::default()
+            };
+            let pre = HbPrePass::run((normal, nhb), (faulty, fhb), &hopts);
+            if gate == LintGate::Deny && (pre.normal.has_errors() || pre.faulty.has_errors()) {
+                return Err(DiffDenied::Hb(HbFailure {
+                    normal: pre.normal,
+                    faulty: pre.faulty,
+                }));
+            }
+            Some(pre)
         }
     };
 
@@ -388,6 +461,7 @@ pub fn try_diff_runs_opts(
         suspicious_threads,
         table,
         lint,
+        hb,
     })
 }
 
@@ -400,11 +474,19 @@ impl DiffRun {
         // Render via the *normal* execution's registry-independent
         // labels: loop IDs come from the shared table, symbols from the
         // context attribute names (both analyses used the same naming).
-        Some(crate::diffnlr::DiffNlr::from_blocks(
+        let view = crate::diffnlr::DiffNlr::from_blocks(
             id,
             self.element_blocks(n.elements(), f.elements()),
             *self.faulty.nlrs.truncated.get(&id).unwrap_or(&false),
-        ))
+        );
+        // When the hbcheck pre-pass found this rank inside a wait-for
+        // cycle, the cycle *is* why this trace diverged — annotate it.
+        let cause = self
+            .hb
+            .as_ref()
+            .and_then(|pre| pre.cause_for(id.process))
+            .map(String::from);
+        Some(view.with_cause(cause))
     }
 
     /// Myers-diff two element sequences into rendered blocks, drilling
@@ -523,6 +605,7 @@ impl DiffRun {
 mod tests {
     use super::*;
     use crate::attributes::{AttrKind, FreqMode};
+    use dt_trace::hb::HbLog;
     use dt_trace::FunctionRegistry;
     use std::sync::Arc;
 
@@ -647,5 +730,102 @@ mod tests {
         assert_eq!(d.faulty.ids.len(), 4);
         // Rank 3 must be among the suspects (it vanished).
         assert!(d.suspicious_threads.contains(&TraceId::master(3)));
+    }
+
+    /// A clean normal run plus a faulty run whose HB log records a
+    /// recv↔recv deadlock between ranks 0 and 1.
+    fn deadlocked_pair() -> (TraceSet, HbLog, TraceSet, HbLog) {
+        use dt_trace::hb::{BlockedOp, HbOp, VectorClock};
+        let registry = Arc::new(FunctionRegistry::new());
+        let normal = crate::record_masters(&registry, 2, |_p, tr| {
+            tr.leaf("MPI_Init");
+            for _ in 0..8 {
+                tr.leaf("MPI_Send");
+                tr.leaf("MPI_Recv");
+            }
+            tr.leaf("MPI_Finalize");
+        });
+        let faulty = crate::record_masters(&registry, 2, |_p, tr| {
+            tr.leaf("MPI_Init");
+            for _ in 0..3 {
+                tr.leaf("MPI_Send");
+                tr.leaf("MPI_Recv");
+            }
+            let open = Box::new(tr.enter("MPI_Recv"));
+            std::mem::forget(open); // hung: the receive never returns
+        });
+        let normal_hb = HbLog::new(2);
+        let mut faulty_hb = HbLog::new(2);
+        for r in 0..2u32 {
+            let mut c = VectorClock::zero(2);
+            c.tick(r as usize);
+            faulty_hb.push(TraceId::master(r), "MPI_Init", HbOp::Local, &c);
+            faulty_hb.blocked.push(BlockedOp {
+                rank: r,
+                name: "MPI_Recv".into(),
+                op: HbOp::Recv {
+                    src: Some(1 - r),
+                    tag: 0,
+                },
+            });
+        }
+        (normal, normal_hb, faulty, faulty_hb)
+    }
+
+    #[test]
+    fn hb_warn_attaches_the_cycle_as_divergence_cause() {
+        let (normal, nhb, faulty, fhb) = deadlocked_pair();
+        let opts = PipelineOptions {
+            hb: LintGate::Warn,
+            ..PipelineOptions::default()
+        };
+        let d = try_diff_runs_hb_opts(&normal, &faulty, Some((&nhb, &fhb)), &params(), &opts)
+            .expect("warn never denies");
+        let pre = d.hb.as_ref().expect("reports attached");
+        assert!(pre.normal.is_clean());
+        assert!(!pre.faulty.is_clean());
+        for r in 0..2 {
+            let view = d.diff_nlr(TraceId::master(r)).unwrap();
+            let cause = view
+                .divergence_cause
+                .as_deref()
+                .expect("rank is in the cycle");
+            assert!(
+                cause.contains("rank 0 blocked in MPI_Recv(src=1, tag=0)"),
+                "{cause}"
+            );
+            assert!(
+                view.render().contains("! cause: deadlock"),
+                "{}",
+                view.render()
+            );
+        }
+    }
+
+    #[test]
+    fn hb_deny_refuses_to_diff_a_deadlocked_run() {
+        let (normal, nhb, faulty, fhb) = deadlocked_pair();
+        let opts = PipelineOptions {
+            hb: LintGate::Deny,
+            ..PipelineOptions::default()
+        };
+        let err = try_diff_runs_hb_opts(&normal, &faulty, Some((&nhb, &fhb)), &params(), &opts)
+            .expect_err("deadlock must deny");
+        match err {
+            DiffDenied::Hb(f) => {
+                assert!(f.normal.is_clean());
+                assert!(f.faulty.has_errors());
+                assert!(f.to_string().contains("hbcheck gate denied"));
+            }
+            DiffDenied::Lint(_) => panic!("wrong gate fired"),
+        }
+        // Without logs the gate is inert even at Deny.
+        let d = try_diff_runs_hb_opts(&normal, &faulty, None, &params(), &opts).unwrap();
+        assert!(d.hb.is_none());
+        assert!(d
+            .diff_nlr(TraceId::master(0))
+            .unwrap()
+            .divergence_cause
+            .is_none());
     }
 }

@@ -1,0 +1,78 @@
+//! Expanded-domain trace summarization: the reference semantics.
+//!
+//! Walks the raw symbol stream (`fn_id << 1 | is_return`) event by
+//! event. [`crate::compressed`] must produce identical
+//! [`TraceProgress`] values without expanding anything — the crate's
+//! property tests assert that equality.
+
+use crate::TraceProgress;
+use dt_trace::TraceId;
+use std::collections::BTreeMap;
+
+/// Summarize one expanded symbol stream.
+pub fn summarize(id: TraceId, symbols: &[u32], truncated: bool) -> TraceProgress {
+    let mut calls: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for &sym in symbols {
+        let fn_id = sym >> 1;
+        if sym & 1 == 1 {
+            // A return pops the innermost open call even when it does
+            // not match (mirrors `tracelint`'s expanded semantics).
+            stack.pop();
+        } else {
+            calls.entry(fn_id).and_modify(|n| *n += 1).or_insert(1);
+            stack.push(fn_id);
+        }
+    }
+    TraceProgress {
+        id,
+        len: symbols.len(),
+        calls,
+        open_stack: stack,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(f: u32) -> u32 {
+        f << 1
+    }
+    fn ret(f: u32) -> u32 {
+        (f << 1) | 1
+    }
+
+    #[test]
+    fn counts_and_open_stack() {
+        // main { a {} b { c — truncated
+        let syms = [call(0), call(1), ret(1), call(2), call(3)];
+        let p = summarize(TraceId::master(0), &syms, true);
+        assert_eq!(p.len, 5);
+        assert_eq!(p.calls.get(&0), Some(&1));
+        assert_eq!(p.calls.get(&1), Some(&1));
+        assert_eq!(p.calls.get(&3), Some(&1));
+        assert_eq!(p.open_stack, vec![0, 2, 3]);
+        assert!(p.truncated);
+    }
+
+    #[test]
+    fn balanced_stream_leaves_nothing_open() {
+        let syms = [call(4), call(5), ret(5), ret(4)];
+        let p = summarize(TraceId::master(1), &syms, false);
+        assert!(p.open_stack.is_empty());
+        assert_eq!(p.calls.get(&5), Some(&1));
+    }
+
+    #[test]
+    fn repeated_calls_accumulate() {
+        let mut syms = Vec::new();
+        for _ in 0..1000 {
+            syms.extend_from_slice(&[call(7), ret(7)]);
+        }
+        let p = summarize(TraceId::master(0), &syms, false);
+        assert_eq!(p.calls.get(&7), Some(&1000));
+        assert_eq!(p.len, 2000);
+    }
+}

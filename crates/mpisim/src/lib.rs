@@ -55,15 +55,19 @@
 
 pub mod collective;
 pub mod error;
-pub mod hb;
 pub mod omp;
 pub mod rank;
 pub mod runtime;
 pub mod world;
 
+/// Happens-before model (clocks, log, OTF export) — lives in
+/// [`dt_trace`] so static analyzers can consume recorded runs without
+/// depending on the simulator; re-exported here for compatibility.
+pub use dt_trace::hb;
+
 pub use collective::ReduceOp;
 pub use error::{AbortReason, MpiError};
-pub use hb::{HbEvent, HbLog, VectorClock};
+pub use hb::{HbEvent, HbLog, HbOp, VectorClock};
 pub use omp::OmpCtx;
 pub use rank::{Rank, Request};
 pub use runtime::{run, RunOutcome, SimConfig};

@@ -6,6 +6,7 @@
 
 use crate::collective::{CollKind, CollSignature, ReduceOp};
 use crate::error::MpiError;
+use crate::hb::HbOp;
 use crate::omp::{self, OmpCtx};
 use crate::world::{
     arrive_collective, take_collective, take_pending_send, Msg, PendingSend, PostedRecv, World,
@@ -23,6 +24,10 @@ pub enum Request {
     Send {
         /// Pending-send ID in the world state.
         id: u64,
+        /// Destination rank (for blocked-operation reporting).
+        dst: u32,
+        /// Message tag.
+        tag: i32,
     },
     /// A posted receive; completed inside [`Rank::wait`].
     Recv {
@@ -150,8 +155,13 @@ impl Rank {
             let bytes = std::mem::size_of_val(data);
             if bytes <= self.world.eager_limit {
                 self.internals(&["MPIDI_CH3_EagerContigSend", "MPIDI_memcpy", "tcp_sendmsg"]);
+                let op = HbOp::Send {
+                    dst,
+                    tag,
+                    rendezvous: false,
+                };
                 self.world.mutate(|st| {
-                    let vc = st.stamp(self.rank, "MPI_Send");
+                    let vc = st.stamp_op(self.rank, "MPI_Send", op);
                     if World::try_deliver_posted(st, self.rank, dst, tag, data, &vc) {
                         return;
                     }
@@ -168,8 +178,13 @@ impl Rank {
                 // once; otherwise park the payload and wait until a
                 // receive takes it.
                 self.internals(&["MPIDI_CH3_RndvSend", "tcp_sendmsg", "sched_yield"]);
+                let op = HbOp::Send {
+                    dst,
+                    tag,
+                    rendezvous: true,
+                };
                 let id = self.world.mutate(|st| {
-                    let vc = st.stamp(self.rank, "MPI_Send");
+                    let vc = st.stamp_op(self.rank, "MPI_Send", op);
                     if World::try_deliver_posted(st, self.rank, dst, tag, data, &vc) {
                         return None;
                     }
@@ -188,7 +203,7 @@ impl Rank {
                     return Ok(()); // delivered into a posted receive
                 };
                 // Complete when the receiver has consumed the entry.
-                self.world.block_until(self.rank, move |st| {
+                self.world.block_on(self.rank, "MPI_Send", op, move |st| {
                     st.pending_sends.iter().all(|p| p.id != id).then_some(())
                 })
             }
@@ -208,17 +223,21 @@ impl Rank {
                 "poll_progress",
                 "MPIDI_memcpy",
             ]);
-            self.world.block_until(me, move |st| {
+            let op = HbOp::Recv {
+                src: Some(src),
+                tag,
+            };
+            self.world.block_on(me, "MPI_Recv", op, move |st| {
                 // Eagerly buffered message first …
                 if let Some(q) = st.mailbox.get_mut(&(src, me, tag)) {
                     if let Some(msg) = q.pop_front() {
-                        st.stamp_recv(me, "MPI_Recv", &msg.vc);
+                        st.stamp_recv_op(me, "MPI_Recv", op, &msg.vc);
                         return Some(msg.data);
                     }
                 }
                 // … then a parked rendezvous send.
                 let (data, vc) = take_pending_send(st, src, me, tag)?;
-                st.stamp_recv(me, "MPI_Recv", &vc);
+                st.stamp_recv_op(me, "MPI_Recv", op, &vc);
                 Some(data)
             })
         })
@@ -231,7 +250,8 @@ impl Rank {
     pub fn recv_any(&self, tag: i32) -> Result<(u32, Vec<i64>), MpiError> {
         let me = self.rank;
         self.traced("MPI_Recv", || {
-            self.world.block_until(me, move |st| {
+            let wildcard = HbOp::Recv { src: None, tag };
+            self.world.block_on(me, "MPI_Recv", wildcard, move |st| {
                 // Lowest-source eager message …
                 let mut best: Option<u32> = None;
                 for (&(src, dst, t), q) in st.mailbox.iter() {
@@ -246,14 +266,18 @@ impl Rank {
                     }
                 }
                 let src = best?;
+                let matched = HbOp::Recv {
+                    src: Some(src),
+                    tag,
+                };
                 if let Some(q) = st.mailbox.get_mut(&(src, me, tag)) {
                     if let Some(msg) = q.pop_front() {
-                        st.stamp_recv(me, "MPI_Recv", &msg.vc);
+                        st.stamp_recv_op(me, "MPI_Recv", matched, &msg.vc);
                         return Some((src, msg.data));
                     }
                 }
                 let (data, vc) = take_pending_send(st, src, me, tag)?;
-                st.stamp_recv(me, "MPI_Recv", &vc);
+                st.stamp_recv_op(me, "MPI_Recv", matched, &vc);
                 Some((src, data))
             })
         })
@@ -270,8 +294,13 @@ impl Rank {
         self.traced("MPI_Isend", || {
             let bytes = std::mem::size_of_val(data);
             if bytes <= self.world.eager_limit {
+                let op = HbOp::Send {
+                    dst,
+                    tag,
+                    rendezvous: false,
+                };
                 self.world.mutate(|st| {
-                    let vc = st.stamp(self.rank, "MPI_Isend");
+                    let vc = st.stamp_op(self.rank, "MPI_Isend", op);
                     if World::try_deliver_posted(st, self.rank, dst, tag, data, &vc) {
                         return;
                     }
@@ -285,8 +314,13 @@ impl Rank {
                 })?;
                 Ok(Request::Done)
             } else {
+                let op = HbOp::Send {
+                    dst,
+                    tag,
+                    rendezvous: true,
+                };
                 let id = self.world.mutate(|st| {
-                    let vc = st.stamp(self.rank, "MPI_Isend");
+                    let vc = st.stamp_op(self.rank, "MPI_Isend", op);
                     if World::try_deliver_posted(st, self.rank, dst, tag, data, &vc) {
                         return None;
                     }
@@ -302,7 +336,7 @@ impl Rank {
                     Some(id)
                 })?;
                 Ok(match id {
-                    Some(id) => Request::Send { id },
+                    Some(id) => Request::Send { id, dst, tag },
                     None => Request::Done,
                 })
             }
@@ -345,37 +379,48 @@ impl Rank {
         self.internals(&["MPID_Progress_wait", "poll_progress"]);
         self.traced("MPI_Wait", || match req {
             Request::Done => Ok(None),
-            Request::Send { id } => self
-                .world
-                .block_until(me, move |st| {
-                    st.pending_sends.iter().all(|p| p.id != id).then_some(())
-                })
-                .map(|()| None),
-            Request::Recv { id, src, tag } => self
-                .world
-                .block_until(me, move |st| {
-                    // A sender may have filled the posted slot …
-                    let pos = st.posted_recvs.iter().position(|p| p.id == id)?;
-                    if let Some(msg) = st.posted_recvs[pos].msg.take() {
-                        st.posted_recvs.swap_remove(pos);
-                        st.stamp_recv(me, "MPI_Wait", &msg.vc);
-                        return Some(msg.data);
-                    }
-                    // … or the message arrived before the post and sits
-                    // in the mailbox / as a parked rendezvous send.
-                    if let Some(q) = st.mailbox.get_mut(&(src, me, tag)) {
-                        if let Some(msg) = q.pop_front() {
+            Request::Send { id, dst, tag } => {
+                let op = HbOp::Send {
+                    dst,
+                    tag,
+                    rendezvous: true,
+                };
+                self.world
+                    .block_on(me, "MPI_Wait", op, move |st| {
+                        st.pending_sends.iter().all(|p| p.id != id).then_some(())
+                    })
+                    .map(|()| None)
+            }
+            Request::Recv { id, src, tag } => {
+                let op = HbOp::Recv {
+                    src: Some(src),
+                    tag,
+                };
+                self.world
+                    .block_on(me, "MPI_Wait", op, move |st| {
+                        // A sender may have filled the posted slot …
+                        let pos = st.posted_recvs.iter().position(|p| p.id == id)?;
+                        if let Some(msg) = st.posted_recvs[pos].msg.take() {
                             st.posted_recvs.swap_remove(pos);
-                            st.stamp_recv(me, "MPI_Wait", &msg.vc);
+                            st.stamp_recv_op(me, "MPI_Wait", op, &msg.vc);
                             return Some(msg.data);
                         }
-                    }
-                    let (data, vc) = take_pending_send(st, src, me, tag)?;
-                    st.posted_recvs.swap_remove(pos);
-                    st.stamp_recv(me, "MPI_Wait", &vc);
-                    Some(data)
-                })
-                .map(Some),
+                        // … or the message arrived before the post and sits
+                        // in the mailbox / as a parked rendezvous send.
+                        if let Some(q) = st.mailbox.get_mut(&(src, me, tag)) {
+                            if let Some(msg) = q.pop_front() {
+                                st.posted_recvs.swap_remove(pos);
+                                st.stamp_recv_op(me, "MPI_Wait", op, &msg.vc);
+                                return Some(msg.data);
+                            }
+                        }
+                        let (data, vc) = take_pending_send(st, src, me, tag)?;
+                        st.posted_recvs.swap_remove(pos);
+                        st.stamp_recv_op(me, "MPI_Wait", op, &vc);
+                        Some(data)
+                    })
+                    .map(Some)
+            }
         })
     }
 
@@ -402,12 +447,13 @@ impl Rank {
                 self.tracer.leaf(&inner);
                 self.internals(&["tcp_sendmsg", "tcp_recvmsg", "poll_progress"]);
             }
+            let hb_op = HbOp::Collective { slot };
             self.world.mutate(|st| {
-                st.stamp(me, name);
+                st.stamp_op(me, name, hb_op);
                 arrive_collective(st, size, slot, me, sig, op, payload);
             })?;
             self.world
-                .block_until(me, move |st| take_collective(st, slot, me))
+                .block_on(me, name, hb_op, move |st| take_collective(st, slot, me))
         })
     }
 
@@ -542,8 +588,17 @@ impl Rank {
         self.traced("MPI_Sendrecv", || {
             // Post the receive, then send (posted-receive delivery makes
             // the send complete even above the eager limit).
+            let send_op = HbOp::Send {
+                dst,
+                tag: send_tag,
+                rendezvous: false,
+            };
+            let recv_op = HbOp::Recv {
+                src: Some(src),
+                tag: recv_tag,
+            };
             let id = self.world.mutate(|st| {
-                let vc = st.stamp(me, "MPI_Sendrecv");
+                let vc = st.stamp_op(me, "MPI_Sendrecv", send_op);
                 let id = World::next_send_id(st);
                 st.posted_recvs.push(PostedRecv {
                     id,
@@ -568,23 +623,23 @@ impl Rank {
             // Complete the receive (the send side is buffered; its
             // parked payload is consumed by the peer's posted receive
             // or a later explicit receive).
-            self.world.block_until(me, move |st| {
+            self.world.block_on(me, "MPI_Sendrecv", recv_op, move |st| {
                 let pos = st.posted_recvs.iter().position(|p| p.id == id)?;
                 if let Some(msg) = st.posted_recvs[pos].msg.take() {
                     st.posted_recvs.swap_remove(pos);
-                    st.stamp_recv(me, "MPI_Sendrecv", &msg.vc);
+                    st.stamp_recv_op(me, "MPI_Sendrecv", recv_op, &msg.vc);
                     return Some(msg.data);
                 }
                 if let Some(q) = st.mailbox.get_mut(&(src, me, recv_tag)) {
                     if let Some(msg) = q.pop_front() {
                         st.posted_recvs.swap_remove(pos);
-                        st.stamp_recv(me, "MPI_Sendrecv", &msg.vc);
+                        st.stamp_recv_op(me, "MPI_Sendrecv", recv_op, &msg.vc);
                         return Some(msg.data);
                     }
                 }
                 let (data, vc) = take_pending_send(st, src, me, recv_tag)?;
                 st.posted_recvs.swap_remove(pos);
-                st.stamp_recv(me, "MPI_Sendrecv", &vc);
+                st.stamp_recv_op(me, "MPI_Sendrecv", recv_op, &vc);
                 Some(data)
             })
         })

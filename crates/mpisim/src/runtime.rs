@@ -1,11 +1,12 @@
 //! Launching simulated executions.
 
 use crate::error::{AbortReason, MpiError};
-use crate::hb::HbLog;
+use crate::hb::{BlockedOp, HbLog, PendingCollective, UnmatchedSend};
 use crate::rank::Rank;
-use crate::world::World;
+use crate::world::{World, WorldState};
 use dt_trace::{FunctionRegistry, TraceCollector, TraceSet};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +74,78 @@ pub struct RunOutcome {
     /// Causally-stamped MPI event log (vector clocks; see
     /// [`crate::hb`]).
     pub hb: HbLog,
+}
+
+/// Snapshot the world's happens-before state into a self-contained
+/// [`HbLog`]: the stamped event log plus, for aborted runs, the frozen
+/// blocked-operation / in-flight-collective / unconsumed-message state
+/// that the wait-for-graph analysis (`hbcheck`) consumes.
+fn export_hb(st: &WorldState) -> HbLog {
+    let mut hb = st.hb.clone();
+
+    hb.blocked = st
+        .waiting
+        .iter()
+        .map(|(&rank, (name, op))| BlockedOp {
+            rank,
+            name: name.clone(),
+            op: *op,
+        })
+        .collect();
+    hb.blocked.sort_by_key(|b| b.rank);
+
+    hb.pending_collectives = st
+        .collectives
+        .iter()
+        .map(|(&slot, inst)| {
+            let arrived: Vec<u32> = (0..inst.vcs.len() as u32)
+                .filter(|&r| inst.vcs[r as usize].is_some())
+                .collect();
+            let mismatched = arrived
+                .iter()
+                .copied()
+                .filter(|&r| !inst.sig_ok[r as usize])
+                .collect();
+            PendingCollective {
+                slot,
+                name: inst.signature.kind.mpi_name().to_string(),
+                arrived,
+                mismatched,
+            }
+        })
+        .collect();
+    hb.pending_collectives.sort_by_key(|p| p.slot);
+
+    let mut unmatched: BTreeMap<(u32, u32, i32), u64> = BTreeMap::new();
+    for (&(src, dst, tag), q) in &st.mailbox {
+        if !q.is_empty() {
+            *unmatched.entry((src, dst, tag)).or_default() += q.len() as u64;
+        }
+    }
+    for p in &st.pending_sends {
+        *unmatched.entry((p.src, p.dst, p.tag)).or_default() += 1;
+    }
+    hb.unmatched_sends = unmatched
+        .into_iter()
+        .map(|((src, dst, tag), count)| UnmatchedSend {
+            src,
+            dst,
+            tag,
+            count,
+        })
+        .collect();
+
+    // A rank aborted *inside* a blocked operation is hung, not done —
+    // its thread returned, but for happens-before purposes it counts
+    // as blocked, never finished.
+    hb.finished = st
+        .finished_ranks
+        .iter()
+        .copied()
+        .filter(|r| !st.waiting.contains_key(r))
+        .collect();
+    hb.finished.sort_unstable();
+    hb
 }
 
 /// Run `body` on every rank of a fresh world, collecting traces.
@@ -147,9 +220,7 @@ where
     });
 
     let abort_reason = world.with_state(|st| st.aborted);
-    let hb = HbLog {
-        events: world.with_state(|st| st.hb_log.clone()),
-    };
+    let hb = world.with_state(export_hb);
     let mut errors = errors.into_inner();
     errors.sort_by_key(|&(r, _)| r);
     RunOutcome {

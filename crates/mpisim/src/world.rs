@@ -3,7 +3,7 @@
 
 use crate::collective::{CollInstance, CollSignature};
 use crate::error::{AbortReason, MpiError};
-use crate::hb::{HbEvent, VectorClock};
+use crate::hb::{HbLog, HbOp, VectorClock};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -91,29 +91,41 @@ pub struct WorldState {
     blocked_at: HashMap<u32, u64>,
     /// Ranks whose body has returned (will never act again).
     pub finished: u32,
+    /// The ranks that finished, for the HB export.
+    pub finished_ranks: Vec<u32>,
     /// Per-rank vector clocks (causality tracking — see [`crate::hb`]).
     pub vclocks: Vec<VectorClock>,
-    /// Causally-stamped event log.
-    pub hb_log: Vec<HbEvent>,
+    /// Causally-stamped event log (delta-encoded clocks).
+    pub hb: HbLog,
+    /// rank → the operation it is currently blocked inside (registered
+    /// by [`World::block_on`]; survives an abort, which is exactly what
+    /// the wait-for-graph analysis reads).
+    pub waiting: HashMap<u32, (String, HbOp)>,
 }
 
 impl WorldState {
     /// Advance `rank`'s clock and log `name`; returns the new stamp.
     pub fn stamp(&mut self, rank: u32, name: &str) -> VectorClock {
+        self.stamp_op(rank, name, HbOp::Local)
+    }
+
+    /// [`WorldState::stamp`] with the operation's communication shape.
+    pub fn stamp_op(&mut self, rank: u32, name: &str, op: HbOp) -> VectorClock {
         self.vclocks[rank as usize].tick(rank as usize);
         let vc = self.vclocks[rank as usize].clone();
-        self.hb_log.push(HbEvent {
-            trace: dt_trace::TraceId::master(rank),
-            name: name.to_string(),
-            vc: vc.clone(),
-        });
+        self.hb.push(dt_trace::TraceId::master(rank), name, op, &vc);
         vc
     }
 
     /// Merge a received stamp into `rank`'s clock, advance it, and log.
     pub fn stamp_recv(&mut self, rank: u32, name: &str, from: &VectorClock) {
+        self.stamp_recv_op(rank, name, HbOp::Local, from);
+    }
+
+    /// [`WorldState::stamp_recv`] with the operation's shape.
+    pub fn stamp_recv_op(&mut self, rank: u32, name: &str, op: HbOp, from: &VectorClock) {
         self.vclocks[rank as usize].merge(from);
-        self.stamp(rank, name);
+        self.stamp_op(rank, name, op);
     }
 }
 
@@ -147,6 +159,7 @@ impl World {
     pub fn new_full(size: u32, eager_limit: usize, trace_internals: bool) -> Arc<World> {
         let state = WorldState {
             vclocks: vec![VectorClock::zero(size as usize); size as usize],
+            hb: HbLog::new(size as usize),
             ..WorldState::default()
         };
         Arc::new(World {
@@ -260,6 +273,30 @@ impl World {
         }
     }
 
+    /// [`World::block_until`], registering what `rank` is blocked *on*
+    /// in [`WorldState::waiting`]. On success the registration is
+    /// removed; on abort it is left in place — that frozen snapshot of
+    /// blocked operations is exactly what the wait-for-graph deadlock
+    /// analysis consumes.
+    pub fn block_on<R>(
+        &self,
+        rank: u32,
+        name: &str,
+        op: HbOp,
+        pred: impl FnMut(&mut WorldState) -> Option<R>,
+    ) -> Result<R, MpiError> {
+        {
+            let mut st = self.state.lock();
+            st.waiting.insert(rank, (name.to_string(), op));
+        }
+        let out = self.block_until(rank, pred);
+        if out.is_ok() {
+            let mut st = self.state.lock();
+            st.waiting.remove(&rank);
+        }
+        out
+    }
+
     /// Allocate a rendezvous-send / posted-receive ID.
     pub fn next_send_id(st: &mut WorldState) -> u64 {
         st.next_send_id += 1;
@@ -294,11 +331,12 @@ impl World {
 
     /// Mark a rank's body as returned; it no longer counts as "live"
     /// for quiescence detection.
-    pub fn rank_done(&self, _rank: u32) {
+    pub fn rank_done(&self, rank: u32) {
         // Ignore the abort error: completion bookkeeping must run even
         // after an abort so joins don't hang.
         let mut st = self.state.lock();
         st.finished += 1;
+        st.finished_ranks.push(rank);
         self.bump_locked(&mut st);
         // A finishing rank can expose a deadlock among the rest; the
         // remaining blocked ranks will wake (we just notified), re-check

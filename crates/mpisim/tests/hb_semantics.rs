@@ -11,12 +11,8 @@ fn registry() -> Arc<FunctionRegistry> {
 
 /// Index of rank `p`'s `n`-th event named `name`.
 fn nth(out: &RunOutcome, p: u32, name: &str, n: usize) -> usize {
-    out.hb
-        .events
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.trace.process == p && e.name == name)
-        .map(|(i, _)| i)
+    (0..out.hb.len())
+        .filter(|&i| out.hb.trace_of(i).process == p && out.hb.name_of(i) == name)
         .nth(n)
         .unwrap_or_else(|| panic!("no event #{n} `{name}` for rank {p}"))
 }

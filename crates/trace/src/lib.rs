@@ -49,6 +49,7 @@
 pub mod collector;
 pub mod compress;
 pub mod event;
+pub mod hb;
 pub mod registry;
 pub mod stats;
 pub mod store;
@@ -57,6 +58,7 @@ pub mod trace;
 pub use collector::{TraceCollector, Tracer};
 pub use compress::StreamCompressor;
 pub use event::TraceEvent;
+pub use hb::{BlockedOp, HbEvent, HbLog, HbOp, PendingCollective, UnmatchedSend, VectorClock};
 pub use registry::{FnId, FunctionRegistry};
 pub use stats::{ProcessStats, TraceSetStats, TraceStats};
 pub use trace::{Trace, TraceId, TraceSet};

@@ -7,13 +7,19 @@
 //! registry: varint count ∥ (varint len ∥ utf8 bytes)*
 //! traces:   varint count ∥ (process:varint ∥ thread:varint ∥
 //!                           truncated:u8 ∥ varint blob_len ∥ blob)*
+//! hb:       (v2 only) present:u8 ∥ HbLog section (see [`crate::hb`])
 //! ```
 //!
 //! where each `blob` is the [`crate::compress`] encoding of the trace's
 //! symbol stream — traces are stored *compressed*, exactly as ParLOT
 //! writes them, and decompressed by DiffTrace's pre-processing stage.
+//!
+//! Version 2 appends the happens-before log (vector-clock-stamped MPI
+//! events plus blocked-operation state) that `hbcheck` analyzes. V1
+//! files still load — they simply carry an empty [`HbLog`].
 
 use crate::compress::{self, read_varint, write_varint, CodecError};
+use crate::hb::HbLog;
 use crate::registry::FunctionRegistry;
 use crate::trace::{Trace, TraceId, TraceSet};
 use std::fmt;
@@ -21,7 +27,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DTTS";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Error reading a trace-set file.
 #[derive(Debug)]
@@ -64,8 +70,15 @@ impl From<CodecError> for StoreError {
     }
 }
 
-/// Serialise a trace set to bytes (traces stored compressed).
+/// Serialise a trace set to bytes (traces stored compressed), with no
+/// happens-before section.
 pub fn to_bytes(set: &TraceSet) -> Vec<u8> {
+    to_bytes_full(set, None)
+}
+
+/// Serialise a trace set plus its happens-before log. `None` writes a
+/// v2 file whose HB section is marked absent.
+pub fn to_bytes_full(set: &TraceSet, hb: Option<&HbLog>) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -86,18 +99,32 @@ pub fn to_bytes(set: &TraceSet) -> Vec<u8> {
         write_varint(&mut out, blob.len() as u64);
         out.extend_from_slice(&blob);
     }
+    match hb {
+        Some(hb) => {
+            out.push(1);
+            hb.write_to(&mut out);
+        }
+        None => out.push(0),
+    }
     out
 }
 
-/// Deserialise a trace set from bytes.
+/// Deserialise a trace set from bytes, discarding any HB section.
 pub fn from_bytes(buf: &[u8]) -> Result<TraceSet, StoreError> {
+    from_bytes_full(buf).map(|(set, _)| set)
+}
+
+/// Deserialise a trace set and its happens-before log. V1 files (and
+/// v2 files saved without one) yield an empty log.
+pub fn from_bytes_full(buf: &[u8]) -> Result<(TraceSet, HbLog), StoreError> {
     if buf.len() < 5 {
         return Err(StoreError::Format("file too short"));
     }
     if &buf[..4] != MAGIC {
         return Err(StoreError::Format("bad magic (not a DTTS file)"));
     }
-    if buf[4] != VERSION {
+    let version = buf[4];
+    if version != 1 && version != VERSION {
         return Err(StoreError::Format("unsupported DTTS version"));
     }
     let mut at = 5usize;
@@ -138,12 +165,32 @@ pub fn from_bytes(buf: &[u8]) -> Result<TraceSet, StoreError> {
             truncated,
         ));
     }
-    Ok(set)
+    let hb = if version >= 2 {
+        match buf.get(at) {
+            Some(0) => HbLog::default(),
+            Some(1) => {
+                at += 1;
+                HbLog::read_from(buf, &mut at)
+                    .ok_or(StoreError::Format("malformed happens-before section"))?
+            }
+            Some(_) => return Err(StoreError::Format("bad HB-presence flag")),
+            None => return Err(StoreError::Format("file ends before HB section")),
+        }
+    } else {
+        HbLog::default()
+    };
+    Ok((set, hb))
 }
 
-/// Write a trace set to `path`.
+/// Write a trace set to `path` (no happens-before section).
 pub fn save(set: &TraceSet, path: &Path) -> Result<(), StoreError> {
     std::fs::write(path, to_bytes(set))?;
+    Ok(())
+}
+
+/// Write a trace set and its happens-before log to `path`.
+pub fn save_full(set: &TraceSet, hb: &HbLog, path: &Path) -> Result<(), StoreError> {
+    std::fs::write(path, to_bytes_full(set, Some(hb)))?;
     Ok(())
 }
 
@@ -151,6 +198,13 @@ pub fn save(set: &TraceSet, path: &Path) -> Result<(), StoreError> {
 pub fn load(path: &Path) -> Result<TraceSet, StoreError> {
     let buf = std::fs::read(path)?;
     from_bytes(&buf)
+}
+
+/// Read a trace set and its happens-before log from `path` (empty log
+/// for files saved without one).
+pub fn load_full(path: &Path) -> Result<(TraceSet, HbLog), StoreError> {
+    let buf = std::fs::read(path)?;
+    from_bytes_full(&buf)
 }
 
 const THREAD_MAGIC: &[u8; 4] = b"DTT1";
@@ -320,6 +374,45 @@ mod tests {
         std::fs::write(dir.join("0.0.dtt"), b"XXXX\x00junk").unwrap();
         assert!(load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hb_section_round_trips() {
+        use crate::hb::{BlockedOp, HbOp, VectorClock};
+        let set = sample_set();
+        let mut hb = HbLog::new(3);
+        let mut vc = VectorClock::zero(3);
+        vc.tick(0);
+        hb.push(TraceId::master(0), "MPI_Send", HbOp::Local, &vc);
+        hb.blocked.push(BlockedOp {
+            rank: 1,
+            name: "MPI_Recv".to_string(),
+            op: HbOp::Recv {
+                src: Some(0),
+                tag: 3,
+            },
+        });
+        let bytes = to_bytes_full(&set, Some(&hb));
+        let (back_set, back_hb) = from_bytes_full(&bytes).unwrap();
+        assert_eq!(back_set.len(), set.len());
+        assert_eq!(back_hb.events(), hb.events());
+        assert_eq!(back_hb.blocked, hb.blocked);
+        // Plain to_bytes/from_bytes still work and drop the section.
+        let (_, empty_hb) = from_bytes_full(&to_bytes(&set)).unwrap();
+        assert!(empty_hb.is_empty());
+    }
+
+    #[test]
+    fn v1_files_still_load_with_empty_hb() {
+        // Reconstruct a v1 byte stream: version byte 1, no trailing
+        // HB-presence flag.
+        let mut bytes = to_bytes(&sample_set());
+        bytes[4] = 1;
+        bytes.pop(); // drop the HB-presence byte
+        let set = from_bytes(&bytes).unwrap();
+        assert_eq!(set.len(), 3);
+        let (_, hb) = from_bytes_full(&bytes).unwrap();
+        assert!(hb.is_empty());
     }
 
     #[test]

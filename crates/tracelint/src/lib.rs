@@ -28,41 +28,28 @@
 //! detection. A property test asserts the two always agree on the
 //! verdict.
 //!
+//! The diagnostic/report machinery (severities, spans, canonical
+//! ordering, text+JSON renderers) lives in the shared [`dt_diag`]
+//! crate, generic over the rule-code enum; this crate instantiates it
+//! with [`RuleCode`] and re-exports the concrete types under their
+//! original names, so the output format is unchanged byte for byte.
+//!
 //! This crate is pure analysis: it depends on the substrate crates
-//! (`dt-trace`, `nlr`, `fca`, `mpisim`, `rex`) but not on the pipeline.
-//! The `difftrace` crate wires it into `PipelineOptions` gating and the
-//! `difftrace lint` CLI subcommand.
+//! (`dt-trace`, `dt-diag`, `nlr`, `fca`, `mpisim`, `rex`) but not on
+//! the pipeline. The `difftrace` crate wires it into `PipelineOptions`
+//! gating and the `difftrace lint` CLI subcommand.
 
 pub mod compressed;
 pub mod rules;
 
-use dt_trace::TraceId;
-use std::collections::BTreeSet;
+pub use dt_diag::{Severity, Span};
 use std::fmt;
 
-/// How bad a diagnostic is.
-///
-/// `Error`s indicate inputs the pipeline cannot analyze meaningfully
-/// (and fail a `LintGate::Deny` run); `Warning`s flag suspicious but
-/// analyzable inputs — e.g. a truncated trace *is* the hang signature
-/// the paper diffs against, so truncation alone is never an error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Suspicious but analyzable.
-    Warning,
-    /// The pipeline's assumptions are violated.
-    Error,
-}
+/// A lint finding, anchored by a [`RuleCode`].
+pub type Diagnostic = dt_diag::Diagnostic<RuleCode>;
 
-impl Severity {
-    /// Lower-case label used by both renderers.
-    pub fn label(self) -> &'static str {
-        match self {
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        }
-    }
-}
+/// The result of a lint pass: diagnostics in canonical order.
+pub type LintReport = dt_diag::Report<RuleCode>;
 
 /// Stable rule identifiers. The numeric codes are part of the output
 /// format contract (scripts grep for them); never renumber.
@@ -114,276 +101,20 @@ impl fmt::Display for RuleCode {
     }
 }
 
-/// A half-open `[start, end)` range. For trace diagnostics the unit is
-/// *event offsets* within the trace; for TL004 it is *byte offsets*
-/// within the filter pattern string.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Span {
-    /// First offset covered.
-    pub start: usize,
-    /// One past the last offset covered.
-    pub end: usize,
-}
-
-impl Span {
-    /// `[start, end)`.
-    pub fn new(start: usize, end: usize) -> Span {
-        Span { start, end }
+impl dt_diag::Code for RuleCode {
+    fn as_str(self) -> &'static str {
+        RuleCode::as_str(self)
     }
 
-    /// A single offset, `[at, at+1)`.
-    pub fn at(at: usize) -> Span {
-        Span {
-            start: at,
-            end: at + 1,
-        }
+    fn title(self) -> &'static str {
+        RuleCode::title(self)
     }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}, {})", self.start, self.end)
-    }
-}
-
-/// One finding: rule code, severity, optional trace/span anchor, a
-/// human-readable message, and an optional fix hint.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Which rule fired.
-    pub code: RuleCode,
-    /// How bad it is.
-    pub severity: Severity,
-    /// The trace the finding anchors to; `None` for corpus-wide or
-    /// configuration findings (TL004, TL006).
-    pub trace: Option<TraceId>,
-    /// Event-offset span (byte span for TL004); `None` when the
-    /// finding has no precise location (e.g. compressed-domain checks).
-    pub span: Option<Span>,
-    /// What went wrong.
-    pub message: String,
-    /// How to fix it.
-    pub hint: Option<String>,
-}
-
-impl Diagnostic {
-    /// A bare diagnostic; attach anchors with the `with_*` builders.
-    pub fn new(code: RuleCode, severity: Severity, message: impl Into<String>) -> Diagnostic {
-        Diagnostic {
-            code,
-            severity,
-            trace: None,
-            span: None,
-            message: message.into(),
-            hint: None,
-        }
-    }
-
-    /// Shorthand for an error.
-    pub fn error(code: RuleCode, message: impl Into<String>) -> Diagnostic {
-        Diagnostic::new(code, Severity::Error, message)
-    }
-
-    /// Shorthand for a warning.
-    pub fn warning(code: RuleCode, message: impl Into<String>) -> Diagnostic {
-        Diagnostic::new(code, Severity::Warning, message)
-    }
-
-    /// Anchor to a trace.
-    pub fn with_trace(mut self, id: TraceId) -> Diagnostic {
-        self.trace = Some(id);
-        self
-    }
-
-    /// Anchor to a span within the trace (or pattern).
-    pub fn with_span(mut self, span: Span) -> Diagnostic {
-        self.span = Some(span);
-        self
-    }
-
-    /// Attach a fix hint.
-    pub fn with_hint(mut self, hint: impl Into<String>) -> Diagnostic {
-        self.hint = Some(hint.into());
-        self
-    }
-
-    /// Canonical ordering key: per-trace findings first (by trace, then
-    /// span start), then corpus-wide findings; ties broken by code,
-    /// severity, and message so the full order is total. The report
-    /// sorts by this, which is what makes output byte-identical
-    /// regardless of how many threads produced the diagnostics.
-    fn sort_key(&self) -> (bool, Option<TraceId>, usize, RuleCode, Severity, &str) {
-        (
-            self.trace.is_none(),
-            self.trace,
-            self.span.map_or(0, |s| s.start),
-            self.code,
-            self.severity,
-            &self.message,
-        )
-    }
-}
-
-/// The result of a lint pass: diagnostics in canonical order.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LintReport {
-    diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// Build a report, sorting `diagnostics` into canonical order.
-    pub fn new(mut diagnostics: Vec<Diagnostic>) -> LintReport {
-        diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-        LintReport { diagnostics }
-    }
-
-    /// The findings, canonically ordered.
-    pub fn diagnostics(&self) -> &[Diagnostic] {
-        &self.diagnostics
-    }
-
-    /// True if nothing fired.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// True if any finding is an error (what `LintGate::Deny` trips on).
-    pub fn has_errors(&self) -> bool {
-        self.diagnostics
-            .iter()
-            .any(|d| d.severity == Severity::Error)
-    }
-
-    /// Number of error-severity findings.
-    pub fn error_count(&self) -> usize {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-            .count()
-    }
-
-    /// Number of warning-severity findings.
-    pub fn warning_count(&self) -> usize {
-        self.diagnostics.len() - self.error_count()
-    }
-
-    /// The distinct rule codes that fired.
-    pub fn codes(&self) -> BTreeSet<RuleCode> {
-        self.diagnostics.iter().map(|d| d.code).collect()
-    }
-
-    /// The `(code, severity)` verdict set for one trace — the unit the
-    /// compressed/expanded agreement property is stated over.
-    pub fn verdicts_for(&self, id: TraceId) -> BTreeSet<(RuleCode, Severity)> {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.trace == Some(id))
-            .map(|d| (d.code, d.severity))
-            .collect()
-    }
-
-    /// Human-readable rendering, one finding per line (plus indented
-    /// hint lines), ending with a summary line.
-    pub fn render_text(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(d.severity.label());
-            out.push('[');
-            out.push_str(d.code.as_str());
-            out.push(']');
-            if let Some(t) = d.trace {
-                out.push_str(&format!(" trace {t}"));
-            }
-            if let Some(s) = d.span {
-                out.push_str(&format!(" @ {s}"));
-            }
-            out.push_str(": ");
-            out.push_str(&d.message);
-            out.push('\n');
-            if let Some(h) = &d.hint {
-                out.push_str("  hint: ");
-                out.push_str(h);
-                out.push('\n');
-            }
-        }
-        out.push_str(&format!(
-            "{} error(s), {} warning(s)\n",
-            self.error_count(),
-            self.warning_count()
-        ));
-        out
-    }
-
-    /// JSON rendering (hand-rolled; the workspace has no serde). The
-    /// schema is stable:
-    ///
-    /// ```json
-    /// {"errors":1,"warnings":0,"diagnostics":[
-    ///   {"code":"TL001","severity":"error","trace":"3.0",
-    ///    "span":{"start":5,"end":6},"message":"…","hint":"…"}]}
-    /// ```
-    ///
-    /// `trace`, `span`, and `hint` are omitted when absent.
-    pub fn render_json(&self) -> String {
-        let mut out = String::from("{");
-        out.push_str(&format!(
-            "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
-            self.error_count(),
-            self.warning_count()
-        ));
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"code\":\"{}\",\"severity\":\"{}\"",
-                d.code.as_str(),
-                d.severity.label()
-            ));
-            if let Some(t) = d.trace {
-                out.push_str(&format!(",\"trace\":\"{t}\""));
-            }
-            if let Some(s) = d.span {
-                out.push_str(&format!(
-                    ",\"span\":{{\"start\":{},\"end\":{}}}",
-                    s.start, s.end
-                ));
-            }
-            out.push_str(",\"message\":\"");
-            out.push_str(&json_escape(&d.message));
-            out.push('"');
-            if let Some(h) = &d.hint {
-                out.push_str(",\"hint\":\"");
-                out.push_str(&json_escape(h));
-                out.push('"');
-            }
-            out.push('}');
-        }
-        out.push_str("]}");
-        out
-    }
-}
-
-/// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dt_trace::TraceId;
 
     #[test]
     fn codes_are_stable() {

@@ -32,5 +32,6 @@ pub mod tsp;
 
 pub use ilcs::{run_ilcs, IlcsConfig, IlcsFault};
 pub use lulesh::{run_lulesh, LuleshConfig, LuleshFault};
+pub use mpisim::RunOutcome;
 pub use oddeven::{run_oddeven, OddEvenConfig, OddEvenFault};
 pub use stencil::{run_stencil, StencilConfig, StencilFault};

@@ -41,6 +41,15 @@ pub enum LuleshFault {
         /// The faulty rank.
         rank: u32,
     },
+    /// The designated rank skips the `TimeIncrement` `MPI_Allreduce`
+    /// and runs straight into the halo exchange: its neighbours sit in
+    /// the collective waiting for it, while it blocks in `CommRecv`
+    /// waiting for them — a true wait-for cycle through a collective
+    /// (`hbcheck` HB001).
+    SkipCollective {
+        /// The faulty rank.
+        rank: u32,
+    },
 }
 
 /// Configuration of one LULESH-proxy execution.
@@ -301,8 +310,12 @@ pub fn run_lulesh(cfg: &LuleshConfig, registry: Arc<FunctionRegistry>) -> RunOut
             cfg.fault,
             Some(LuleshFault::SkipLagrangeLeapFrog { rank: fr }) if fr == me
         );
+        let skip_coll = matches!(
+            cfg.fault,
+            Some(LuleshFault::SkipCollective { rank: fr }) if fr == me
+        );
         for _cycle in 0..cfg.cycles {
-            {
+            if !skip_coll {
                 let ti = tr.enter("TimeIncrement");
                 let gdt = rank.allreduce(&[(dom.dt * 1e12) as i64], ReduceOp::Min)?;
                 dom.dt = gdt[0] as f64 / 1e12;
@@ -413,6 +426,41 @@ mod tests {
         assert!(t1.truncated);
         let last = *t1.events.last().unwrap();
         assert_eq!(out.traces.registry.name(last.fn_id()), "MPI_Recv");
+    }
+
+    #[test]
+    fn skip_collective_is_a_true_wait_cycle_through_the_collective() {
+        let reg = registry();
+        let out = run_lulesh(
+            &tiny(Some(LuleshFault::SkipCollective { rank: 2 })),
+            reg.clone(),
+        );
+        assert!(out.deadlocked);
+        // Rank 1 sits in the allreduce waiting for rank 2; rank 2 sits
+        // in the halo receive waiting for rank 1 — a genuine cycle.
+        let progress: Vec<_> = out
+            .traces
+            .iter()
+            .map(|t| hbcheck::expanded::summarize(t.id, &t.to_symbols(), t.truncated))
+            .collect();
+        let report = hbcheck::analyze(&out.hb, &progress, &reg);
+        let cycle = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == hbcheck::HbCode::WaitCycle)
+            .expect("HB001 must fire on the skipped-collective deadlock");
+        assert!(
+            cycle.message.contains("rank 1 blocked in MPI_Allreduce"),
+            "{}",
+            cycle.message
+        );
+        assert!(
+            cycle
+                .message
+                .contains("rank 2 blocked in MPI_Recv(src=1, tag=7)"),
+            "{}",
+            cycle.message
+        );
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub enum StencilFault {
         /// The faulty rank.
         rank: u32,
     },
+    /// `rank` swaps the send/receive tags of its halo exchanges: it
+    /// sends what its neighbours do not expect and waits for what they
+    /// never send. Both sides block inside `MPI_Sendrecv` — a true
+    /// receive↔receive wait-for cycle (`hbcheck` HB001) plus
+    /// wrong-tag messages that are never consumed (HB003).
+    TagMismatch {
+        /// The faulty rank.
+        rank: u32,
+    },
 }
 
 /// Configuration of one stencil execution.
@@ -114,6 +123,7 @@ pub fn run_stencil(cfg: &StencilConfig, registry: Arc<FunctionRegistry>) -> (Run
             // Halo exchange (possibly faulty).
             let mut stale = false;
             let mut right_peer = right;
+            let mut swap_tags = false;
             match cfg.fault {
                 Some(StencilFault::StaleHalo {
                     rank: fr,
@@ -127,19 +137,26 @@ pub fn run_stencil(cfg: &StencilConfig, registry: Arc<FunctionRegistry>) -> (Run
                 }) if fr == me => {
                     right_peer = Some(wrong_peer);
                 }
+                Some(StencilFault::TagMismatch { rank: fr }) if fr == me => {
+                    swap_tags = true;
+                }
                 _ => {}
             }
+            // Tag convention: tag 0 flows leftward, tag 1 rightward.
+            // The faulty rank uses them backwards, so it and a true
+            // neighbour each wait for a tag the other never sends.
+            let (tag_a, tag_b) = if swap_tags { (1, 0) } else { (0, 1) };
             let scope = tr.enter("HaloExchange");
             let mut left_halo = field[0];
             let mut right_halo = *field.last().unwrap();
             if let Some(l) = left {
-                let got = rank.sendrecv(l, 0, &[field[0]], l, 1)?;
+                let got = rank.sendrecv(l, tag_a, &[field[0]], l, tag_b)?;
                 if !stale {
                     left_halo = got[0];
                 }
             }
             if let Some(r) = right_peer {
-                let got = rank.sendrecv(r, 1, &[*field.last().unwrap()], r, 0)?;
+                let got = rank.sendrecv(r, tag_b, &[*field.last().unwrap()], r, tag_a)?;
                 if !stale {
                     right_halo = got[0];
                 }
@@ -254,6 +271,43 @@ mod tests {
                     .last()
                     .is_some_and(|e| out.traces.registry.name(e.fn_id()) == "MPI_Sendrecv")
         }));
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_true_recv_recv_wait_cycle() {
+        let fault = StencilFault::TagMismatch { rank: 1 };
+        let reg = registry();
+        let (out, _) = run_stencil(&small(Some(fault)), reg.clone());
+        assert!(out.deadlocked);
+        // The wait-for graph must contain the faulty rank and its left
+        // neighbour waiting on each other inside MPI_Sendrecv.
+        let progress: Vec<_> = out
+            .traces
+            .iter()
+            .map(|t| hbcheck::expanded::summarize(t.id, &t.to_symbols(), t.truncated))
+            .collect();
+        let report = hbcheck::analyze(&out.hb, &progress, &reg);
+        let cycle = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == hbcheck::HbCode::WaitCycle)
+            .expect("HB001 must fire on the tag-mismatch deadlock");
+        assert!(
+            cycle
+                .message
+                .contains("rank 0 blocked in MPI_Sendrecv(src=1, tag=0)"),
+            "{}",
+            cycle.message
+        );
+        assert!(
+            cycle
+                .message
+                .contains("rank 1 blocked in MPI_Sendrecv(src=0, tag=0)"),
+            "{}",
+            cycle.message
+        );
+        // The wrong-tag messages are flagged as never received.
+        assert!(report.codes().contains(&hbcheck::HbCode::UnmatchedSend));
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn hb_master_event_sequences_are_deterministic() {
     let per_rank = || {
         let out = run_ilcs(&IlcsConfig::paper(None), Arc::new(FunctionRegistry::new()));
         let mut v: Vec<Vec<(String, u64)>> = vec![Vec::new(); 8];
-        for e in &out.hb.events {
+        for e in out.hb.events() {
             v[e.trace.process as usize].push((e.name.clone(), e.vc.lamport()));
         }
         v
