@@ -1,0 +1,73 @@
+//! `bench_pipeline` — run one instrumented DiffTrace iteration on the
+//! golden odd/even corpus and write the stage metrics as
+//! `BENCH_pipeline.json` (schema `difftrace-metrics/v1`, the same
+//! document `difftrace --metrics` emits). This is the machine-readable
+//! perf trajectory: CI archives one document per commit, so stage-level
+//! regressions show up as a diffable time series.
+//!
+//! ```text
+//! cargo run --release -p difftrace-bench --bin bench_pipeline -- [out.json]
+//! ```
+
+use difftrace::{
+    try_diff_runs_hb_rec, AttrConfig, AttrKind, FilterConfig, FreqMode, Params, PipelineOptions,
+};
+use dt_trace::FunctionRegistry;
+use std::sync::Arc;
+use workloads::{run_oddeven, OddEvenConfig};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let registry = Arc::new(FunctionRegistry::new());
+    let normal = run_oddeven(&OddEvenConfig::paper(None), registry.clone()).traces;
+    let faulty = run_oddeven(
+        &OddEvenConfig::paper(Some(OddEvenConfig::swap_bug())),
+        registry,
+    )
+    .traces;
+    let params = Params::new(
+        FilterConfig::mpi_all(10),
+        AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        },
+    );
+
+    let rec = dt_obs::MetricsRecorder::new();
+    let d = try_diff_runs_hb_rec(
+        &normal,
+        &faulty,
+        None,
+        &params,
+        &PipelineOptions::default(),
+        &rec,
+    )
+    .expect("gates are off");
+    // Sanity: the corpus must still implicate the seeded fault — a
+    // perf document for a wrong answer is worse than no document.
+    assert_eq!(
+        d.suspicious_processes.first(),
+        Some(&5),
+        "odd/even swap bug no longer implicates rank 5"
+    );
+
+    let m = rec.finish("bench_pipeline", 0);
+    let doc = m.to_json();
+    if let Err(e) = dt_obs::validate_json(&doc) {
+        eprintln!("emitted metrics do not validate: {e}\n{doc}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("writing {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "wrote {out} ({} stages, {} counters)",
+        m.stages.len(),
+        m.counters.len()
+    );
+    print!("{}", m.render_table());
+}

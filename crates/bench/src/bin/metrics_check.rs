@@ -1,0 +1,34 @@
+//! `metrics_check` — validate `difftrace-metrics/v1` JSON documents.
+//!
+//! CI's metrics-smoke job runs every emitted document through this
+//! before archiving it, so a schema drift fails the build instead of
+//! silently corrupting the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p difftrace-bench --bin metrics_check -- m.json...
+//! ```
+//!
+//! Exits 0 when every document validates, 1 on the first violation,
+//! 2 on usage/IO errors.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: metrics_check <metrics.json>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = dt_obs::validate_json(&doc) {
+            eprintln!("{path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: ok");
+    }
+}

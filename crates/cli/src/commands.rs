@@ -1,10 +1,11 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    diff_runs_opts, hbcheck_set, lint_set, render_ranking, sweep_parallel, try_diff_runs_hb_opts,
-    AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate,
-    LintOptions, Params, PipelineOptions,
+    hbcheck_set, lint_set, render_ranking, sweep_parallel_rec, try_diff_runs_hb_rec, AttrConfig,
+    AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate, LintOptions,
+    Params, PipelineOptions,
 };
+use dt_obs::{stage, MetricsRecorder, Recorder};
 use dt_trace::hb::HbLog;
 use dt_trace::{store, FunctionRegistry, TraceId, TraceSet, TraceSetStats};
 use std::fmt;
@@ -42,14 +43,112 @@ impl fmt::Display for CliError {
     }
 }
 
+/// One-line usage string per subcommand, appended to argument errors
+/// so the fix is visible without a round-trip through `help`.
+fn usage_of(cmd: &str) -> &'static str {
+    match cmd {
+        "demo" => "usage: difftrace demo <workload> <outdir> [--force]",
+        "info" => "usage: difftrace info <file.dtts>",
+        "filters" => "usage: difftrace filters <file.dtts>",
+        "single" => "usage: difftrace single <run.dtts> [options]",
+        "lint" => "usage: difftrace lint <file.dtts>... [options]",
+        "hbcheck" => "usage: difftrace hbcheck <file.dtts>... [options]",
+        "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
+        "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
+        "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
+        _ => "try `difftrace help`",
+    }
+}
+
+fn unknown_option(flag: &str, cmd: &str) -> String {
+    format!("unknown option `{flag}` for `{cmd}` ({})", usage_of(cmd))
+}
+
+/// Duplicate-flag guard for the hand-rolled option loops. Every flag
+/// match arm calls [`Seen::check`] first, so `--filter A --filter B`
+/// fails the same way on every subcommand instead of silently keeping
+/// whichever value the loop happened to see last. Flags that are
+/// genuinely repeatable (sweep's grid axes) skip the check.
+struct Seen<'a> {
+    cmd: &'a str,
+    seen: std::collections::BTreeSet<&'static str>,
+}
+
+impl<'a> Seen<'a> {
+    fn new(cmd: &'a str) -> Seen<'a> {
+        Seen {
+            cmd,
+            seen: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn check(&mut self, flag: &'static str) -> Result<(), String> {
+        if self.seen.insert(flag) {
+            Ok(())
+        } else {
+            Err(format!(
+                "duplicate option `{flag}` for `{}` ({})",
+                self.cmd,
+                usage_of(self.cmd)
+            ))
+        }
+    }
+}
+
+/// The `--profile` / `--metrics FILE` pair shared by the analysis
+/// subcommands.
+#[derive(Default)]
+struct ObsOpts {
+    profile: bool,
+    metrics: Option<PathBuf>,
+}
+
+impl ObsOpts {
+    fn active(&self) -> bool {
+        self.profile || self.metrics.is_some()
+    }
+
+    /// The recorder the pipeline should report into: the live one when
+    /// any observability output was requested, the no-op (whose stage
+    /// guards never read the clock) otherwise.
+    fn recorder<'r>(&self, live: &'r MetricsRecorder) -> &'r dyn Recorder {
+        if self.active() {
+            live
+        } else {
+            &dt_obs::NOOP
+        }
+    }
+
+    /// Finalize and emit: the profile table goes to stderr (stdout is
+    /// reserved for the analysis report, which must stay byte-identical
+    /// under instrumentation), the JSON document to `--metrics FILE`.
+    fn emit(&self, live: &MetricsRecorder, command: &str, threads: usize) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        let m = live.finish(command, threads);
+        if self.profile {
+            eprint!("{}", m.render_table());
+        }
+        if let Some(path) = &self.metrics {
+            let doc = m.to_json();
+            debug_assert!(dt_obs::validate_json(&doc).is_ok());
+            std::fs::write(path, doc)
+                .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
 const HELP: &str = "\
 difftrace — whole-program trace analysis and diffing for debugging
 
 USAGE:
-  difftrace demo <workload> <outdir>
+  difftrace demo <workload> <outdir> [--force]
       Run the workload twice (healthy + with its paper fault) under the
       simulated MPI runtime; write <outdir>/normal.dtts and
-      <outdir>/faulty.dtts (with their happens-before logs).
+      <outdir>/faulty.dtts (with their happens-before logs). Refuses
+      to overwrite an existing pair unless --force is given.
       Workloads: oddeven oddeven-dl ilcs-crit ilcs-size ilcs-op lulesh
       stencil-tag (halo-exchange tag mismatch → recv↔recv deadlock)
       lulesh-coll (rank deserts a collective → wait-for cycle).
@@ -63,6 +162,7 @@ USAGE:
 
   difftrace lint <file.dtts>... [--format text|json] [--gate warn|deny]
           [--domain expanded|compressed] [--deep] [--threads N] [--filter CODE]
+          [--profile] [--metrics FILE]
       Static trace analysis *before* any diffing: stack discipline
       (TL001), cross-rank collective order (TL002), truncation (TL003),
       dead filters (TL004), NLR roundtrip (TL005), and — under --deep —
@@ -74,7 +174,7 @@ USAGE:
       exits 3 when any error-severity diagnostic fires.
 
   difftrace hbcheck <file.dtts>... [--format text|json] [--gate warn|deny]
-          [--domain expanded|compressed] [--threads N]
+          [--domain expanded|compressed] [--threads N] [--profile] [--metrics FILE]
       Happens-before analysis of recorded runs: wait-for-graph deadlock
       cycles (HB001), operations blocked on finished peers (HB002),
       unmatched sends (HB003), racy channels — concurrent sends to one
@@ -88,6 +188,7 @@ USAGE:
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
           [--threads N] [--full] [--gate off|warn|deny] [--hb off|warn|deny]
+          [--profile] [--metrics FILE]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
@@ -104,6 +205,7 @@ USAGE:
       --gate off --hb off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
+          [--profile] [--metrics FILE]
       No-reference outlier analysis of ONE execution (the paper's
       §II-A mode): cluster traces, report the smallest clusters as
       outliers. --k 0 (default) picks the granularity automatically.
@@ -116,8 +218,19 @@ USAGE:
 
   difftrace sweep <normal.dtts> <faulty.dtts>
           [--filter CODE]... [--attrs CODE]... [--linkage NAME] [--jobs N]
+          [--profile] [--metrics FILE]
       Ranking table over a parameter grid (default: the 11.all/01.all ×
       Table V grid), computed in parallel (--jobs 0 = all cores).
+
+PROFILING (lint, hbcheck, diff, single, export, sweep):
+  --profile        print a per-stage wall-time and counter table to
+                   stderr after the run, including per-worker busy
+                   times for the parallel stages.
+  --metrics FILE   write the same data as one machine-readable JSON
+                   document (schema `difftrace-metrics/v1`, see
+                   DESIGN.md). One document per invocation.
+  Instrumentation is observational only: the analysis output on stdout
+  is byte-identical with or without it, at any thread count.
 
 CODES:
   filter   <r><p>.<class>*.K<k>  e.g. 11.mpiall.K10, 01.mem.ompcrit.K10,
@@ -155,15 +268,41 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
 }
 
 fn demo(args: &[String]) -> Result<(), String> {
-    let [workload, outdir] = args else {
-        return Err("usage: difftrace demo <workload> <outdir>".to_string());
+    let mut seen = Seen::new("demo");
+    let mut force = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--force" => {
+                seen.check("--force")?;
+                force = true;
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "demo")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [workload, outdir] = positional.as_slice() else {
+        return Err(usage_of("demo").to_string());
     };
-    let registry = Arc::new(FunctionRegistry::new());
-    let ((normal, normal_hb), (faulty, faulty_hb)) = run_demo_pair(workload, &registry)?;
-    std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let out = PathBuf::from(outdir);
     let np = out.join("normal.dtts");
     let fp = out.join("faulty.dtts");
+    if !force {
+        let existing: Vec<String> = [&np, &fp]
+            .into_iter()
+            .filter(|p| p.exists())
+            .map(|p| p.display().to_string())
+            .collect();
+        if !existing.is_empty() {
+            return Err(format!(
+                "refusing to overwrite {} (pass --force to replace the pair)",
+                existing.join(" and ")
+            ));
+        }
+    }
+    let registry = Arc::new(FunctionRegistry::new());
+    let ((normal, normal_hb), (faulty, faulty_hb)) = run_demo_pair(workload, &registry)?;
+    std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
     store::save_full(&normal, &normal_hb, &np).map_err(|e| e.to_string())?;
     store::save_full(&faulty, &faulty_hb, &fp).map_err(|e| e.to_string())?;
     println!(
@@ -262,8 +401,11 @@ fn load_full(path: &str) -> Result<(TraceSet, HbLog), String> {
 }
 
 fn info(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(unknown_option(flag, "info"));
+    }
     let [path] = args else {
-        return Err("usage: difftrace info <file.dtts>".to_string());
+        return Err(usage_of("info").to_string());
     };
     let set = load(path)?;
     let stats = TraceSetStats::measure(&set);
@@ -298,8 +440,11 @@ fn info(args: &[String]) -> Result<(), String> {
 }
 
 fn filters(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(unknown_option(flag, "filters"));
+    }
     let [path] = args else {
-        return Err("usage: difftrace filters <file.dtts>".to_string());
+        return Err(usage_of("filters").to_string());
     };
     let set = load(path)?;
     println!(
@@ -321,13 +466,15 @@ fn filters(args: &[String]) -> Result<(), String> {
 }
 
 fn single(args: &[String]) -> Result<(), String> {
-    let mut path = None;
+    let mut seen = Seen::new("single");
+    let mut path: Option<String> = None;
     let mut filter = FilterConfig::everything(10);
     let mut attrs = AttrConfig {
         kind: AttrKind::Single,
         freq: FreqMode::Actual,
     };
     let mut k = 0usize;
+    let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -336,19 +483,47 @@ fn single(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
-            "--filter" => filter = value("--filter")?.parse()?,
-            "--attrs" => attrs = value("--attrs")?.parse()?,
-            "--k" => k = value("--k")?.parse().map_err(|_| "bad --k")?,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option `{other}` for `single`"))
+            "--filter" => {
+                seen.check("--filter")?;
+                filter = value("--filter")?.parse()?;
             }
-            other => path = Some(other.to_string()),
+            "--attrs" => {
+                seen.check("--attrs")?;
+                attrs = value("--attrs")?.parse()?;
+            }
+            "--k" => {
+                seen.check("--k")?;
+                k = value("--k")?.parse().map_err(|_| "bad --k")?;
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "single")),
+            other => {
+                if path.is_some() {
+                    return Err(format!(
+                        "unexpected extra argument `{other}` ({})",
+                        usage_of("single")
+                    ));
+                }
+                path = Some(other.to_string());
+            }
         }
     }
-    let path = path.ok_or("usage: difftrace single <run.dtts> [options]")?;
-    let set = load(&path)?;
+    let path = path.ok_or_else(|| usage_of("single").to_string())?;
+    let live = MetricsRecorder::new();
+    let rec = obs.recorder(&live);
+    let set = {
+        let _s = stage(rec, "load");
+        load(&path)?
+    };
     let params = difftrace::Params::new(filter, attrs);
-    let report = difftrace::analyze_single(&set, &params, k);
+    let report = difftrace::analyze_single_rec(&set, &params, k, rec);
     println!("{} traces, {} clusters:", set.len(), report.clusters.len());
     for (i, c) in report.clusters.iter().enumerate() {
         println!(
@@ -373,14 +548,17 @@ fn single(args: &[String]) -> Result<(), String> {
                 .join(", ")
         );
     }
+    obs.emit(&live, "single", 1)?;
     Ok(())
 }
 
 fn lint_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("lint");
     let mut paths = Vec::new();
     let mut format = "text".to_string();
     let mut gate = LintGate::Warn;
     let mut opts = LintOptions::default();
+    let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -390,31 +568,53 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
         };
         match a.as_str() {
             "--format" => {
+                seen.check("--format")?;
                 format = value("--format")?;
                 if format != "text" && format != "json" {
                     return Err(format!("unknown format `{format}` (text|json)").into());
                 }
             }
-            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
-            "--domain" => opts.domain = LintDomain::parse(&value("--domain")?)?,
-            "--deep" => opts.deep = true,
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--domain" => {
+                seen.check("--domain")?;
+                opts.domain = LintDomain::parse(&value("--domain")?)?;
+            }
+            "--deep" => {
+                seen.check("--deep")?;
+                opts.deep = true;
+            }
             "--threads" => {
+                seen.check("--threads")?;
                 opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
             }
             // Lenient on purpose: a bad custom pattern must surface as
             // a TL004 diagnostic with a byte span, not an arg error.
-            "--filter" => opts.filter = Some(FilterConfig::parse_lenient(&value("--filter")?)?),
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option `{other}` for `lint`").into())
+            "--filter" => {
+                seen.check("--filter")?;
+                opts.filter = Some(FilterConfig::parse_lenient(&value("--filter")?)?);
             }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "lint").into()),
             other => paths.push(other.to_string()),
         }
     }
     if paths.is_empty() {
-        return Err("usage: difftrace lint <file.dtts>... [options]".into());
+        return Err(usage_of("lint").to_string().into());
     }
-    let (rendered, errors) = lint_render(&paths, &format, &opts)?;
+    let live = MetricsRecorder::new();
+    let (rendered, errors) = lint_render(&paths, &format, &opts, obs.recorder(&live))?;
     print!("{rendered}");
+    obs.emit(&live, "lint", opts.threads.max(1))?;
     if gate == LintGate::Deny && errors > 0 {
         return Err(CliError::LintDenied(format!(
             "lint gate denied: {errors} error(s) across {} file(s)",
@@ -431,12 +631,24 @@ fn lint_render(
     paths: &[String],
     format: &str,
     opts: &LintOptions,
+    rec: &dyn Recorder,
 ) -> Result<(String, usize), String> {
     let mut out = String::new();
     let mut errors = 0;
     for path in paths {
-        let set = load(path)?;
-        let report = lint_set(&set, opts);
+        let set = {
+            let _s = stage(rec, "load");
+            load(path)?
+        };
+        let report = {
+            let _s = stage(rec, "lint");
+            lint_set(&set, opts)
+        };
+        if rec.enabled() {
+            rec.add("files", 1);
+            rec.add("diagnostics", report.diagnostics().len() as u64);
+            rec.add("errors", report.error_count() as u64);
+        }
         errors += report.error_count();
         if format == "json" {
             if paths.len() == 1 {
@@ -460,10 +672,12 @@ fn lint_render(
 }
 
 fn hbcheck_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("hbcheck");
     let mut paths = Vec::new();
     let mut format = "text".to_string();
     let mut gate = LintGate::Warn;
     let mut opts = HbOptions::default();
+    let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -473,27 +687,43 @@ fn hbcheck_cmd(args: &[String]) -> Result<(), CliError> {
         };
         match a.as_str() {
             "--format" => {
+                seen.check("--format")?;
                 format = value("--format")?;
                 if format != "text" && format != "json" {
                     return Err(format!("unknown format `{format}` (text|json)").into());
                 }
             }
-            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
-            "--domain" => opts.domain = LintDomain::parse(&value("--domain")?)?,
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--domain" => {
+                seen.check("--domain")?;
+                opts.domain = LintDomain::parse(&value("--domain")?)?;
+            }
             "--threads" => {
+                seen.check("--threads")?;
                 opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
             }
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option `{other}` for `hbcheck`").into())
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
             }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "hbcheck").into()),
             other => paths.push(other.to_string()),
         }
     }
     if paths.is_empty() {
-        return Err("usage: difftrace hbcheck <file.dtts>... [options]".into());
+        return Err(usage_of("hbcheck").to_string().into());
     }
-    let (rendered, errors) = hbcheck_render(&paths, &format, &opts)?;
+    let live = MetricsRecorder::new();
+    let (rendered, errors) = hbcheck_render(&paths, &format, &opts, obs.recorder(&live))?;
     print!("{rendered}");
+    obs.emit(&live, "hbcheck", opts.threads.max(1))?;
     if gate == LintGate::Deny && errors > 0 {
         return Err(CliError::LintDenied(format!(
             "hbcheck gate denied: {errors} error(s) across {} file(s)",
@@ -511,18 +741,30 @@ fn hbcheck_render(
     paths: &[String],
     format: &str,
     opts: &HbOptions,
+    rec: &dyn Recorder,
 ) -> Result<(String, usize), String> {
     let mut out = String::new();
     let mut errors = 0;
     for path in paths {
-        let (set, hb) = load_full(path)?;
+        let (set, hb) = {
+            let _s = stage(rec, "load");
+            load_full(path)?
+        };
         if hb.world_size() == 0 {
             return Err(format!(
                 "{path}: no happens-before section — re-record the run (e.g. `difftrace demo`) \
                  to get one"
             ));
         }
-        let report = hbcheck_set(&set, &hb, opts);
+        let report = {
+            let _s = stage(rec, "hbcheck");
+            hbcheck_set(&set, &hb, opts)
+        };
+        if rec.enabled() {
+            rec.add("files", 1);
+            rec.add("diagnostics", report.diagnostics().len() as u64);
+            rec.add("errors", report.error_count() as u64);
+        }
         errors += report.error_count();
         if format == "json" {
             if paths.len() == 1 {
@@ -556,9 +798,14 @@ struct DiffOpts {
     full: bool,
     gate: LintGate,
     hb: LintGate,
+    obs: ObsOpts,
 }
 
 fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
+    let mut seen = Seen::new(cmd);
+    // Only sweep's grid axes are repeatable; everywhere else a repeated
+    // flag is a mistake, not a list.
+    let repeatable_axes = cmd == "sweep";
     let mut positional = Vec::new();
     let mut filters = Vec::new();
     let mut attrs = Vec::new();
@@ -569,6 +816,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut full = false;
     let mut gate = LintGate::Off;
     let mut hb = LintGate::Off;
+    let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -577,9 +825,20 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
-            "--filter" => filters.push(value("--filter")?.parse::<FilterConfig>()?),
-            "--attrs" => attrs.push(value("--attrs")?.parse::<AttrConfig>()?),
+            "--filter" => {
+                if !repeatable_axes {
+                    seen.check("--filter")?;
+                }
+                filters.push(value("--filter")?.parse::<FilterConfig>()?);
+            }
+            "--attrs" => {
+                if !repeatable_axes {
+                    seen.check("--attrs")?;
+                }
+                attrs.push(value("--attrs")?.parse::<AttrConfig>()?);
+            }
             "--linkage" => {
+                seen.check("--linkage")?;
                 let name = value("--linkage")?;
                 linkage = cluster::Method::ALL
                     .into_iter()
@@ -587,6 +846,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                     .ok_or_else(|| format!("unknown linkage `{name}`"))?;
             }
             "--diffnlr" => {
+                seen.check("--diffnlr")?;
                 let spec = value("--diffnlr")?;
                 let (p, t) = spec
                     .split_once('.')
@@ -596,21 +856,40 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                     t.parse().map_err(|_| "bad thread id")?,
                 ));
             }
-            "--jobs" => jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?,
-            "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
-            "--full" => full = true,
-            "--gate" => gate = LintGate::parse(&value("--gate")?)?,
-            "--hb" => hb = LintGate::parse(&value("--hb")?)?,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option `{other}` for `{cmd}`"))
+            "--jobs" => {
+                seen.check("--jobs")?;
+                jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
             }
+            "--threads" => {
+                seen.check("--threads")?;
+                threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--full" => {
+                seen.check("--full")?;
+                full = true;
+            }
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--hb" => {
+                seen.check("--hb")?;
+                hb = LintGate::parse(&value("--hb")?)?;
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, cmd)),
             other => positional.push(other.to_string()),
         }
     }
     let [normal, faulty] = positional.as_slice() else {
-        return Err(format!(
-            "usage: difftrace {cmd} <normal.dtts> <faulty.dtts> [options]"
-        ));
+        return Err(usage_of(cmd).to_string());
     };
     Ok(DiffOpts {
         normal: normal.clone(),
@@ -624,13 +903,22 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         full,
         gate,
         hb,
+        obs,
     })
 }
 
 fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args, "diff")?;
-    let (normal, normal_hb) = load_full(&opts.normal)?;
-    let (faulty, faulty_hb) = load_full(&opts.faulty)?;
+    let live = MetricsRecorder::new();
+    let rec = opts.obs.recorder(&live);
+    let (normal, normal_hb) = {
+        let _s = stage(rec, "load");
+        load_full(&opts.normal)?
+    };
+    let (faulty, faulty_hb) = {
+        let _s = stage(rec, "load");
+        load_full(&opts.faulty)?
+    };
     let filter = opts
         .filters
         .into_iter()
@@ -655,7 +943,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     } else {
         None
     };
-    let d = match try_diff_runs_hb_opts(
+    let d = match try_diff_runs_hb_rec(
         &normal,
         &faulty,
         hb_logs,
@@ -665,16 +953,21 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             lint: opts.gate,
             hb: opts.hb,
         },
+        rec,
     ) {
         Ok(d) => d,
         Err(DiffDenied::Lint(fail)) => {
             eprint!("lint (normal):\n{}", fail.normal.render_text());
             eprint!("lint (faulty):\n{}", fail.faulty.render_text());
+            // The metrics still describe the work that ran (load + the
+            // pre-pass that denied).
+            opts.obs.emit(&live, "diff", opts.threads)?;
             return Err(CliError::LintDenied(fail.to_string()));
         }
         Err(DiffDenied::Hb(fail)) => {
             eprint!("hbcheck (normal):\n{}", fail.normal.render_text());
             eprint!("hbcheck (faulty):\n{}", fail.faulty.render_text());
+            opts.obs.emit(&live, "diff", opts.threads)?;
             return Err(CliError::LintDenied(fail.to_string()));
         }
     };
@@ -695,6 +988,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             "{}",
             difftrace::generate_report(&d, &difftrace::ReportOptions::default())
         );
+        opts.obs.emit(&live, "diff", opts.threads)?;
         return Ok(());
     }
     println!(
@@ -722,6 +1016,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             None => println!("\n(no trace {id} in both runs)"),
         }
     }
+    opts.obs.emit(&live, "diff", opts.threads)?;
     Ok(())
 }
 
@@ -746,10 +1041,18 @@ fn export(args: &[String]) -> Result<(), String> {
         }
         rest.push(a.clone());
     }
-    let outdir = outdir.ok_or("usage: difftrace export <normal> <faulty> <outdir> [options]")?;
+    let outdir = outdir.ok_or_else(|| usage_of("export").to_string())?;
     let opts = parse_opts(&rest, "export")?;
-    let normal = load(&opts.normal)?;
-    let faulty = load(&opts.faulty)?;
+    let live = MetricsRecorder::new();
+    let rec = opts.obs.recorder(&live);
+    let normal = {
+        let _s = stage(rec, "load");
+        load(&opts.normal)?
+    };
+    let faulty = {
+        let _s = stage(rec, "load");
+        load(&opts.faulty)?
+    };
     let params = difftrace::Params {
         filter: opts
             .filters
@@ -762,12 +1065,18 @@ fn export(args: &[String]) -> Result<(), String> {
         }),
         linkage: opts.linkage,
     };
-    let d = diff_runs_opts(
+    // Gates stay off for export (as before); with them off the
+    // pipeline cannot deny.
+    let Ok(d) = try_diff_runs_hb_rec(
         &normal,
         &faulty,
+        None,
         &params,
         &PipelineOptions::with_threads(opts.threads),
-    );
+        rec,
+    ) else {
+        unreachable!("gates are off");
+    };
     let dir = PathBuf::from(&outdir);
     std::fs::create_dir_all(&dir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let write = |name: &str, content: String| -> Result<(), String> {
@@ -792,13 +1101,22 @@ fn export(args: &[String]) -> Result<(), String> {
         difftrace::generate_report(&d, &difftrace::ReportOptions::default()),
     )?;
     println!("wrote 10 artifacts to {outdir}");
+    opts.obs.emit(&live, "export", opts.threads)?;
     Ok(())
 }
 
 fn sweep_cmd(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args, "sweep")?;
-    let normal = load(&opts.normal)?;
-    let faulty = load(&opts.faulty)?;
+    let live = MetricsRecorder::new();
+    let rec = opts.obs.recorder(&live);
+    let normal = {
+        let _s = stage(rec, "load");
+        load(&opts.normal)?
+    };
+    let faulty = {
+        let _s = stage(rec, "load");
+        load(&opts.faulty)?
+    };
     let filters = if opts.filters.is_empty() {
         vec![
             FilterConfig::everything(10),
@@ -815,8 +1133,17 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
     } else {
         opts.attrs
     };
-    let rows = sweep_parallel(&normal, &faulty, &filters, &attrs, opts.linkage, opts.jobs);
+    let rows = sweep_parallel_rec(
+        &normal,
+        &faulty,
+        &filters,
+        &attrs,
+        opts.linkage,
+        opts.jobs,
+        rec,
+    );
     print!("{}", render_ranking(&rows));
+    opts.obs.emit(&live, "sweep", opts.jobs)?;
     Ok(())
 }
 
@@ -879,6 +1206,7 @@ mod tests {
     #[test]
     fn end_to_end_demo_info_diff_sweep() {
         let dir = std::env::temp_dir().join("difftrace_cli_test");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let dirs = dir.to_str().unwrap().to_string();
         dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
@@ -931,6 +1259,7 @@ mod tests {
     #[test]
     fn lint_end_to_end() {
         let dir = std::env::temp_dir().join("difftrace_cli_lint_test");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let dirs = dir.to_str().unwrap().to_string();
         dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
@@ -964,6 +1293,7 @@ mod tests {
                             domain,
                             ..LintOptions::default()
                         },
+                        &dt_obs::NOOP,
                     )
                     .unwrap()
                 };
@@ -992,6 +1322,7 @@ mod tests {
                 filter: Some(FilterConfig::parse_lenient("11.cust:*bad.K10").unwrap()),
                 ..LintOptions::default()
             },
+            &dt_obs::NOOP,
         )
         .unwrap();
         assert_eq!(errors, 1);
@@ -1015,6 +1346,7 @@ mod tests {
     #[test]
     fn hbcheck_end_to_end() {
         let dir = std::env::temp_dir().join("difftrace_cli_hbcheck_test");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let dirs = dir.to_str().unwrap().to_string();
         dispatch(&s(&["demo", "stencil-tag", &dirs])).unwrap();
@@ -1030,8 +1362,13 @@ mod tests {
         assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
 
         // The faulty report names the cycle, in both formats.
-        let (text, errors) =
-            hbcheck_render(std::slice::from_ref(&f), "text", &HbOptions::default()).unwrap();
+        let (text, errors) = hbcheck_render(
+            std::slice::from_ref(&f),
+            "text",
+            &HbOptions::default(),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
         assert!(errors > 0);
         assert!(text.contains("HB001"), "{text}");
         assert!(text.contains("wait-for cycle"), "{text}");
@@ -1047,6 +1384,7 @@ mod tests {
                         domain,
                         ..HbOptions::default()
                     },
+                    &dt_obs::NOOP,
                 )
                 .unwrap()
             };
@@ -1084,6 +1422,140 @@ mod tests {
             "deny",
         ]));
         assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: every subcommand rejects repeated and unknown flags
+    /// the same way — a `Msg` error (exit 2) naming the flag and
+    /// carrying the usage hint. All cases fail during parsing, before
+    /// any file is touched.
+    #[test]
+    fn duplicate_and_unknown_flags_fail_uniformly() {
+        let dup_cases: &[&[&str]] = &[
+            &["demo", "--force", "--force", "oddeven", "x"],
+            &["single", "r.dtts", "--k", "2", "--k", "3"],
+            &[
+                "single",
+                "r.dtts",
+                "--filter",
+                "11.all.K10",
+                "--filter",
+                "11.all.K10",
+            ],
+            &["lint", "a.dtts", "--gate", "warn", "--gate", "deny"],
+            &["lint", "a.dtts", "--deep", "--deep"],
+            &[
+                "hbcheck",
+                "a.dtts",
+                "--domain",
+                "compressed",
+                "--domain",
+                "expanded",
+            ],
+            &[
+                "diff",
+                "n",
+                "f",
+                "--filter",
+                "11.all.K10",
+                "--filter",
+                "01.all.K10",
+            ],
+            &["diff", "n", "f", "--threads", "1", "--threads", "2"],
+            &["diff", "n", "f", "--profile", "--profile"],
+            &[
+                "diff",
+                "n",
+                "f",
+                "--metrics",
+                "a.json",
+                "--metrics",
+                "b.json",
+            ],
+            &[
+                "export",
+                "n",
+                "f",
+                "out",
+                "--attrs",
+                "sing.actual",
+                "--attrs",
+                "doub.noFreq",
+            ],
+            &[
+                "sweep",
+                "n",
+                "f",
+                "--linkage",
+                "ward",
+                "--linkage",
+                "average",
+            ],
+            &["sweep", "n", "f", "--jobs", "1", "--jobs", "2"],
+        ];
+        for case in dup_cases {
+            let err = dispatch(&s(case)).unwrap_err();
+            let CliError::Msg(m) = err else {
+                panic!("{case:?}: wrong error kind");
+            };
+            assert!(m.contains("duplicate option"), "{case:?}: {m}");
+            assert!(m.contains("usage: difftrace"), "{case:?}: {m}");
+        }
+
+        let unknown_cases: &[&[&str]] = &[
+            &["demo", "oddeven", "x", "--bogus"],
+            &["info", "a.dtts", "--bogus"],
+            &["filters", "--bogus"],
+            &["single", "r.dtts", "--bogus"],
+            &["lint", "a.dtts", "--bogus"],
+            &["hbcheck", "a.dtts", "--bogus"],
+            &["diff", "n", "f", "--bogus"],
+            &["export", "n", "f", "out", "--bogus"],
+            &["sweep", "n", "f", "--bogus"],
+        ];
+        for case in unknown_cases {
+            let err = dispatch(&s(case)).unwrap_err();
+            let CliError::Msg(m) = err else {
+                panic!("{case:?}: wrong error kind");
+            };
+            assert!(m.contains("unknown option `--bogus`"), "{case:?}: {m}");
+            assert!(m.contains("usage: difftrace"), "{case:?}: {m}");
+        }
+
+        // sweep's grid axes are the one sanctioned repetition.
+        let o = parse_opts(
+            &s(&[
+                "n",
+                "f",
+                "--filter",
+                "11.all.K10",
+                "--filter",
+                "11.mpiall.K10",
+                "--attrs",
+                "sing.actual",
+                "--attrs",
+                "doub.noFreq",
+            ]),
+            "sweep",
+        )
+        .unwrap();
+        assert_eq!(o.filters.len(), 2);
+        assert_eq!(o.attrs.len(), 2);
+    }
+
+    /// Satellite: `demo` must not clobber an existing corpus unless
+    /// `--force` is given.
+    #[test]
+    fn demo_refuses_overwrite_without_force() {
+        let dir = std::env::temp_dir().join("difftrace_cli_force_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let err = dispatch(&s(&["demo", "oddeven", &dirs])).unwrap_err();
+        assert!(err.to_string().contains("refusing to overwrite"), "{err}");
+        assert!(err.to_string().contains("--force"), "{err}");
+        dispatch(&s(&["demo", "oddeven", &dirs, "--force"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,199 @@
+//! Integration test for the CLI's exit-code contract, driven through
+//! the real binary: 0 = success, 2 = ordinary error (bad arguments,
+//! unreadable input, unwritable `--metrics` path), 3 = a `deny` gate
+//! fired. Every subcommand is exercised on every applicable code.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_difftrace"))
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = bin().args(args).output().expect("spawn difftrace");
+    (
+        out.status.code().expect("no exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_exit(expected: i32, args: &[&str]) {
+    let (code, _, stderr) = run(args);
+    assert_eq!(code, expected, "{args:?}\nstderr: {stderr}");
+}
+
+/// Record both demo corpora once per test-process into a fresh dir.
+fn corpus() -> (PathBuf, String, String, String, String) {
+    let dir = std::env::temp_dir().join(format!("difftrace_exit_codes_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let odd = dir.join("oddeven");
+    let stencil = dir.join("stencil");
+    assert_exit(0, &["demo", "oddeven", odd.to_str().unwrap()]);
+    assert_exit(0, &["demo", "stencil-tag", stencil.to_str().unwrap()]);
+    let n = odd.join("normal.dtts").to_str().unwrap().to_string();
+    let f = odd.join("faulty.dtts").to_str().unwrap().to_string();
+    let sn = stencil.join("normal.dtts").to_str().unwrap().to_string();
+    let sf = stencil.join("faulty.dtts").to_str().unwrap().to_string();
+    (dir, n, f, sn, sf)
+}
+
+#[test]
+fn exit_codes_for_every_subcommand() {
+    let (dir, n, f, sn, sf) = corpus();
+    let out = dir.to_str().unwrap();
+
+    // ── exit 0: every subcommand has a success path ─────────────────
+    assert_exit(0, &["help"]);
+    assert_exit(0, &["info", &n]);
+    assert_exit(0, &["filters", &n]);
+    assert_exit(0, &["single", &f]);
+    assert_exit(0, &["lint", &n, "--filter", "11.mpiall.K10"]);
+    assert_exit(0, &["hbcheck", &sn, "--gate", "deny"]);
+    assert_exit(0, &["diff", &n, &f, "--filter", "11.mpiall.K10"]);
+    let exp = dir.join("artifacts");
+    assert_exit(
+        0,
+        &[
+            "export",
+            &n,
+            &f,
+            exp.to_str().unwrap(),
+            "--filter",
+            "11.mpiall.K10",
+        ],
+    );
+    assert_exit(
+        0,
+        &[
+            "sweep",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--attrs",
+            "sing.actual",
+        ],
+    );
+
+    // ── exit 2: bad arguments, unreadable input, duplicate/unknown
+    //    flags, refused overwrite ─────────────────────────────────────
+    assert_exit(2, &["frobnicate"]);
+    assert_exit(2, &["demo", "nope-workload", out]);
+    assert_exit(
+        2,
+        &["demo", "oddeven", dir.join("oddeven").to_str().unwrap()],
+    ); // no --force
+    assert_exit(2, &["info", "/nonexistent/x.dtts"]);
+    assert_exit(2, &["filters", "--bogus"]);
+    assert_exit(2, &["single", &f, "--k", "2", "--k", "3"]);
+    assert_exit(2, &["lint", &n, "--bogus"]);
+    assert_exit(2, &["hbcheck", &sn, "--domain", "x"]);
+    assert_exit(2, &["diff", &n]); // missing positional
+    assert_exit(2, &["diff", &n, &f, "--filter", "a", "--filter", "b"]);
+    assert_exit(2, &["export", &n, &f]); // missing outdir
+    assert_exit(2, &["sweep", &n, &f, "--jobs", "1", "--jobs", "2"]);
+
+    // --metrics to an unwritable path: the analysis runs, the write
+    // fails, and that is an ordinary (exit 2) error on every command
+    // that takes the flag.
+    let unwritable = format!("{n}/metrics.json"); // a file is not a directory
+    assert_exit(2, &["lint", &n, "--metrics", &unwritable]);
+    assert_exit(2, &["hbcheck", &sn, "--metrics", &unwritable]);
+    assert_exit(2, &["single", &f, "--metrics", &unwritable]);
+    assert_exit(
+        2,
+        &[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--metrics",
+            &unwritable,
+        ],
+    );
+    assert_exit(
+        2,
+        &[
+            "sweep",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--attrs",
+            "sing.actual",
+            "--metrics",
+            &unwritable,
+        ],
+    );
+
+    // ── exit 3: deny gates, distinct from misuse ────────────────────
+    assert_exit(
+        3,
+        &["lint", &n, "--filter", "11.cust:*bad.K10", "--gate", "deny"],
+    );
+    assert_exit(3, &["hbcheck", &sf, "--gate", "deny"]);
+    assert_exit(
+        3,
+        &[
+            "diff",
+            &sn,
+            &sf,
+            "--filter",
+            "11.mpiall.K10",
+            "--hb",
+            "deny",
+        ],
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_and_metrics_outputs() {
+    let dir = std::env::temp_dir().join(format!("difftrace_obs_out_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    assert_exit(0, &["demo", "oddeven", dir.to_str().unwrap()]);
+    let n = dir.join("normal.dtts").to_str().unwrap().to_string();
+    let f = dir.join("faulty.dtts").to_str().unwrap().to_string();
+    let metrics = dir.join("m.json");
+
+    // --profile goes to stderr; the report on stdout stays clean and
+    // byte-identical to the uninstrumented run at any thread count.
+    let (code, plain_stdout, _) = run(&[
+        "diff",
+        &n,
+        &f,
+        "--filter",
+        "11.mpiall.K10",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(code, 0);
+    for threads in ["1", "4"] {
+        let (code, stdout, stderr) = run(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--threads",
+            threads,
+            "--profile",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "t={threads}: {stderr}");
+        assert_eq!(stdout, plain_stdout, "t={threads}: stdout not identical");
+        assert!(stderr.contains("== profile: diff"), "t={threads}: {stderr}");
+        assert!(stderr.contains("filter"), "t={threads}: {stderr}");
+
+        let doc = std::fs::read_to_string(&metrics).unwrap();
+        dt_obs::validate_json(&doc).unwrap_or_else(|e| panic!("t={threads}: {e}\n{doc}"));
+        assert!(doc.contains("\"schema\":\"difftrace-metrics/v1\""), "{doc}");
+        std::fs::remove_file(&metrics).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

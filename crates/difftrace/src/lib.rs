@@ -96,11 +96,11 @@ pub use jsm::JsmMatrix;
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use pipeline::{
-    analyze, analyze_aligned, analyze_aligned_opts, analyze_opts, diff_runs, diff_runs_opts,
-    try_diff_runs_hb_opts, try_diff_runs_opts, AnalysisRun, DiffDenied, DiffRun, Params,
-    PipelineOptions,
+    analyze, analyze_aligned, analyze_aligned_opts, analyze_aligned_rec, analyze_opts, diff_runs,
+    diff_runs_opts, try_diff_runs_hb_opts, try_diff_runs_hb_rec, try_diff_runs_opts, AnalysisRun,
+    DiffDenied, DiffRun, Params, PipelineOptions,
 };
-pub use ranking::{render_ranking, sweep, sweep_parallel, RankingRow};
+pub use ranking::{render_ranking, sweep, sweep_parallel, sweep_parallel_rec, RankingRow};
 pub use recording::record_masters;
 pub use report::{generate as generate_report, ReportOptions};
-pub use single_run::{analyze_single, SingleRunReport};
+pub use single_run::{analyze_single, analyze_single_rec, SingleRunReport};

@@ -23,6 +23,7 @@ use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
 use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
+use dt_obs::{stage, Recorder};
 use dt_trace::{TraceId, TraceSet};
 use fca::{ConceptLattice, FormalContext};
 use nlr::{LoopTable, SharedLoopTable};
@@ -136,20 +137,80 @@ pub fn analyze_aligned_opts(
     id_universe: &[TraceId],
     opts: &PipelineOptions,
 ) -> AnalysisRun {
+    analyze_aligned_rec(set, params, table, id_universe, opts, &dt_obs::NOOP)
+}
+
+/// [`analyze_aligned_opts`] reporting stage spans and counters into
+/// `rec`. Instrumentation is observational only: the analysis result
+/// is byte-identical whatever recorder is passed (asserted by the
+/// parallel-equivalence harness).
+pub fn analyze_aligned_rec(
+    set: &TraceSet,
+    params: &Params,
+    table: &mut LoopTable,
+    id_universe: &[TraceId],
+    opts: &PipelineOptions,
+    rec: &dyn Recorder,
+) -> AnalysisRun {
     let threads = effective_threads(opts.threads, id_universe.len());
-    let aligned = align_filtered(set, params, id_universe);
-    let nlrs = if threads <= 1 {
-        NlrSet::build(&aligned, params.filter.nlr_k, table)
-    } else {
-        // Parallel NLR build: provisional IDs into a concurrent table,
-        // then a sequential replay of the recorded fold orders to
-        // restore the exact sequential numbering (see nlr::shared).
-        let shared = SharedLoopTable::from_table(table);
-        let (prov, orders) = NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
-        let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
-        prov.remap(&map)
+    let aligned = {
+        let _s = stage(rec, "filter");
+        align_filtered(set, params, id_universe)
     };
-    finish_run(set, params, &aligned, nlrs, id_universe, threads)
+    record_filter_counters(rec, set, &aligned, id_universe);
+    let nlrs = {
+        let _s = stage(rec, "nlr");
+        if threads <= 1 {
+            NlrSet::build(&aligned, params.filter.nlr_k, table)
+        } else {
+            // Parallel NLR build: provisional IDs into a concurrent table,
+            // then a sequential replay of the recorded fold orders to
+            // restore the exact sequential numbering (see nlr::shared).
+            let shared = SharedLoopTable::from_table(table);
+            let (prov, orders) =
+                NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
+            let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+            prov.remap(&map)
+        }
+    };
+    record_nlr_counters(rec, &nlrs, id_universe);
+    finish_run(set, params, &aligned, nlrs, id_universe, threads, rec)
+}
+
+/// Tally the front-end filter's work into `rec` (no-op when disabled).
+fn record_filter_counters(
+    rec: &dyn Recorder,
+    set: &TraceSet,
+    aligned: &FilteredSet,
+    id_universe: &[TraceId],
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.add("traces", id_universe.len() as u64);
+    rec.add(
+        "events_total",
+        set.iter().map(|t| t.events.len() as u64).sum(),
+    );
+    rec.add(
+        "events_kept",
+        aligned.traces.iter().map(|t| t.symbols.len() as u64).sum(),
+    );
+}
+
+/// Tally NLR sizes into `rec` (no-op when disabled).
+fn record_nlr_counters(rec: &dyn Recorder, nlrs: &NlrSet, id_universe: &[TraceId]) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.add(
+        "nlr_terms",
+        id_universe
+            .iter()
+            .filter_map(|id| nlrs.get(*id))
+            .map(|n| n.elements().len() as u64)
+            .sum(),
+    );
 }
 
 /// Filter `set` and align the result to `id_universe` order; traces
@@ -185,25 +246,51 @@ fn finish_run(
     nlrs: NlrSet,
     id_universe: &[TraceId],
     threads: usize,
+    rec: &dyn Recorder,
 ) -> AnalysisRun {
     let name = |s: u32| symbol_name(&set.registry, s);
-    let mined: Vec<Vec<(String, f64)>> = crate::sync::par_map(id_universe, threads, |_, id| {
-        let nlr = nlrs.get(*id).expect("aligned");
-        let symbols: &[u32] = aligned
-            .traces
-            .iter()
-            .find(|t| t.id == *id)
-            .map(|t| t.symbols.as_slice())
-            .unwrap_or(&[]);
-        mine(symbols, nlr, params.attrs, &name)
-    });
-    let mut context = FormalContext::new();
-    for (id, attrs) in id_universe.iter().zip(&mined) {
-        context.add_object(&id.to_string(), attrs.iter().map(|(k, w)| (k.as_str(), *w)));
+    let mined: Vec<Vec<(String, f64)>> = {
+        let _s = stage(rec, "mine");
+        crate::sync::par_map_obs(id_universe, threads, rec, "mine", |_, id| {
+            let nlr = nlrs.get(*id).expect("aligned");
+            let symbols: &[u32] = aligned
+                .traces
+                .iter()
+                .find(|t| t.id == *id)
+                .map(|t| t.symbols.as_slice())
+                .unwrap_or(&[]);
+            mine(symbols, nlr, params.attrs, &name)
+        })
+    };
+    if rec.enabled() {
+        rec.add(
+            "attributes_mined",
+            mined.iter().map(|v| v.len() as u64).sum(),
+        );
     }
-    let lattice = ConceptLattice::from_context(&context);
-    let jsm = JsmMatrix::from_context_opts(&context, id_universe.to_vec(), threads);
-    let dendrogram = linkage(&CondensedMatrix::from_similarity(&jsm.m), params.linkage);
+    let (context, lattice) = {
+        let _s = stage(rec, "lattice");
+        let mut context = FormalContext::new();
+        for (id, attrs) in id_universe.iter().zip(&mined) {
+            context.add_object(&id.to_string(), attrs.iter().map(|(k, w)| (k.as_str(), *w)));
+        }
+        let lattice = ConceptLattice::from_context(&context);
+        (context, lattice)
+    };
+    if rec.enabled() {
+        rec.add("concepts", lattice.concepts().len() as u64);
+    }
+    let jsm = {
+        let _s = stage(rec, "jsm");
+        JsmMatrix::from_context_opts(&context, id_universe.to_vec(), threads)
+    };
+    if rec.enabled() {
+        rec.add("jsm_cells", (jsm.len() * jsm.len()) as u64);
+    }
+    let dendrogram = {
+        let _s = stage(rec, "linkage");
+        linkage(&CondensedMatrix::from_similarity(&jsm.m), params.linkage)
+    };
     AnalysisRun {
         registry: set.registry.clone(),
         ids: id_universe.to_vec(),
@@ -342,12 +429,28 @@ pub fn try_diff_runs_hb_opts(
     params: &Params,
     opts: &PipelineOptions,
 ) -> Result<DiffRun, DiffDenied> {
+    try_diff_runs_hb_rec(normal, faulty, hb_logs, params, opts, &dt_obs::NOOP)
+}
+
+/// [`try_diff_runs_hb_opts`] reporting stage spans (pre-passes, filter,
+/// NLR, mining, lattice, JSM, linkage, B-score, ranking) and counters
+/// into `rec`. Instrumentation is observational only: the diff is
+/// byte-identical whatever recorder is passed, at any thread count.
+pub fn try_diff_runs_hb_rec(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    hb_logs: Option<(&dt_trace::hb::HbLog, &dt_trace::hb::HbLog)>,
+    params: &Params,
+    opts: &PipelineOptions,
+    rec: &dyn Recorder,
+) -> Result<DiffRun, DiffDenied> {
     // The tracelint pre-pass, if gated on: broken traces produce
     // confusing diffs, so surface structural defects *before* spending
     // time on NLR/FCA/JSM.
     let lint = match opts.lint {
         LintGate::Off => None,
         LintGate::Warn | LintGate::Deny => {
+            let _s = stage(rec, "pre/lint");
             let lopts = LintOptions::for_pipeline(params, opts.threads);
             let n = lint_set(normal, &lopts);
             let f = lint_set(faulty, &lopts);
@@ -366,6 +469,7 @@ pub fn try_diff_runs_hb_opts(
     let hb = match (opts.hb, hb_logs) {
         (LintGate::Off, _) | (_, None) => None,
         (gate, Some((nhb, fhb))) => {
+            let _s = stage(rec, "pre/hb");
             let hopts = HbOptions {
                 threads: opts.threads,
                 ..HbOptions::default()
@@ -394,38 +498,74 @@ pub fn try_diff_runs_hb_opts(
     let threads = effective_threads(opts.threads, 2 * ids.len().max(1));
     let mut table = LoopTable::new();
     let (normal_run, faulty_run) = if threads <= 1 {
-        let n = analyze_aligned(normal, params, &mut table, &ids);
-        let f = analyze_aligned(faulty, params, &mut table, &ids);
+        let n = analyze_aligned_rec(
+            normal,
+            params,
+            &mut table,
+            &ids,
+            &PipelineOptions::default(),
+            rec,
+        );
+        let f = analyze_aligned_rec(
+            faulty,
+            params,
+            &mut table,
+            &ids,
+            &PipelineOptions::default(),
+            rec,
+        );
         (n, f)
     } else {
         // Each side gets half the workers; both interleave on the same
         // shared table, so every distinct loop body is interned once.
         let half = (threads / 2).max(1);
-        let n_aligned = align_filtered(normal, params, &ids);
-        let f_aligned = align_filtered(faulty, params, &ids);
-        let shared = SharedLoopTable::new();
-        let ((n_prov, n_orders), (f_prov, f_orders)) = join(
-            true,
-            || NlrSet::build_shared(&n_aligned, params.filter.nlr_k, &shared, half),
-            || NlrSet::build_shared(&f_aligned, params.filter.nlr_k, &shared, half),
-        );
-        let map = shared.canonicalize_into(
-            n_orders
-                .into_iter()
-                .flatten()
-                .chain(f_orders.into_iter().flatten()),
-            &mut table,
-        );
-        let (n_nlrs, f_nlrs) = (n_prov.remap(&map), f_prov.remap(&map));
+        let (n_aligned, f_aligned) = {
+            let _s = stage(rec, "filter");
+            (
+                align_filtered(normal, params, &ids),
+                align_filtered(faulty, params, &ids),
+            )
+        };
+        record_filter_counters(rec, normal, &n_aligned, &ids);
+        record_filter_counters(rec, faulty, &f_aligned, &ids);
+        let (n_nlrs, f_nlrs) = {
+            let _s = stage(rec, "nlr");
+            let shared = SharedLoopTable::new();
+            let ((n_prov, n_orders), (f_prov, f_orders)) = join(
+                true,
+                || NlrSet::build_shared(&n_aligned, params.filter.nlr_k, &shared, half),
+                || NlrSet::build_shared(&f_aligned, params.filter.nlr_k, &shared, half),
+            );
+            let map = shared.canonicalize_into(
+                n_orders
+                    .into_iter()
+                    .flatten()
+                    .chain(f_orders.into_iter().flatten()),
+                &mut table,
+            );
+            (n_prov.remap(&map), f_prov.remap(&map))
+        };
+        record_nlr_counters(rec, &n_nlrs, &ids);
+        record_nlr_counters(rec, &f_nlrs, &ids);
         join(
             true,
-            || finish_run(normal, params, &n_aligned, n_nlrs, &ids, half),
-            || finish_run(faulty, params, &f_aligned, f_nlrs, &ids, half),
+            || finish_run(normal, params, &n_aligned, n_nlrs, &ids, half, rec),
+            || finish_run(faulty, params, &f_aligned, f_nlrs, &ids, half, rec),
         )
     };
-    let jsm_d = faulty_run.jsm.diff_opts(&normal_run.jsm, threads);
-    let b = bscore(&normal_run.dendrogram, &faulty_run.dendrogram);
+    if rec.enabled() {
+        rec.add("loops_interned", table.len() as u64);
+    }
+    let jsm_d = {
+        let _s = stage(rec, "jsm_diff");
+        faulty_run.jsm.diff_opts(&normal_run.jsm, threads)
+    };
+    let b = {
+        let _s = stage(rec, "bscore");
+        bscore(&normal_run.dendrogram, &faulty_run.dendrogram)
+    };
 
+    let _rank = stage(rec, "rank");
     // Thread-level suspects: row sums of JSM_D.
     let mut thread_scores = jsm_d.row_scores_opts(threads);
     thread_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
@@ -450,6 +590,7 @@ pub fn try_diff_runs_hb_opts(
         .filter(|(_, s)| pmax > 0.0 && *s >= SUSPECT_THRESHOLD * pmax)
         .map(|(p, _)| *p)
         .collect();
+    drop(_rank);
 
     Ok(DiffRun {
         params: params.clone(),

@@ -58,8 +58,40 @@ pub fn sweep_parallel(
     method: Method,
     threads: usize,
 ) -> Vec<RankingRow> {
+    sweep_parallel_rec(
+        normal,
+        faulty,
+        filters,
+        attr_configs,
+        method,
+        threads,
+        &dt_obs::NOOP,
+    )
+}
+
+/// [`sweep_parallel`] reporting into `rec`: one `cell/<filter>/<attrs>`
+/// span per grid point, per-worker busy time under `cells`, and a
+/// `cells` counter. Observational only — rows are identical whatever
+/// recorder is passed.
+pub fn sweep_parallel_rec(
+    normal: &TraceSet,
+    faulty: &TraceSet,
+    filters: &[FilterConfig],
+    attr_configs: &[AttrConfig],
+    method: Method,
+    threads: usize,
+    rec: &dyn dt_obs::Recorder,
+) -> Vec<RankingRow> {
     let params = grid(filters, attr_configs, method);
-    let mut rows = crate::sync::par_map(&params, threads, |_, p| run_cell(normal, faulty, p));
+    if rec.enabled() {
+        rec.add("cells", params.len() as u64);
+    }
+    let mut rows = crate::sync::par_map_obs(&params, threads, rec, "cells", |_, p| {
+        let _s = rec
+            .enabled()
+            .then(|| dt_obs::stage_owned(rec, format!("cell/{}/{}", p.filter, p.attrs)));
+        run_cell(normal, faulty, p)
+    });
     sort_rows(&mut rows);
     rows
 }

@@ -11,8 +11,9 @@
 //! execution is needed — this is the entry point when no "last known
 //! good" run exists.
 
-use crate::pipeline::{analyze, AnalysisRun, Params};
+use crate::pipeline::{analyze_aligned_rec, AnalysisRun, Params, PipelineOptions};
 use cluster::fcluster_maxclust;
+use dt_obs::{stage, Recorder};
 use dt_trace::{TraceId, TraceSet};
 use nlr::LoopTable;
 
@@ -33,8 +34,32 @@ pub struct SingleRunReport {
 /// largest `k ≤ 4` whose smallest cluster is a strict minority
 /// (falling back to 2).
 pub fn analyze_single(set: &TraceSet, params: &Params, k: usize) -> SingleRunReport {
+    analyze_single_rec(set, params, k, &dt_obs::NOOP)
+}
+
+/// [`analyze_single`] reporting stage spans and counters into `rec`.
+/// Observational only — the report is identical whatever recorder is
+/// passed.
+pub fn analyze_single_rec(
+    set: &TraceSet,
+    params: &Params,
+    k: usize,
+    rec: &dyn Recorder,
+) -> SingleRunReport {
     let mut table = LoopTable::new();
-    let run = analyze(set, params, &mut table);
+    let ids = set.ids();
+    let run = analyze_aligned_rec(
+        set,
+        params,
+        &mut table,
+        &ids,
+        &PipelineOptions::default(),
+        rec,
+    );
+    if rec.enabled() {
+        rec.add("loops_interned", table.len() as u64);
+    }
+    let _s = stage(rec, "cluster");
     let n = run.ids.len();
     let k = if k == 0 {
         pick_k(&run, n)

@@ -119,6 +119,58 @@ where
     slots.into_iter().map(|s| s.take()).collect()
 }
 
+/// [`par_map`] with per-worker busy-time observation: each worker's
+/// total time spent inside `f` is reported to `rec` under `path` (the
+/// raw material of the `--profile` imbalance report). With a disabled
+/// recorder this *is* [`par_map`] — no clock is ever read — and the
+/// results are identical either way: timing wraps each call, it never
+/// reorders or drops one.
+pub fn par_map_obs<T, U, F>(
+    items: &[T],
+    threads: usize,
+    rec: &dyn dt_obs::Recorder,
+    path: &str,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if !rec.enabled() {
+        return par_map(items, threads, f);
+    }
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        let t0 = std::time::Instant::now();
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        rec.worker_ns(path, 0, t0.elapsed().as_nanos() as u64);
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Slot<U>> = (0..items.len()).map(|_| Slot::new()).collect();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let (next, slots, f) = (&next, &slots, &f);
+            s.spawn(move || {
+                let mut busy = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let t0 = std::time::Instant::now();
+                    slots[i].set(f(i, &items[i]));
+                    busy += t0.elapsed().as_nanos() as u64;
+                }
+                rec.worker_ns(path, w, busy);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.take()).collect()
+}
+
 /// Run two closures, possibly on two threads, and return both results.
 /// With `parallel == false` they run sequentially on the caller's
 /// thread (left first), which is the exact sequential path.

@@ -258,7 +258,15 @@ pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+        let Some(name) = name.to_str() else {
+            // A `.dtt` file we cannot decode is a trace we would
+            // silently drop — fail loudly instead of analyzing a
+            // partial run. Other undecodable names are none of ours.
+            if name.as_encoded_bytes().ends_with(b".dtt") {
+                return Err(StoreError::Format("undecodable trace file name"));
+            }
+            continue;
+        };
         let Some(stem) = name.strip_suffix(".dtt") else {
             continue;
         };
@@ -373,6 +381,35 @@ mod tests {
         std::fs::write(dir.join(REGISTRY_FILE), [0u8]).unwrap(); // 0 names
         std::fs::write(dir.join("0.0.dtt"), b"XXXX\x00junk").unwrap();
         assert!(load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A `.dtt` file whose name is not valid UTF-8 used to be skipped
+    /// silently, yielding a partial trace set; it must be a hard error.
+    #[cfg(unix)]
+    #[test]
+    fn load_dir_rejects_undecodable_dtt_name() {
+        use std::os::unix::ffi::OsStringExt;
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_nonutf8");
+        std::fs::remove_dir_all(&dir).ok();
+        let set = sample_set();
+        save_dir(&set, &dir).unwrap();
+
+        // Undecodable but not a trace file: still ignored.
+        let stray = std::ffi::OsString::from_vec(b"str\xFFay.tmp".to_vec());
+        std::fs::write(dir.join(&stray), b"x").unwrap();
+        assert_eq!(load_dir(&dir).unwrap().len(), set.len());
+        std::fs::remove_file(dir.join(&stray)).unwrap();
+
+        // Undecodable *trace* file: loading must fail loudly …
+        let bad = std::ffi::OsString::from_vec(b"9.\xFF0.dtt".to_vec());
+        std::fs::write(dir.join(&bad), b"x").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Format("undecodable trace file name")),
+            "{err:?}"
+        );
+        // … not silently yield a partial set.
         std::fs::remove_dir_all(&dir).ok();
     }
 

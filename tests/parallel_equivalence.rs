@@ -14,8 +14,9 @@
 use cluster::render_dendrogram;
 use difftrace::filter::symbol_name;
 use difftrace::{
-    analyze_opts, diff_runs_opts, sweep, sweep_parallel, AnalysisRun, AttrConfig, AttrKind,
-    DiffRun, FilterConfig, FreqMode, Params, PipelineOptions,
+    analyze_opts, analyze_single_rec, diff_runs_opts, sweep, sweep_parallel, sweep_parallel_rec,
+    try_diff_runs_hb_rec, AnalysisRun, AttrConfig, AttrKind, DiffRun, FilterConfig, FreqMode,
+    Params, PipelineOptions,
 };
 use dt_trace::{FunctionRegistry, TraceSet};
 use nlr::{LoopId, LoopTable};
@@ -214,6 +215,83 @@ fn sweep_matches_sequential_on_workload_traces() {
             assert_eq!(a.top_threads, b.top_threads, "t={threads}");
         }
     }
+}
+
+#[test]
+fn instrumentation_is_observational() {
+    // The dt-obs recorder must never influence analysis results: the
+    // diff computed with a live MetricsRecorder is bit-identical to the
+    // uninstrumented one, at the sequential and parallel thread counts
+    // — and the recorder actually saw the pipeline run.
+    let (tag, normal, faulty) = workload_pairs().swap_remove(0);
+    for threads in [1usize, 4] {
+        let opts = PipelineOptions::with_threads(threads);
+        let plain = try_diff_runs_hb_rec(&normal, &faulty, None, &params(), &opts, &dt_obs::NOOP)
+            .expect("gates are off");
+        let rec = dt_obs::MetricsRecorder::new();
+        let instrumented = try_diff_runs_hb_rec(&normal, &faulty, None, &params(), &opts, &rec)
+            .expect("gates are off");
+        assert_diffs_equal(
+            &format!("{tag} t={threads} instrumented"),
+            &plain,
+            &instrumented,
+        );
+
+        let m = rec.finish("diff", threads);
+        let stage = |p: &str| {
+            m.stages
+                .iter()
+                .find(|s| s.path == p)
+                .unwrap_or_else(|| panic!("t={threads}: missing stage `{p}` in {:?}", m.stages))
+        };
+        for p in ["filter", "nlr", "mine", "lattice", "jsm", "linkage"] {
+            assert!(stage(p).calls > 0, "t={threads}: stage `{p}` never ran");
+        }
+        for c in ["traces", "events_kept", "nlr_terms", "loops_interned"] {
+            let &(_, v) = m
+                .counters
+                .iter()
+                .find(|(k, _)| k == c)
+                .unwrap_or_else(|| panic!("t={threads}: missing counter `{c}`"));
+            assert!(v > 0, "t={threads}: counter `{c}` is zero");
+        }
+    }
+
+    // Same contract for the single-run and sweep entry points.
+    let plain = analyze_single_rec(&faulty, &params(), 0, &dt_obs::NOOP);
+    let rec = dt_obs::MetricsRecorder::new();
+    let instrumented = analyze_single_rec(&faulty, &params(), 0, &rec);
+    assert_runs_equal("single instrumented", &plain.run, &instrumented.run);
+    assert_eq!(plain.clusters, instrumented.clusters, "single clusters");
+    assert_eq!(plain.outliers, instrumented.outliers, "single outliers");
+
+    let filters = vec![FilterConfig::mpi_all(10)];
+    let attrs = [AttrConfig {
+        kind: AttrKind::Single,
+        freq: FreqMode::Actual,
+    }];
+    let plain = sweep(&normal, &faulty, &filters, &attrs, cluster::Method::Ward);
+    let rec = dt_obs::MetricsRecorder::new();
+    let instrumented = sweep_parallel_rec(
+        &normal,
+        &faulty,
+        &filters,
+        &attrs,
+        cluster::Method::Ward,
+        4,
+        &rec,
+    );
+    assert_eq!(plain.len(), instrumented.len());
+    for (a, b) in plain.iter().zip(&instrumented) {
+        assert_eq!(a.bscore.to_bits(), b.bscore.to_bits(), "sweep instrumented");
+        assert_eq!(a.top_threads, b.top_threads, "sweep instrumented");
+    }
+    let m = rec.finish("sweep", 4);
+    assert!(
+        m.workers.iter().any(|(p, _)| p == "cells"),
+        "sweep recorded no per-worker busy times: {:?}",
+        m.workers
+    );
 }
 
 #[test]
