@@ -10,8 +10,10 @@
 //! ```
 
 use difftrace::{
-    try_diff_runs_hb_rec, AttrConfig, AttrKind, FilterConfig, FreqMode, Params, PipelineOptions,
+    sweep_parallel_cached_rec, try_diff_runs_hb_rec, AttrConfig, AttrKind, FilterConfig, FreqMode,
+    Params, PipelineOptions,
 };
+use dt_cache::Cache;
 use dt_trace::FunctionRegistry;
 use std::sync::Arc;
 use workloads::{run_oddeven, OddEvenConfig};
@@ -53,6 +55,40 @@ fn main() {
         Some(&5),
         "odd/even swap bug no longer implicates rank 5"
     );
+
+    // Cold vs. warm sweep through the analysis cache: two identical
+    // parameter sweeps sharing one in-memory cache. The first pays for
+    // every NLR fold; the second answers from the memo. Both land in
+    // the document as `sweep_cold` / `sweep_cached` spans, so the time
+    // series records what the cache is worth on the golden corpus.
+    let filters = vec![FilterConfig::mpi_all(10), FilterConfig::everything(10)];
+    let cache = Arc::new(Cache::new());
+    let mut sweeps = Vec::new();
+    for pass in ["sweep_cold", "sweep_cached"] {
+        let _s = dt_obs::stage(&rec, pass);
+        sweeps.push(sweep_parallel_cached_rec(
+            &normal,
+            &faulty,
+            &filters,
+            &AttrConfig::ALL,
+            cluster::Method::Ward,
+            0,
+            Some(cache.clone()),
+            &rec,
+        ));
+    }
+    let [cold, warm] = &sweeps[..] else {
+        unreachable!()
+    };
+    assert_eq!(cold.len(), warm.len(), "cold/warm sweep row count");
+    for (a, b) in cold.iter().zip(warm) {
+        assert_eq!(
+            (a.bscore.to_bits(), &a.filter, &a.attrs),
+            (b.bscore.to_bits(), &b.filter, &b.attrs),
+            "cached sweep diverged from cold sweep"
+        );
+    }
+    cache.report_to(&rec);
 
     let m = rec.finish("bench_pipeline", 0);
     let doc = m.to_json();

@@ -2,22 +2,69 @@
 //!
 //! CI's metrics-smoke job runs every emitted document through this
 //! before archiving it, so a schema drift fails the build instead of
-//! silently corrupting the perf trajectory.
+//! silently corrupting the perf trajectory. `--require <counter>`
+//! (repeatable) additionally asserts that every document carries the
+//! named counter with a nonzero value — e.g.
+//! `--require cache_nlr_hits` proves a warm cached run actually hit.
 //!
 //! ```text
-//! cargo run --release -p difftrace-bench --bin metrics_check -- m.json...
+//! cargo run --release -p difftrace-bench --bin metrics_check -- \
+//!     [--require COUNTER]... m.json...
 //! ```
 //!
-//! Exits 0 when every document validates, 1 on the first violation,
-//! 2 on usage/IO errors.
+//! Exits 0 when every document validates (and satisfies every
+//! `--require`), 1 on the first violation, 2 on usage/IO errors.
+
+use dt_obs::json::Value;
+
+/// The value of counter `name` in a parsed metrics document, if
+/// present. Counters live in the top-level `"counters"` object.
+fn counter_value(doc: &Value, name: &str) -> Option<f64> {
+    let counters = doc
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == "counters")?
+        .1
+        .as_object()?;
+    counters.iter().find(|(k, _)| k == name).and_then(|(_, v)| {
+        if let Value::Num(n) = v {
+            Some(*n)
+        } else {
+            None
+        }
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: metrics_check <metrics.json>...");
+    let mut required: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(c) => required.push(c.clone()),
+                    None => {
+                        eprintln!("--require needs a counter name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown option {flag}");
+                std::process::exit(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprintln!("usage: metrics_check [--require COUNTER]... <metrics.json>...");
         std::process::exit(2);
     }
-    for path in &args {
+    for path in &paths {
         let doc = match std::fs::read_to_string(path) {
             Ok(d) => d,
             Err(e) => {
@@ -28,6 +75,28 @@ fn main() {
         if let Err(e) = dt_obs::validate_json(&doc) {
             eprintln!("{path}: schema violation: {e}");
             std::process::exit(1);
+        }
+        if !required.is_empty() {
+            let parsed = match dt_obs::json::parse(&doc) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{path}: unparseable after validation: {e}");
+                    std::process::exit(1);
+                }
+            };
+            for name in &required {
+                match counter_value(&parsed, name) {
+                    Some(v) if v > 0.0 => {}
+                    Some(_) => {
+                        eprintln!("{path}: counter `{name}` is zero");
+                        std::process::exit(1);
+                    }
+                    None => {
+                        eprintln!("{path}: counter `{name}` is missing");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         println!("{path}: ok");
     }

@@ -1,10 +1,11 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    hbcheck_set, lint_set, render_ranking, sweep_parallel_rec, try_diff_runs_hb_rec, AttrConfig,
-    AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate, LintOptions,
-    Params, PipelineOptions,
+    hbcheck_set, lint_set, render_ranking, sweep_parallel_cached_rec, try_diff_runs_hb_rec,
+    AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate,
+    LintOptions, Params, PipelineOptions,
 };
+use dt_cache::Cache;
 use dt_obs::{stage, MetricsRecorder, Recorder};
 use dt_trace::hb::HbLog;
 use dt_trace::{store, FunctionRegistry, TraceId, TraceSet, TraceSetStats};
@@ -56,6 +57,7 @@ fn usage_of(cmd: &str) -> &'static str {
         "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
         "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
         "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
+        "cache" => "usage: difftrace cache <stats|clear> <DIR>",
         _ => "try `difftrace help`",
     }
 }
@@ -188,7 +190,7 @@ USAGE:
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
           [--threads N] [--full] [--gate off|warn|deny] [--hb off|warn|deny]
-          [--profile] [--metrics FILE]
+          [--cache DIR] [--profile] [--metrics FILE]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
@@ -205,22 +207,44 @@ USAGE:
       --gate off --hb off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
-          [--profile] [--metrics FILE]
+          [--cache DIR] [--profile] [--metrics FILE]
       No-reference outlier analysis of ONE execution (the paper's
       §II-A mode): cluster traces, report the smallest clusters as
       outliers. --k 0 (default) picks the granularity automatically.
 
   difftrace export <normal.dtts> <faulty.dtts> <outdir>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--threads N]
+          [--cache DIR]
       Write analysis artifacts for external tools: concept lattices and
       dendrograms as Graphviz DOT, formal contexts and JSMs as CSV, and
       the full text report.
 
   difftrace sweep <normal.dtts> <faulty.dtts>
           [--filter CODE]... [--attrs CODE]... [--linkage NAME] [--jobs N]
-          [--profile] [--metrics FILE]
+          [--cache DIR] [--profile] [--metrics FILE]
       Ranking table over a parameter grid (default: the 11.all/01.all ×
       Table V grid), computed in parallel (--jobs 0 = all cores).
+      Repeated --filter/--attrs values are deduplicated: each distinct
+      (filter, attrs) combination runs exactly once.
+
+  difftrace cache stats <DIR>
+      Entry counts and total size of an analysis cache directory.
+
+  difftrace cache clear <DIR>
+      Delete every cache entry in DIR (the directory itself stays).
+
+CACHING (single, diff, export, sweep):
+  --cache DIR      memoize content-addressed analysis results — per-
+                   trace NLR folds and mined attribute sets — in DIR
+                   (created if absent). Grid cells sharing a filter
+                   reuse each other's folds within one sweep, and later
+                   invocations over unchanged traces hit from disk.
+                   Entries are keyed by a stable digest of trace
+                   content + parameters and stamped with the cache
+                   format version; corrupted, truncated, or stale
+                   entries are silently re-derived. The cache is
+                   observational: output is byte-identical with or
+                   without it, at any thread count.
 
 PROFILING (lint, hbcheck, diff, single, export, sweep):
   --profile        print a per-stage wall-time and counter table to
@@ -261,6 +285,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("hbcheck") => hbcheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
+        Some("cache") => cache_cmd(&args[1..]).map_err(CliError::Msg),
         Some(other) => Err(CliError::Msg(format!(
             "unknown command `{other}` (try `difftrace help`)"
         ))),
@@ -396,6 +421,53 @@ fn load(path: &str) -> Result<TraceSet, String> {
     store::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Open the persistent analysis cache when `--cache DIR` was given.
+fn open_cache(dir: Option<&PathBuf>) -> Result<Option<Arc<Cache>>, String> {
+    match dir {
+        None => Ok(None),
+        Some(d) => Cache::with_dir(d)
+            .map(|c| Some(Arc::new(c)))
+            .map_err(|e| format!("opening cache {}: {e}", d.display())),
+    }
+}
+
+/// Fold the cache's hit/miss/byte counters into the metrics recorder,
+/// so `--profile`/`--metrics` describe the cache's contribution.
+fn report_cache(cache: Option<&Arc<Cache>>, rec: &dyn Recorder) {
+    if let Some(c) = cache {
+        c.report_to(rec);
+    }
+}
+
+fn cache_cmd(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(unknown_option(flag, "cache"));
+    }
+    let [action, dir] = args else {
+        return Err(usage_of("cache").to_string());
+    };
+    let path = Path::new(dir.as_str());
+    match action.as_str() {
+        "stats" => {
+            let s = dt_cache::disk_stats(path).map_err(|e| format!("{dir}: {e}"))?;
+            println!(
+                "cache {dir}: {} NLR fold(s), {} attribute set(s), {} bytes",
+                s.nlr_entries, s.attr_entries, s.total_bytes
+            );
+            Ok(())
+        }
+        "clear" => {
+            let n = dt_cache::clear_dir(path).map_err(|e| format!("{dir}: {e}"))?;
+            println!("cache {dir}: removed {n} entries");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action `{other}` ({})",
+            usage_of("cache")
+        )),
+    }
+}
+
 fn load_full(path: &str) -> Result<(TraceSet, HbLog), String> {
     store::load_full(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
@@ -474,6 +546,7 @@ fn single(args: &[String]) -> Result<(), String> {
         freq: FreqMode::Actual,
     };
     let mut k = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -494,6 +567,10 @@ fn single(args: &[String]) -> Result<(), String> {
             "--k" => {
                 seen.check("--k")?;
                 k = value("--k")?.parse().map_err(|_| "bad --k")?;
+            }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache_dir = Some(PathBuf::from(value("--cache")?));
             }
             "--profile" => {
                 seen.check("--profile")?;
@@ -516,6 +593,7 @@ fn single(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or_else(|| usage_of("single").to_string())?;
+    let cache = open_cache(cache_dir.as_ref())?;
     let live = MetricsRecorder::new();
     let rec = obs.recorder(&live);
     let set = {
@@ -523,7 +601,11 @@ fn single(args: &[String]) -> Result<(), String> {
         load(&path)?
     };
     let params = difftrace::Params::new(filter, attrs);
-    let report = difftrace::analyze_single_rec(&set, &params, k, rec);
+    let popts = PipelineOptions {
+        cache: cache.clone(),
+        ..PipelineOptions::default()
+    };
+    let report = difftrace::analyze_single_opts_rec(&set, &params, k, &popts, rec);
     println!("{} traces, {} clusters:", set.len(), report.clusters.len());
     for (i, c) in report.clusters.iter().enumerate() {
         println!(
@@ -548,6 +630,7 @@ fn single(args: &[String]) -> Result<(), String> {
                 .join(", ")
         );
     }
+    report_cache(cache.as_ref(), rec);
     obs.emit(&live, "single", 1)?;
     Ok(())
 }
@@ -798,6 +881,7 @@ struct DiffOpts {
     full: bool,
     gate: LintGate,
     hb: LintGate,
+    cache: Option<PathBuf>,
     obs: ObsOpts,
 }
 
@@ -816,6 +900,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut full = false;
     let mut gate = LintGate::Off;
     let mut hb = LintGate::Off;
+    let mut cache = None;
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -876,6 +961,10 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                 seen.check("--hb")?;
                 hb = LintGate::parse(&value("--hb")?)?;
             }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache = Some(PathBuf::from(value("--cache")?));
+            }
             "--profile" => {
                 seen.check("--profile")?;
                 obs.profile = true;
@@ -903,12 +992,14 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         full,
         gate,
         hb,
+        cache,
         obs,
     })
 }
 
 fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args, "diff")?;
+    let cache = open_cache(opts.cache.as_ref())?;
     let live = MetricsRecorder::new();
     let rec = opts.obs.recorder(&live);
     let (normal, normal_hb) = {
@@ -952,6 +1043,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             threads: opts.threads,
             lint: opts.gate,
             hb: opts.hb,
+            cache: cache.clone(),
         },
         rec,
     ) {
@@ -971,6 +1063,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             return Err(CliError::LintDenied(fail.to_string()));
         }
     };
+    report_cache(cache.as_ref(), rec);
     if let Some((n, f)) = &d.lint {
         if !n.is_clean() || !f.is_clean() {
             eprint!("lint (normal):\n{}", n.render_text());
@@ -1043,6 +1136,7 @@ fn export(args: &[String]) -> Result<(), String> {
     }
     let outdir = outdir.ok_or_else(|| usage_of("export").to_string())?;
     let opts = parse_opts(&rest, "export")?;
+    let cache = open_cache(opts.cache.as_ref())?;
     let live = MetricsRecorder::new();
     let rec = opts.obs.recorder(&live);
     let normal = {
@@ -1072,11 +1166,15 @@ fn export(args: &[String]) -> Result<(), String> {
         &faulty,
         None,
         &params,
-        &PipelineOptions::with_threads(opts.threads),
+        &PipelineOptions {
+            cache: cache.clone(),
+            ..PipelineOptions::with_threads(opts.threads)
+        },
         rec,
     ) else {
         unreachable!("gates are off");
     };
+    report_cache(cache.as_ref(), rec);
     let dir = PathBuf::from(&outdir);
     std::fs::create_dir_all(&dir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let write = |name: &str, content: String| -> Result<(), String> {
@@ -1107,6 +1205,7 @@ fn export(args: &[String]) -> Result<(), String> {
 
 fn sweep_cmd(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args, "sweep")?;
+    let cache = open_cache(opts.cache.as_ref())?;
     let live = MetricsRecorder::new();
     let rec = opts.obs.recorder(&live);
     let normal = {
@@ -1133,16 +1232,18 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
     } else {
         opts.attrs
     };
-    let rows = sweep_parallel_rec(
+    let rows = sweep_parallel_cached_rec(
         &normal,
         &faulty,
         &filters,
         &attrs,
         opts.linkage,
         opts.jobs,
+        cache.clone(),
         rec,
     );
     print!("{}", render_ranking(&rows));
+    report_cache(cache.as_ref(), rec);
     opts.obs.emit(&live, "sweep", opts.jobs)?;
     Ok(())
 }
@@ -1492,6 +1593,9 @@ mod tests {
                 "average",
             ],
             &["sweep", "n", "f", "--jobs", "1", "--jobs", "2"],
+            &["sweep", "n", "f", "--cache", "c1", "--cache", "c2"],
+            &["diff", "n", "f", "--cache", "c1", "--cache", "c2"],
+            &["single", "r.dtts", "--cache", "c1", "--cache", "c2"],
         ];
         for case in dup_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -1512,6 +1616,7 @@ mod tests {
             &["diff", "n", "f", "--bogus"],
             &["export", "n", "f", "out", "--bogus"],
             &["sweep", "n", "f", "--bogus"],
+            &["cache", "stats", "d", "--bogus"],
         ];
         for case in unknown_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -1541,6 +1646,59 @@ mod tests {
         .unwrap();
         assert_eq!(o.filters.len(), 2);
         assert_eq!(o.attrs.len(), 2);
+    }
+
+    /// `--cache` end to end: a sweep populates the directory, `cache
+    /// stats` sees the entries, diff/single reuse the same directory,
+    /// and `cache clear` empties it. Warm runs must print the same
+    /// ranking the cold run did.
+    #[test]
+    fn cache_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_cache_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+        let cdir = format!("{dirs}/cache");
+        let sweep_args = [
+            "sweep",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--attrs",
+            "sing.actual",
+            "--attrs",
+            "doub.noFreq",
+            "--cache",
+            &cdir,
+        ];
+        dispatch(&s(&sweep_args)).unwrap(); // cold: populates the cache
+        let stats = dt_cache::disk_stats(Path::new(&cdir)).unwrap();
+        assert!(stats.nlr_entries > 0, "{stats:?}");
+        assert!(stats.attr_entries > 0, "{stats:?}");
+        dispatch(&s(&sweep_args)).unwrap(); // warm: hits from disk
+        dispatch(&s(&["cache", "stats", &cdir])).unwrap();
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--cache",
+            &cdir,
+        ]))
+        .unwrap();
+        dispatch(&s(&["single", &f, "--cache", &cdir])).unwrap();
+        dispatch(&s(&["cache", "clear", &cdir])).unwrap();
+        let cleared = dt_cache::disk_stats(Path::new(&cdir)).unwrap();
+        assert_eq!(cleared.nlr_entries + cleared.attr_entries, 0);
+        // Bad action is an argument error carrying the usage hint.
+        let err = dispatch(&s(&["cache", "frobnicate", &cdir])).unwrap_err();
+        assert!(err.to_string().contains("usage: difftrace cache"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Satellite: `demo` must not clobber an existing corpus unless

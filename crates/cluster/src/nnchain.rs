@@ -111,7 +111,7 @@ pub fn linkage_nn_chain(dist: &CondensedMatrix, method: Method) -> Dendrogram {
     // Sort merges by height (stable: ties keep chain order) and
     // relabel to SciPy cluster IDs via union-find over leaves.
     let mut order: Vec<usize> = (0..raw.len()).collect();
-    order.sort_by(|&x, &y| raw[x].2.partial_cmp(&raw[y].2).unwrap().then(x.cmp(&y)));
+    order.sort_by(|&x, &y| raw[x].2.total_cmp(&raw[y].2).then(x.cmp(&y)));
 
     let mut parent: Vec<usize> = (0..2 * n - 1).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -231,11 +231,11 @@ mod tests {
         let mut hs: Vec<f64> = z.merges().iter().map(|m| m.distance).collect();
         let sorted = {
             let mut s = hs.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s.sort_by(|a, b| a.total_cmp(b));
             s
         };
         assert_eq!(hs.len(), sorted.len());
-        hs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        hs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(hs, sorted);
     }
 

@@ -168,6 +168,33 @@ impl FilterConfig {
         }
     }
 
+    /// A fully discriminating stable code for this configuration: like
+    /// `Display`, but custom classes carry their pattern
+    /// (`cust:<pattern>`), so two configs with equal codes filter every
+    /// corpus identically. Used to deduplicate sweep grids — the
+    /// rendered `Display` code elides custom patterns, which would
+    /// conflate genuinely different filters.
+    pub fn stable_code(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!("{}{}", u8::from(self.drop_returns), u8::from(self.drop_plt));
+        if self.keep.is_empty() {
+            out.push_str(".all");
+        } else {
+            for k in &self.keep {
+                match k {
+                    KeepClass::Custom(p) => {
+                        let _ = write!(out, ".cust:{p}");
+                    }
+                    other => {
+                        let _ = write!(out, ".{}", other.code());
+                    }
+                }
+            }
+        }
+        let _ = write!(out, ".K{}", self.nlr_k);
+        out
+    }
+
     /// Validate custom patterns; returns an error message on a bad one.
     pub fn validate(&self) -> Result<(), String> {
         for k in &self.keep {

@@ -198,10 +198,7 @@ mod tests {
             ],
         );
         let scores = d.row_scores();
-        let max = scores
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let max = scores.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(max.0, TraceId::master(1));
     }
 

@@ -100,7 +100,12 @@ pub use pipeline::{
     diff_runs_opts, try_diff_runs_hb_opts, try_diff_runs_hb_rec, try_diff_runs_opts, AnalysisRun,
     DiffDenied, DiffRun, Params, PipelineOptions,
 };
-pub use ranking::{render_ranking, sweep, sweep_parallel, sweep_parallel_rec, RankingRow};
+pub use ranking::{
+    render_ranking, sweep, sweep_cached, sweep_parallel, sweep_parallel_cached_rec,
+    sweep_parallel_rec, RankingRow,
+};
 pub use recording::record_masters;
 pub use report::{generate as generate_report, ReportOptions};
-pub use single_run::{analyze_single, analyze_single_rec, SingleRunReport};
+pub use single_run::{
+    analyze_single, analyze_single_opts_rec, analyze_single_rec, SingleRunReport,
+};

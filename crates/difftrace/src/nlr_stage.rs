@@ -6,9 +6,11 @@
 //! the paper's Tables III/IV and diffNLR figures.
 
 use crate::filter::FilteredSet;
+use dt_cache::Cache;
 use dt_trace::TraceId;
 use nlr::{LoopId, LoopTable, Nlr, NlrBuilder, RecordingInterner, SharedLoopTable};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// NLR summaries of one execution's filtered traces.
 #[derive(Debug, Clone)]
@@ -31,6 +33,47 @@ impl NlrSet {
             truncated.insert(t.id, t.truncated);
         }
         NlrSet { nlrs, truncated }
+    }
+
+    /// [`NlrSet::build`] through a [`Cache`]: each trace's fold is
+    /// looked up by its content key (`keys`, aligned with `set.traces`)
+    /// and replayed into `table` on a hit — skipping the builder — or
+    /// built and stored on a miss. Replay re-interns the trace's bodies
+    /// in its own first-fold order, which is exactly the intern sequence
+    /// a cold build would issue, so loop numbering (and therefore every
+    /// downstream label) is byte-identical either way. Returns the set
+    /// plus the number of actual builder invocations.
+    pub fn build_cached(
+        set: &FilteredSet,
+        k: usize,
+        table: &mut LoopTable,
+        cache: &Cache,
+        keys: &[u128],
+    ) -> (NlrSet, u64) {
+        let builder = NlrBuilder::new(k);
+        let mut nlrs = BTreeMap::new();
+        let mut truncated = BTreeMap::new();
+        let mut folds = 0u64;
+        for (t, &key) in set.traces.iter().zip(keys) {
+            let nlr = match cache.get_nlr(key) {
+                Some(fold) => Nlr::from_parts(dt_cache::replay(&fold, table), fold.input_len),
+                None => {
+                    folds += 1;
+                    let mut rec = dt_cache::Recording::new(table);
+                    let nlr = builder.build(&t.symbols, &mut rec);
+                    let order = rec.into_order();
+                    let fold =
+                        dt_cache::fold_from_build(&order, nlr.elements(), nlr.input_len(), |id| {
+                            table.body(id).to_vec()
+                        });
+                    cache.put_nlr(key, Arc::new(fold));
+                    nlr
+                }
+            };
+            nlrs.insert(t.id, nlr);
+            truncated.insert(t.id, t.truncated);
+        }
+        (NlrSet { nlrs, truncated }, folds)
     }
 
     /// Summarize every trace of `set` on up to `threads` threads,
@@ -63,6 +106,54 @@ impl NlrSet {
             orders.push(order);
         }
         (NlrSet { nlrs, truncated }, orders)
+    }
+
+    /// [`NlrSet::build_shared`] through a [`Cache`]: per-trace lookups
+    /// as in [`NlrSet::build_cached`], but hits replay into the
+    /// concurrent `shared` table through a [`RecordingInterner`], so the
+    /// replayed interns appear in the trace's fold order exactly like a
+    /// cold parallel build's — the subsequent canonical renumbering is
+    /// oblivious to which traces hit. Returns the provisional set, the
+    /// per-trace fold orders, and the number of builder invocations.
+    pub fn build_shared_cached(
+        set: &FilteredSet,
+        k: usize,
+        shared: &SharedLoopTable,
+        threads: usize,
+        cache: &Cache,
+        keys: &[u128],
+    ) -> (NlrSet, Vec<Vec<LoopId>>, u64) {
+        let builder = NlrBuilder::new(k);
+        let built = crate::sync::par_map(&set.traces, threads, |i, t| {
+            let mut rec = RecordingInterner::new(shared);
+            match cache.get_nlr(keys[i]) {
+                Some(fold) => {
+                    let nlr = Nlr::from_parts(dt_cache::replay(&fold, &mut rec), fold.input_len);
+                    (t.id, nlr, t.truncated, rec.into_order(), 0u64)
+                }
+                None => {
+                    let nlr = builder.build(&t.symbols, &mut rec);
+                    let order = rec.into_order();
+                    let fold =
+                        dt_cache::fold_from_build(&order, nlr.elements(), nlr.input_len(), |id| {
+                            shared.body(id).to_vec()
+                        });
+                    cache.put_nlr(keys[i], Arc::new(fold));
+                    (t.id, nlr, t.truncated, order, 1)
+                }
+            }
+        });
+        let mut nlrs = BTreeMap::new();
+        let mut truncated = BTreeMap::new();
+        let mut orders = Vec::with_capacity(built.len());
+        let mut folds = 0u64;
+        for (id, nlr, trunc, order, fresh) in built {
+            nlrs.insert(id, nlr);
+            truncated.insert(id, trunc);
+            orders.push(order);
+            folds += fresh;
+        }
+        (NlrSet { nlrs, truncated }, orders, folds)
     }
 
     /// Rewrite every summary's loop references through `map`

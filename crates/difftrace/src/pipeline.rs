@@ -23,15 +23,17 @@ use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
 use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
+use dt_cache::Cache;
 use dt_obs::{stage, Recorder};
 use dt_trace::{TraceId, TraceSet};
 use fca::{ConceptLattice, FormalContext};
 use nlr::{LoopTable, SharedLoopTable};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Execution options orthogonal to the analysis [`Params`]: they may
 /// change how fast an answer is computed, never which answer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PipelineOptions {
     /// Worker threads for the parallel stages. `1` (the default) is the
     /// exact sequential path; `0` means all available parallelism; any
@@ -48,6 +50,12 @@ pub struct PipelineOptions {
     /// only applies to [`try_diff_runs_hb_opts`]; entry points without
     /// logs ignore this gate.
     pub hb: LintGate,
+    /// Content-addressed analysis cache ([`dt_cache::Cache`]), shared
+    /// across pipeline runs (e.g. every cell of a sweep). Like the
+    /// other options it is observational: a cached analysis is
+    /// byte-identical to a cold one at any thread count (enforced by
+    /// the cache-equivalence harness).
+    pub cache: Option<Arc<Cache>>,
 }
 
 impl Default for PipelineOptions {
@@ -56,6 +64,7 @@ impl Default for PipelineOptions {
             threads: 1,
             lint: LintGate::Off,
             hb: LintGate::Off,
+            cache: None,
         }
     }
 }
@@ -158,23 +167,67 @@ pub fn analyze_aligned_rec(
         align_filtered(set, params, id_universe)
     };
     record_filter_counters(rec, set, &aligned, id_universe);
-    let nlrs = {
+    let keys: Option<Vec<u128>> = opts
+        .cache
+        .as_ref()
+        .map(|_| nlr_cache_keys(set, &aligned, params.filter.nlr_k));
+    let (nlrs, folds) = {
         let _s = stage(rec, "nlr");
-        if threads <= 1 {
-            NlrSet::build(&aligned, params.filter.nlr_k, table)
-        } else {
-            // Parallel NLR build: provisional IDs into a concurrent table,
-            // then a sequential replay of the recorded fold orders to
-            // restore the exact sequential numbering (see nlr::shared).
-            let shared = SharedLoopTable::from_table(table);
-            let (prov, orders) =
-                NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
-            let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
-            prov.remap(&map)
+        match (opts.cache.as_deref(), &keys, threads) {
+            (Some(cache), Some(keys), ..=1) => {
+                NlrSet::build_cached(&aligned, params.filter.nlr_k, table, cache, keys)
+            }
+            (Some(cache), Some(keys), _) => {
+                let shared = SharedLoopTable::from_table(table);
+                let (prov, orders, folds) = NlrSet::build_shared_cached(
+                    &aligned,
+                    params.filter.nlr_k,
+                    &shared,
+                    threads,
+                    cache,
+                    keys,
+                );
+                let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+                (prov.remap(&map), folds)
+            }
+            (_, _, ..=1) => (
+                NlrSet::build(&aligned, params.filter.nlr_k, table),
+                aligned.traces.len() as u64,
+            ),
+            _ => {
+                // Parallel NLR build: provisional IDs into a concurrent table,
+                // then a sequential replay of the recorded fold orders to
+                // restore the exact sequential numbering (see nlr::shared).
+                let shared = SharedLoopTable::from_table(table);
+                let (prov, orders) =
+                    NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
+                let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+                (prov.remap(&map), aligned.traces.len() as u64)
+            }
         }
     };
-    record_nlr_counters(rec, &nlrs, id_universe);
-    finish_run(set, params, &aligned, nlrs, id_universe, threads, rec)
+    record_nlr_counters(rec, &nlrs, id_universe, folds);
+    let cache_keys = opts.cache.as_deref().zip(keys.as_deref());
+    finish_run(
+        set,
+        params,
+        &aligned,
+        nlrs,
+        id_universe,
+        threads,
+        rec,
+        cache_keys,
+    )
+}
+
+/// The per-trace NLR cache keys for `aligned`, in its trace order
+/// (which is the `id_universe` order — see [`align_filtered`]).
+fn nlr_cache_keys(set: &TraceSet, aligned: &FilteredSet, k: usize) -> Vec<u128> {
+    aligned
+        .traces
+        .iter()
+        .map(|t| dt_cache::nlr_key(k, &t.symbols, |s| symbol_name(&set.registry, s)))
+        .collect()
 }
 
 /// Tally the front-end filter's work into `rec` (no-op when disabled).
@@ -198,11 +251,15 @@ fn record_filter_counters(
     );
 }
 
-/// Tally NLR sizes into `rec` (no-op when disabled).
-fn record_nlr_counters(rec: &dyn Recorder, nlrs: &NlrSet, id_universe: &[TraceId]) {
+/// Tally NLR sizes into `rec` (no-op when disabled). `folds` counts
+/// actual NLR-builder invocations — with a warm cache it is lower than
+/// the trace count, which is how the bench and CI assert that caching
+/// skipped work without comparing wall-clock.
+fn record_nlr_counters(rec: &dyn Recorder, nlrs: &NlrSet, id_universe: &[TraceId], folds: u64) {
     if !rec.enabled() {
         return;
     }
+    rec.add("nlr_folds", folds);
     rec.add(
         "nlr_terms",
         id_universe
@@ -238,7 +295,11 @@ fn align_filtered(set: &TraceSet, params: &Params, id_universe: &[TraceId]) -> F
 /// Mining and JSM rows are pure per-trace/per-row functions and fan out
 /// across `threads`; the context is assembled sequentially in
 /// `id_universe` order so object/attribute numbering never depends on
-/// the schedule.
+/// the schedule. `cache_keys` (the per-trace NLR keys, in `id_universe`
+/// order) enables attribute-set memoization: mined labels embed global
+/// loop IDs, so the attr key covers the summary's element sequence too
+/// (see [`dt_cache::attr_key`]).
+#[allow(clippy::too_many_arguments)]
 fn finish_run(
     set: &TraceSet,
     params: &Params,
@@ -247,11 +308,13 @@ fn finish_run(
     id_universe: &[TraceId],
     threads: usize,
     rec: &dyn Recorder,
+    cache_keys: Option<(&Cache, &[u128])>,
 ) -> AnalysisRun {
     let name = |s: u32| symbol_name(&set.registry, s);
+    let attr_code = params.attrs.to_string();
     let mined: Vec<Vec<(String, f64)>> = {
         let _s = stage(rec, "mine");
-        crate::sync::par_map_obs(id_universe, threads, rec, "mine", |_, id| {
+        crate::sync::par_map_obs(id_universe, threads, rec, "mine", |i, id| {
             let nlr = nlrs.get(*id).expect("aligned");
             let symbols: &[u32] = aligned
                 .traces
@@ -259,6 +322,15 @@ fn finish_run(
                 .find(|t| t.id == *id)
                 .map(|t| t.symbols.as_slice())
                 .unwrap_or(&[]);
+            if let Some((cache, keys)) = cache_keys {
+                let akey = dt_cache::attr_key(keys[i], &attr_code, nlr.elements());
+                if let Some(v) = cache.get_attrs(akey) {
+                    return (*v).clone();
+                }
+                let fresh = mine(symbols, nlr, params.attrs, &name);
+                cache.put_attrs(akey, Arc::new(fresh.clone()));
+                return fresh;
+            }
             mine(symbols, nlr, params.attrs, &name)
         })
     };
@@ -498,27 +570,20 @@ pub fn try_diff_runs_hb_rec(
     let threads = effective_threads(opts.threads, 2 * ids.len().max(1));
     let mut table = LoopTable::new();
     let (normal_run, faulty_run) = if threads <= 1 {
-        let n = analyze_aligned_rec(
-            normal,
-            params,
-            &mut table,
-            &ids,
-            &PipelineOptions::default(),
-            rec,
-        );
-        let f = analyze_aligned_rec(
-            faulty,
-            params,
-            &mut table,
-            &ids,
-            &PipelineOptions::default(),
-            rec,
-        );
+        let seq_opts = PipelineOptions {
+            threads: 1,
+            lint: LintGate::Off,
+            hb: LintGate::Off,
+            cache: opts.cache.clone(),
+        };
+        let n = analyze_aligned_rec(normal, params, &mut table, &ids, &seq_opts, rec);
+        let f = analyze_aligned_rec(faulty, params, &mut table, &ids, &seq_opts, rec);
         (n, f)
     } else {
         // Each side gets half the workers; both interleave on the same
         // shared table, so every distinct loop body is interned once.
         let half = (threads / 2).max(1);
+        let cache = opts.cache.as_deref();
         let (n_aligned, f_aligned) = {
             let _s = stage(rec, "filter");
             (
@@ -528,13 +593,31 @@ pub fn try_diff_runs_hb_rec(
         };
         record_filter_counters(rec, normal, &n_aligned, &ids);
         record_filter_counters(rec, faulty, &f_aligned, &ids);
+        let (n_keys, f_keys) = match cache {
+            Some(_) => (
+                Some(nlr_cache_keys(normal, &n_aligned, params.filter.nlr_k)),
+                Some(nlr_cache_keys(faulty, &f_aligned, params.filter.nlr_k)),
+            ),
+            None => (None, None),
+        };
         let (n_nlrs, f_nlrs) = {
             let _s = stage(rec, "nlr");
             let shared = SharedLoopTable::new();
-            let ((n_prov, n_orders), (f_prov, f_orders)) = join(
+            let k = params.filter.nlr_k;
+            let build = |aligned: &FilteredSet, keys: &Option<Vec<u128>>| match (cache, keys) {
+                (Some(c), Some(keys)) => {
+                    NlrSet::build_shared_cached(aligned, k, &shared, half, c, keys)
+                }
+                _ => {
+                    let (prov, orders) = NlrSet::build_shared(aligned, k, &shared, half);
+                    let folds = aligned.traces.len() as u64;
+                    (prov, orders, folds)
+                }
+            };
+            let ((n_prov, n_orders, n_folds), (f_prov, f_orders, f_folds)) = join(
                 true,
-                || NlrSet::build_shared(&n_aligned, params.filter.nlr_k, &shared, half),
-                || NlrSet::build_shared(&f_aligned, params.filter.nlr_k, &shared, half),
+                || build(&n_aligned, &n_keys),
+                || build(&f_aligned, &f_keys),
             );
             let map = shared.canonicalize_into(
                 n_orders
@@ -543,14 +626,21 @@ pub fn try_diff_runs_hb_rec(
                     .chain(f_orders.into_iter().flatten()),
                 &mut table,
             );
-            (n_prov.remap(&map), f_prov.remap(&map))
+            let (n_nlrs, f_nlrs) = (n_prov.remap(&map), f_prov.remap(&map));
+            record_nlr_counters(rec, &n_nlrs, &ids, n_folds);
+            record_nlr_counters(rec, &f_nlrs, &ids, f_folds);
+            (n_nlrs, f_nlrs)
         };
-        record_nlr_counters(rec, &n_nlrs, &ids);
-        record_nlr_counters(rec, &f_nlrs, &ids);
         join(
             true,
-            || finish_run(normal, params, &n_aligned, n_nlrs, &ids, half, rec),
-            || finish_run(faulty, params, &f_aligned, f_nlrs, &ids, half, rec),
+            || {
+                let ck = cache.zip(n_keys.as_deref());
+                finish_run(normal, params, &n_aligned, n_nlrs, &ids, half, rec, ck)
+            },
+            || {
+                let ck = cache.zip(f_keys.as_deref());
+                finish_run(faulty, params, &f_aligned, f_nlrs, &ids, half, rec, ck)
+            },
         )
     };
     if rec.enabled() {
@@ -568,7 +658,7 @@ pub fn try_diff_runs_hb_rec(
     let _rank = stage(rec, "rank");
     // Thread-level suspects: row sums of JSM_D.
     let mut thread_scores = jsm_d.row_scores_opts(threads);
-    thread_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    thread_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let tmax = thread_scores.first().map(|x| x.1).unwrap_or(0.0);
     let suspicious_threads: Vec<TraceId> = thread_scores
         .iter()
@@ -583,7 +673,7 @@ pub fn try_diff_runs_hb_rec(
         *proc_scores.entry(id.process).or_insert(0.0) += s;
     }
     let mut proc_scores: Vec<(u32, f64)> = proc_scores.into_iter().collect();
-    proc_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    proc_scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let pmax = proc_scores.first().map(|x| x.1).unwrap_or(0.0);
     let suspicious_processes: Vec<u32> = proc_scores
         .iter()
@@ -736,7 +826,7 @@ impl DiffRun {
         out.sort_by(|x, y| {
             let dx = (x.1 - x.2).abs();
             let dy = (y.1 - y.2).abs();
-            dy.partial_cmp(&dx).unwrap().then_with(|| x.0.cmp(&y.0))
+            dy.total_cmp(&dx).then_with(|| x.0.cmp(&y.0))
         });
         out
     }

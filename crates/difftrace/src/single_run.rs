@@ -46,16 +46,22 @@ pub fn analyze_single_rec(
     k: usize,
     rec: &dyn Recorder,
 ) -> SingleRunReport {
+    analyze_single_opts_rec(set, params, k, &PipelineOptions::default(), rec)
+}
+
+/// [`analyze_single_rec`] with explicit execution options (threads,
+/// analysis cache). Like every `_opts` entry point, options change how
+/// fast the report is computed, never what it says.
+pub fn analyze_single_opts_rec(
+    set: &TraceSet,
+    params: &Params,
+    k: usize,
+    opts: &PipelineOptions,
+    rec: &dyn Recorder,
+) -> SingleRunReport {
     let mut table = LoopTable::new();
     let ids = set.ids();
-    let run = analyze_aligned_rec(
-        set,
-        params,
-        &mut table,
-        &ids,
-        &PipelineOptions::default(),
-        rec,
-    );
+    let run = analyze_aligned_rec(set, params, &mut table, &ids, opts, rec);
     if rec.enabled() {
         rec.add("loops_interned", table.len() as u64);
     }

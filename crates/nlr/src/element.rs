@@ -71,6 +71,17 @@ impl Nlr {
         }
     }
 
+    /// Assemble a summary from parts produced outside the builder —
+    /// e.g. replayed from a serialized cache entry. The caller is
+    /// responsible for every [`LoopId`] referring to the table the
+    /// summary will be used with.
+    pub fn from_parts(elements: Vec<Element>, input_len: usize) -> Nlr {
+        Nlr {
+            elements,
+            input_len,
+        }
+    }
+
     /// The top-level summarized sequence.
     pub fn elements(&self) -> &[Element] {
         &self.elements

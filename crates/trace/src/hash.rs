@@ -1,0 +1,142 @@
+//! Stable content hashing for cache keys.
+//!
+//! The analysis cache (crate `dt-cache`) keys entries by a digest of
+//! trace content and analysis parameters. `std::hash` makes no
+//! stability promises across releases or processes, so persistent cache
+//! keys need a hand-rolled hasher with a pinned algorithm: this module
+//! provides a 128-bit FNV-1a variant. 128 bits keeps accidental
+//! collisions out of reach for any realistic corpus (the cache treats a
+//! collision as silent reuse, so the margin matters); FNV keeps the
+//! implementation dependency-free and byte-order independent.
+
+/// FNV-1a offset basis, 128-bit parameters.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime, 128-bit parameters.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental 128-bit FNV-1a hasher with a stable, documented
+/// algorithm — safe to persist across processes and releases (bump the
+/// cache format version if the algorithm ever changes).
+///
+/// Multi-byte integers are folded in little-endian order; variable-size
+/// inputs ([`StableHasher::write_bytes`], [`StableHasher::write_str`])
+/// are length-prefixed so concatenations cannot collide
+/// (`"ab"+"c"` ≠ `"a"+"bc"`).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the state *without* a length prefix. Only
+    /// for fixed-width inputs; prefer [`StableHasher::write_bytes`].
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a variable-length byte string, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Fold a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_raw(&[v]);
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Digest a `u32` symbol stream (length-prefixed) in one call.
+pub fn digest_symbols(symbols: &[u32]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_u64(symbols.len() as u64);
+    for &s in symbols {
+        h.write_u32(s);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_is_pinned() {
+        // Pin the algorithm: if this digest ever changes, persisted
+        // cache entries keyed by the old algorithm would be reused
+        // incorrectly — bump dt-cache's CACHE_FORMAT_VERSION instead.
+        let mut h = StableHasher::new();
+        h.write_str("difftrace");
+        assert_eq!(h.finish(), 0x6e6d_dd64_5991_5cf1_13c0_76d9_c7d7_6968);
+    }
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let d = |parts: &[&str]| {
+            let mut h = StableHasher::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(d(&["ab", "c"]), d(&["a", "bc"]));
+        assert_ne!(d(&["abc"]), d(&["ab", "c"]));
+        assert_ne!(d(&["", "x"]), d(&["x", ""]));
+    }
+
+    #[test]
+    fn symbol_digest_discriminates() {
+        assert_ne!(digest_symbols(&[1, 2, 3]), digest_symbols(&[1, 2, 4]));
+        assert_ne!(digest_symbols(&[1, 2]), digest_symbols(&[1, 2, 0]));
+        assert_ne!(digest_symbols(&[]), digest_symbols(&[0]));
+        assert_eq!(digest_symbols(&[7, 8]), digest_symbols(&[7, 8]));
+    }
+
+    #[test]
+    fn integer_widths_do_not_alias() {
+        let mut a = StableHasher::new();
+        a.write_u32(1);
+        let mut b = StableHasher::new();
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

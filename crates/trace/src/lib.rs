@@ -49,6 +49,7 @@
 pub mod collector;
 pub mod compress;
 pub mod event;
+pub mod hash;
 pub mod hb;
 pub mod registry;
 pub mod stats;

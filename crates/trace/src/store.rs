@@ -182,16 +182,44 @@ pub fn from_bytes_full(buf: &[u8]) -> Result<(TraceSet, HbLog), StoreError> {
     Ok((set, hb))
 }
 
-/// Write a trace set to `path` (no happens-before section).
-pub fn save(set: &TraceSet, path: &Path) -> Result<(), StoreError> {
-    std::fs::write(path, to_bytes(set))?;
+/// Write `bytes` to `path` atomically: write a uniquely-named temp file
+/// in the same directory, then rename it over the destination. A crash
+/// (or full disk) mid-write leaves any previous file at `path` intact
+/// instead of a truncated one; the failed temp file is cleaned up.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or(StoreError::Format("save path has no file name"))?;
+    let tmp_name = format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let done = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = done {
+        std::fs::remove_file(&tmp).ok();
+        return Err(StoreError::Io(e));
+    }
     Ok(())
 }
 
-/// Write a trace set and its happens-before log to `path`.
+/// Write a trace set to `path` (no happens-before section). The write
+/// is atomic: an interrupted save never clobbers an existing file.
+pub fn save(set: &TraceSet, path: &Path) -> Result<(), StoreError> {
+    write_atomic(path, &to_bytes(set))
+}
+
+/// Write a trace set and its happens-before log to `path`, atomically.
 pub fn save_full(set: &TraceSet, hb: &HbLog, path: &Path) -> Result<(), StoreError> {
-    std::fs::write(path, to_bytes_full(set, Some(hb)))?;
-    Ok(())
+    write_atomic(path, &to_bytes_full(set, Some(hb)))
 }
 
 /// Read a trace set from `path`.
@@ -223,16 +251,16 @@ pub fn save_dir(set: &TraceSet, dir: &Path) -> Result<(), StoreError> {
         write_varint(&mut reg, n.len() as u64);
         reg.extend_from_slice(n.as_bytes());
     }
-    std::fs::write(dir.join(REGISTRY_FILE), reg)?;
+    write_atomic(&dir.join(REGISTRY_FILE), &reg)?;
     // Per-thread files.
     for t in set.iter() {
         let mut buf = Vec::new();
         buf.extend_from_slice(THREAD_MAGIC);
         buf.push(u8::from(t.truncated));
         buf.extend_from_slice(&compress::compress(&t.to_symbols()));
-        std::fs::write(
-            dir.join(format!("{}.{}.dtt", t.id.process, t.id.thread)),
-            buf,
+        write_atomic(
+            &dir.join(format!("{}.{}.dtt", t.id.process, t.id.thread)),
+            &buf,
         )?;
     }
     Ok(())
@@ -450,6 +478,75 @@ mod tests {
         assert_eq!(set.len(), 3);
         let (_, hb) = from_bytes_full(&bytes).unwrap();
         assert!(hb.is_empty());
+    }
+
+    /// A save interrupted mid-write (simulated here by the truncated
+    /// temp file a crashed writer leaves behind) must never clobber the
+    /// previously saved file: data only reaches `path` via rename.
+    #[test]
+    fn interrupted_save_leaves_previous_file_loadable() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_atomic");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exec.dtts");
+        save(&set, &path).unwrap();
+
+        // Crashed writer: a partial (truncated) image parked under the
+        // temp-file naming scheme, never renamed into place.
+        let mut partial = to_bytes(&set);
+        partial.truncate(partial.len() / 2);
+        std::fs::write(dir.join(".exec.dtts.tmp.99999.0"), &partial).unwrap();
+
+        // The real file is untouched and fully loadable.
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), set.len());
+
+        // A subsequent save still works and leaves no temp files of its
+        // own behind (only the planted crash artifact remains).
+        save(&set, &path).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp.") && n != ".exec.dtts.tmp.99999.0")
+            .collect();
+        assert!(leftovers.is_empty(), "stray temps: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A failed atomic write (rename cannot land because a directory
+    /// squats on the destination) reports the error and cleans up its
+    /// temp file rather than leaving junk next to the data.
+    #[test]
+    fn failed_save_cleans_up_temp_file() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_atomic_fail");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocked.dtts");
+        std::fs::create_dir_all(&path).unwrap(); // rename target is a dir
+        assert!(save(&set, &path).is_err());
+        let temps = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .count();
+        assert_eq!(temps, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `load_dir` must skip a crashed writer's temp files rather than
+    /// misparse them as trace files.
+    #[test]
+    fn load_dir_ignores_stray_temp_files() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_temps");
+        std::fs::remove_dir_all(&dir).ok();
+        save_dir(&set, &dir).unwrap();
+        std::fs::write(dir.join(".0.0.dtt.tmp.12345.7"), b"garbage").unwrap();
+        let back = load_dir(&dir).unwrap();
+        assert_eq!(back.len(), set.len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
