@@ -1,0 +1,284 @@
+//! Divergence classes and the serializable tolerance [`Policy`].
+//!
+//! A `baseline check` never judges "did any byte change" — it
+//! classifies each divergence between the candidate and the baseline
+//! into one of six [`DiffClass`]es and judges each class under the
+//! policy. The policy text format is a deliberately boring
+//! `key = value` file (hand-parsed; the workspace carries no serde):
+//! it diffs well in review, and a CI gate's tolerances belong in
+//! version control next to the workflows that consume them.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kinds of divergence a check can observe; each is one clause of
+/// the [`crate::AssertionReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiffClass {
+    /// The candidate has a trace the baseline lacks.
+    TraceAdded,
+    /// A baseline trace is missing from the candidate.
+    TraceRemoved,
+    /// A trace present in both changed its NLR content fingerprint.
+    NlrChanged,
+    /// A trace's JSM row score moved more than the allowed shift.
+    RankingShift,
+    /// The candidate fires a required-clean tracelint code at error
+    /// severity.
+    LintRegression,
+    /// The candidate fires a required-clean hbcheck code at error
+    /// severity.
+    HbRegression,
+}
+
+impl DiffClass {
+    /// Every class, in report (and evaluation) order.
+    pub const ALL: [DiffClass; 6] = [
+        DiffClass::TraceAdded,
+        DiffClass::TraceRemoved,
+        DiffClass::NlrChanged,
+        DiffClass::RankingShift,
+        DiffClass::LintRegression,
+        DiffClass::HbRegression,
+    ];
+
+    /// Stable name used in policy files, reports, and gate messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiffClass::TraceAdded => "trace-added",
+            DiffClass::TraceRemoved => "trace-removed",
+            DiffClass::NlrChanged => "nlr-changed",
+            DiffClass::RankingShift => "ranking-shift",
+            DiffClass::LintRegression => "lint-regression",
+            DiffClass::HbRegression => "hb-regression",
+        }
+    }
+
+    /// Parse a class name (the [`DiffClass::as_str`] form).
+    pub fn parse(s: &str) -> Result<DiffClass, String> {
+        DiffClass::ALL
+            .into_iter()
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| {
+                let all: Vec<&str> = DiffClass::ALL.iter().map(|c| c.as_str()).collect();
+                format!("unknown diff class `{s}` ({})", all.join(", "))
+            })
+    }
+}
+
+impl fmt::Display for DiffClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a candidate run is allowed to get away with. The default is
+/// the strictest useful gate: nothing tolerated, zero ranking shift,
+/// every analyzer code required clean, fixed trace population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Diff classes that report but never gate.
+    pub tolerate: BTreeSet<DiffClass>,
+    /// Maximum allowed |candidate − baseline| JSM row score per trace;
+    /// strictly larger shifts fail. Scores are bit-deterministic, so
+    /// the default `0.0` means "exactly the recorded ranking".
+    pub max_ranking_shift: f64,
+    /// tracelint codes that must not fire at error severity.
+    pub require_clean_tl: BTreeSet<String>,
+    /// hbcheck codes that must not fire at error severity.
+    pub require_clean_hb: BTreeSet<String>,
+    /// Whether traces absent from the baseline are acceptable.
+    pub allow_new_traces: bool,
+    /// Whether missing baseline traces are acceptable.
+    pub allow_removed_traces: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        let codes = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        Policy {
+            tolerate: BTreeSet::new(),
+            max_ranking_shift: 0.0,
+            require_clean_tl: codes(&["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]),
+            require_clean_hb: codes(&["HB001", "HB002", "HB003", "HB004", "HB005"]),
+            allow_new_traces: false,
+            allow_removed_traces: false,
+        }
+    }
+}
+
+fn parse_bool(key: &str, v: &str) -> Result<bool, String> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("{key}: expected true|false, got `{other}`")),
+    }
+}
+
+fn parse_codes(key: &str, v: &str) -> Result<BTreeSet<String>, String> {
+    let mut set = BTreeSet::new();
+    for tok in v.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        if !tok
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("{key}: bad code token `{tok}`"));
+        }
+        set.insert(tok.to_string());
+    }
+    Ok(set)
+}
+
+impl Policy {
+    /// Render as the policy text format. `Policy::parse` of the result
+    /// reconstructs the policy exactly (property-tested).
+    pub fn to_text(&self) -> String {
+        let join_classes =
+            |s: &BTreeSet<DiffClass>| s.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(",");
+        let join_codes =
+            |s: &BTreeSet<String>| s.iter().map(String::as_str).collect::<Vec<_>>().join(",");
+        format!(
+            "# difftrace baseline policy\n\
+             tolerate = {}\n\
+             max_ranking_shift = {}\n\
+             require_clean_tl = {}\n\
+             require_clean_hb = {}\n\
+             allow_new_traces = {}\n\
+             allow_removed_traces = {}\n",
+            join_classes(&self.tolerate),
+            self.max_ranking_shift,
+            join_codes(&self.require_clean_tl),
+            join_codes(&self.require_clean_hb),
+            self.allow_new_traces,
+            self.allow_removed_traces,
+        )
+    }
+
+    /// Parse the policy text format. Unknown keys and repeated keys are
+    /// errors; omitted keys keep their [`Policy::default`] value, so a
+    /// policy file can state only the tolerances it loosens.
+    pub fn parse(text: &str) -> Result<Policy, String> {
+        let mut policy = Policy::default();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+            match key {
+                "tolerate" => {
+                    let mut set = BTreeSet::new();
+                    for tok in value.split(',') {
+                        let tok = tok.trim();
+                        if tok.is_empty() {
+                            continue;
+                        }
+                        set.insert(DiffClass::parse(tok).map_err(&at)?);
+                    }
+                    policy.tolerate = set;
+                }
+                "max_ranking_shift" => {
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad number `{value}`")))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(at(format!(
+                            "max_ranking_shift must be a finite number ≥ 0, got `{value}`"
+                        )));
+                    }
+                    policy.max_ranking_shift = v;
+                }
+                "require_clean_tl" => {
+                    policy.require_clean_tl = parse_codes(key, value).map_err(&at)?;
+                }
+                "require_clean_hb" => {
+                    policy.require_clean_hb = parse_codes(key, value).map_err(&at)?;
+                }
+                "allow_new_traces" => {
+                    policy.allow_new_traces = parse_bool(key, value).map_err(&at)?;
+                }
+                "allow_removed_traces" => {
+                    policy.allow_removed_traces = parse_bool(key, value).map_err(&at)?;
+                }
+                other => return Err(at(format!("unknown policy key `{other}`"))),
+            }
+            // Checked after the value parse so the error for a bad
+            // value on a fresh key wins over the duplicate complaint.
+            if !seen.insert(key) {
+                return Err(format!("line {}: duplicate policy key `{key}`", lineno + 1));
+            }
+        }
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_roundtrips() {
+        let p = Policy::default();
+        assert_eq!(Policy::parse(&p.to_text()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_text_is_the_default() {
+        assert_eq!(Policy::parse("").unwrap(), Policy::default());
+        assert_eq!(
+            Policy::parse("# only a comment\n\n").unwrap(),
+            Policy::default()
+        );
+    }
+
+    #[test]
+    fn partial_file_keeps_defaults_for_the_rest() {
+        let p = Policy::parse("tolerate = ranking-shift\nmax_ranking_shift = 0.5\n").unwrap();
+        assert!(p.tolerate.contains(&DiffClass::RankingShift));
+        assert_eq!(p.max_ranking_shift, 0.5);
+        assert_eq!(p.require_clean_tl, Policy::default().require_clean_tl);
+        assert!(!p.allow_new_traces);
+    }
+
+    #[test]
+    fn bad_inputs_error_with_line_numbers() {
+        for (text, needle) in [
+            ("tolerate = frobnicate", "unknown diff class"),
+            ("max_ranking_shift = NaN", "finite number"),
+            ("max_ranking_shift = -1", "finite number"),
+            ("max_ranking_shift = plenty", "bad number"),
+            ("allow_new_traces = yes", "true|false"),
+            ("frobnication = on", "unknown policy key"),
+            ("just some words", "key = value"),
+            ("require_clean_tl = TL 001", "bad code token"),
+            (
+                "tolerate = nlr-changed\ntolerate = trace-added",
+                "duplicate policy key",
+            ),
+            (
+                "allow_new_traces = true\nallow_new_traces = true",
+                "duplicate policy key",
+            ),
+        ] {
+            let err = Policy::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in DiffClass::ALL {
+            assert_eq!(DiffClass::parse(c.as_str()).unwrap(), c);
+        }
+        assert!(DiffClass::parse("NLR-CHANGED").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the policy text format and the bundle codec:
+//! `Policy::parse ∘ Policy::to_text` and `Baseline::decode ∘ encode`
+//! are identities on arbitrary values, and mutilated bundle bytes are
+//! always a diagnosed error, never a panic or a false decode.
+
+use std::collections::BTreeSet;
+
+use dt_baseline::{Baseline, CodeCount, DiffClass, Policy, TraceRecord};
+use dt_trace::TraceId;
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    let classes = proptest::collection::vec(0usize..6, 0..6);
+    let shift = (0u32..2_000_000).prop_map(|v| f64::from(v) / 1000.0);
+    let codes = || {
+        let code = (0u8..26, 0u16..1000)
+            .prop_map(|(c, n)| format!("{}{}{:03}", char::from(b'A' + c), char::from(b'A' + c), n));
+        proptest::collection::vec(code, 0..8)
+    };
+    (
+        classes,
+        shift,
+        codes(),
+        codes(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(classes, shift, tl, hb, new, removed)| Policy {
+            tolerate: classes.into_iter().map(|i| DiffClass::ALL[i]).collect(),
+            max_ranking_shift: shift,
+            require_clean_tl: tl.into_iter().collect(),
+            require_clean_hb: hb.into_iter().collect(),
+            allow_new_traces: new,
+            allow_removed_traces: removed,
+        })
+}
+
+fn baseline_strategy() -> impl Strategy<Value = Baseline> {
+    let trace = (
+        0u32..64,
+        0u32..4,
+        any::<u64>(),
+        any::<u64>(),
+        0u32..1000,
+        any::<bool>(),
+    )
+        .prop_map(|(p, t, hi, lo, score, truncated)| TraceRecord {
+            id: TraceId::new(p, t),
+            fingerprint: (u128::from(hi) << 64) | u128::from(lo),
+            score: f64::from(score) / 8.0,
+            truncated,
+        });
+    let count = || {
+        (0u8..5, 0u8..10, 0u8..10).prop_map(|(c, e, w)| CodeCount {
+            code: format!("TL{:03}", c + 1),
+            errors: u64::from(e),
+            warnings: u64::from(w),
+        })
+    };
+    (
+        proptest::collection::vec(trace, 0..12),
+        proptest::collection::vec(count(), 0..4),
+        proptest::collection::vec(count(), 0..4),
+        0u64..10,
+        any::<bool>(),
+    )
+        .prop_map(|(mut traces, lint, hb, clusters, has_hb)| {
+            // Canonical form: unique trace ids in sorted order, unique
+            // codes — what `snapshot` always produces.
+            traces.sort_by_key(|t| t.id);
+            traces.dedup_by_key(|t| t.id);
+            let dedup = |v: Vec<CodeCount>| {
+                let mut v = v;
+                v.sort_by(|a, b| a.code.cmp(&b.code));
+                v.dedup_by(|a, b| a.code == b.code);
+                v
+            };
+            let outliers: Vec<TraceId> = traces.iter().take(2).map(|t| t.id).collect();
+            Baseline {
+                filter: "11.mpiall.K10".to_string(),
+                attrs: "sing.actual".to_string(),
+                traces,
+                clusters,
+                outliers,
+                lint: dedup(lint),
+                has_hb,
+                hb: dedup(hb),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any policy survives a text round-trip exactly — the property
+    /// that makes a committed policy file trustworthy.
+    #[test]
+    fn policy_text_roundtrips(p in policy_strategy()) {
+        let text = p.to_text();
+        let back = Policy::parse(&text).unwrap();
+        prop_assert_eq!(&back, &p);
+        // And the round-trip is a fixed point: re-rendering is stable.
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    /// Any canonical baseline survives the sealed binary codec, and
+    /// its encoding is deterministic.
+    #[test]
+    fn bundle_codec_roundtrips(b in baseline_strategy()) {
+        let bytes = b.encode();
+        prop_assert_eq!(&bytes, &b.encode());
+        let back = Baseline::decode(&bytes).unwrap();
+        prop_assert_eq!(back, b);
+    }
+
+    /// Flipping any one byte of a sealed bundle is always a diagnosed
+    /// error — the seal leaves no silent corruption.
+    #[test]
+    fn bundle_rejects_any_flip(b in baseline_strategy(), pos in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = b.encode();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        prop_assert!(Baseline::decode(&bytes).is_err());
+    }
+}
+
+/// Non-property check kept next to the strategies: every class name a
+/// strategy can emit parses back, so policies mentioning any subset of
+/// classes stay readable by older readers of the same format.
+#[test]
+fn all_class_names_parse() {
+    let mut seen = BTreeSet::new();
+    for c in DiffClass::ALL {
+        assert_eq!(DiffClass::parse(c.as_str()).unwrap(), c);
+        assert!(seen.insert(c.as_str()), "duplicate name {}", c.as_str());
+    }
+}

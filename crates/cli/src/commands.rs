@@ -5,6 +5,7 @@ use difftrace::{
     AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate,
     LintOptions, Params, PipelineOptions,
 };
+use dt_baseline::{evaluate, snapshot_rec, Baseline, Policy};
 use dt_cache::Cache;
 use dt_obs::{stage, MetricsRecorder, Recorder};
 use dt_trace::hb::HbLog;
@@ -58,6 +59,12 @@ fn usage_of(cmd: &str) -> &'static str {
         "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
         "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
         "cache" => "usage: difftrace cache <stats|clear> <DIR>",
+        "baseline" => "usage: difftrace baseline <record|check> … (see `difftrace help`)",
+        "baseline record" => "usage: difftrace baseline record <run.dtts> <out.dtb> [options]",
+        "baseline check" => {
+            "usage: difftrace baseline check <run.dtts> <baseline.dtb> [options], or \
+             difftrace baseline check --dir RUNS --out OUTDIR <baseline.dtb> [options]"
+        }
         _ => "try `difftrace help`",
     }
 }
@@ -233,7 +240,38 @@ USAGE:
   difftrace cache clear <DIR>
       Delete every cache entry in DIR (the directory itself stays).
 
-CACHING (single, diff, export, sweep):
+  difftrace baseline record <run.dtts> <out.dtb>
+          [--filter CODE] [--attrs CODE] [--threads N] [--cache DIR]
+          [--force] [--profile] [--metrics FILE]
+      Snapshot a blessed run into a sealed baseline bundle: per-trace
+      NLR content fingerprints (the same dt-cache content keys the
+      analysis cache uses), the single-run JSM ranking and cluster
+      structure, and the tracelint/hbcheck findings. Re-recording an
+      unchanged corpus reproduces the bundle byte for byte. Refuses
+      to overwrite an existing bundle unless --force is given.
+
+  difftrace baseline check <run.dtts> <baseline.dtb>
+          [--policy FILE] [--format text|json] [--threads N]
+          [--cache DIR] [--profile] [--metrics FILE]
+      Re-analyze a candidate run under the baseline's recorded
+      parameters and judge the divergence under a policy: new/removed
+      traces, changed fingerprints, ranking shifts beyond the allowed
+      budget, and required-clean tracelint/hbcheck codes. Prints an
+      assertion report with one entry per policy clause and exits 3
+      when any clause fails. Without --policy the strict default
+      applies: nothing tolerated, zero ranking shift, every TL/HB
+      code required clean, fixed trace population. A corrupt or
+      truncated bundle is an ordinary error (exit 2) naming the file.
+
+  difftrace baseline check --dir RUNS --out OUTDIR <baseline.dtb>
+          [--policy FILE] [--threads N] [--cache DIR]
+          [--profile] [--metrics FILE]
+      Check every RUNS/*.dtts against the baseline through one shared
+      analysis cache; write OUTDIR/index.json plus one JSON assertion
+      report per run (all with stable content hashes), and exit 3 if
+      any run fails.
+
+CACHING (single, diff, export, sweep, baseline):
   --cache DIR      memoize content-addressed analysis results — per-
                    trace NLR folds and mined attribute sets — in DIR
                    (created if absent). Grid cells sharing a filter
@@ -246,7 +284,7 @@ CACHING (single, diff, export, sweep):
                    observational: output is byte-identical with or
                    without it, at any thread count.
 
-PROFILING (lint, hbcheck, diff, single, export, sweep):
+PROFILING (lint, hbcheck, diff, single, export, sweep, baseline):
   --profile        print a per-stage wall-time and counter table to
                    stderr after the run, including per-worker busy
                    times for the parallel stages.
@@ -265,9 +303,9 @@ CODES:
 
 EXIT CODES:
   0  success
-  2  error (bad arguments, unreadable input, …)
+  2  error (bad arguments, unreadable input, corrupt baseline bundle, …)
   3  gate denied: `--gate deny` / `--hb deny` found error-severity
-     diagnostics
+     diagnostics, or `baseline check` failed a policy clause
 ";
 
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -286,6 +324,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("diff") => diff_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
         Some("cache") => cache_cmd(&args[1..]).map_err(CliError::Msg),
+        Some("baseline") => baseline_cmd(&args[1..]),
         Some(other) => Err(CliError::Msg(format!(
             "unknown command `{other}` (try `difftrace help`)"
         ))),
@@ -1248,6 +1287,354 @@ fn sweep_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn baseline_cmd(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(|s| s.as_str()) {
+        Some("record") => baseline_record(&args[1..]).map_err(CliError::Msg),
+        Some("check") => baseline_check(&args[1..]),
+        Some(other) => Err(CliError::Msg(format!(
+            "unknown baseline action `{other}` ({})",
+            usage_of("baseline")
+        ))),
+        None => Err(CliError::Msg(usage_of("baseline").to_string())),
+    }
+}
+
+/// Read and decode a baseline bundle; every failure (unreadable,
+/// truncated, corrupt, version skew) names the file and stays an
+/// ordinary exit-2 error.
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Baseline::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Reconstruct the analysis parameters a baseline was recorded under.
+fn baseline_params(b: &Baseline) -> Result<Params, String> {
+    let filter: FilterConfig = b
+        .filter
+        .parse()
+        .map_err(|e| format!("baseline filter code `{}`: {e}", b.filter))?;
+    let attrs: AttrConfig = b
+        .attrs
+        .parse()
+        .map_err(|e| format!("baseline attribute code `{}`: {e}", b.attrs))?;
+    Ok(Params::new(filter, attrs))
+}
+
+/// Load `--policy FILE`, or the strict default without one.
+fn load_policy(path: Option<&PathBuf>) -> Result<Policy, String> {
+    match path {
+        None => Ok(Policy::default()),
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+            Policy::parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+        }
+    }
+}
+
+fn baseline_record(args: &[String]) -> Result<(), String> {
+    let mut seen = Seen::new("baseline record");
+    let mut positional = Vec::new();
+    let mut filter = FilterConfig::everything(10);
+    let mut attrs = AttrConfig {
+        kind: AttrKind::Single,
+        freq: FreqMode::Actual,
+    };
+    let mut threads = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut force = false;
+    let mut obs = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--filter" => {
+                seen.check("--filter")?;
+                filter = value("--filter")?.parse()?;
+            }
+            "--attrs" => {
+                seen.check("--attrs")?;
+                attrs = value("--attrs")?.parse()?;
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache_dir = Some(PathBuf::from(value("--cache")?));
+            }
+            "--force" => {
+                seen.check("--force")?;
+                force = true;
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => {
+                return Err(unknown_option(other, "baseline record"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [run, out] = positional.as_slice() else {
+        return Err(usage_of("baseline record").to_string());
+    };
+    let out_path = PathBuf::from(out);
+    if out_path.exists() && !force {
+        return Err(format!(
+            "refusing to overwrite {out} (pass --force to replace the baseline)"
+        ));
+    }
+    let cache = open_cache(cache_dir.as_ref())?;
+    let live = MetricsRecorder::new();
+    let rec = obs.recorder(&live);
+    let (set, hb) = {
+        let _s = stage(rec, "load");
+        load_full(run)?
+    };
+    let params = Params::new(filter, attrs);
+    let popts = PipelineOptions {
+        threads,
+        cache: cache.clone(),
+        ..PipelineOptions::default()
+    };
+    let baseline = snapshot_rec(&set, &hb, &params, &popts, rec);
+    let bytes = baseline.encode();
+    if rec.enabled() {
+        rec.add("baseline_bundle_bytes", bytes.len() as u64);
+    }
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} trace(s), {} cluster(s), bundle {:#034x}",
+        baseline.traces.len(),
+        baseline.clusters,
+        baseline.bundle_hash()
+    );
+    report_cache(cache.as_ref(), rec);
+    obs.emit(&live, "baseline-record", threads)?;
+    Ok(())
+}
+
+/// Minimal JSON string escaping for the batch index (same idiom as the
+/// multi-file lint/hbcheck renderers).
+fn json_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn baseline_check(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("baseline check");
+    let mut positional = Vec::new();
+    let mut policy_path: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut threads = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut runs_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut obs = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--policy" => {
+                seen.check("--policy")?;
+                policy_path = Some(PathBuf::from(value("--policy")?));
+            }
+            "--format" => {
+                seen.check("--format")?;
+                format = value("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (text|json)").into());
+                }
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache_dir = Some(PathBuf::from(value("--cache")?));
+            }
+            "--dir" => {
+                seen.check("--dir")?;
+                runs_dir = Some(PathBuf::from(value("--dir")?));
+            }
+            "--out" => {
+                seen.check("--out")?;
+                out_dir = Some(PathBuf::from(value("--out")?));
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => {
+                return Err(unknown_option(other, "baseline check").into())
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let policy = load_policy(policy_path.as_ref())?;
+    match runs_dir {
+        None => {
+            if out_dir.is_some() {
+                return Err("--out only applies to --dir batch checks"
+                    .to_string()
+                    .into());
+            }
+            let [run, bundle] = positional.as_slice() else {
+                return Err(usage_of("baseline check").to_string().into());
+            };
+            let baseline = load_baseline(bundle)?;
+            let params = baseline_params(&baseline)?;
+            let cache = open_cache(cache_dir.as_ref())?;
+            let live = MetricsRecorder::new();
+            let rec = obs.recorder(&live);
+            let (set, hb) = {
+                let _s = stage(rec, "load");
+                load_full(run)?
+            };
+            let popts = PipelineOptions {
+                threads,
+                cache: cache.clone(),
+                ..PipelineOptions::default()
+            };
+            let candidate = snapshot_rec(&set, &hb, &params, &popts, rec);
+            let report = evaluate(&baseline, &candidate, &policy, run)?;
+            if rec.enabled() {
+                rec.add("baseline_runs_checked", 1);
+                rec.add("baseline_clauses_failed", report.failures().len() as u64);
+            }
+            report_cache(cache.as_ref(), rec);
+            if format == "json" {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            obs.emit(&live, "baseline-check", threads)?;
+            if !report.passed() {
+                let names: Vec<&str> = report.failures().iter().map(|c| c.as_str()).collect();
+                return Err(CliError::LintDenied(format!(
+                    "baseline gate failed for {run}: {}",
+                    names.join(", ")
+                )));
+            }
+            Ok(())
+        }
+        Some(dir) => {
+            let out = out_dir.ok_or("--dir needs --out OUTDIR for the report bundle")?;
+            let [bundle] = positional.as_slice() else {
+                return Err(usage_of("baseline check").to_string().into());
+            };
+            let baseline = load_baseline(bundle)?;
+            let params = baseline_params(&baseline)?;
+            let mut runs: Vec<PathBuf> = std::fs::read_dir(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "dtts"))
+                .collect();
+            runs.sort();
+            if runs.is_empty() {
+                return Err(format!("{}: no .dtts runs to check", dir.display()).into());
+            }
+            std::fs::create_dir_all(&out)
+                .map_err(|e| format!("creating {}: {e}", out.display()))?;
+            // One shared cache for the whole batch: identical traces
+            // across runs fold once. In-memory unless --cache persists
+            // it on disk.
+            let cache = open_cache(cache_dir.as_ref())?.unwrap_or_else(|| Arc::new(Cache::new()));
+            let live = MetricsRecorder::new();
+            let rec = obs.recorder(&live);
+            let popts = PipelineOptions {
+                threads,
+                cache: Some(cache.clone()),
+                ..PipelineOptions::default()
+            };
+            let mut failed: Vec<String> = Vec::new();
+            let mut index_rows = Vec::new();
+            for run in &runs {
+                let label = run.display().to_string();
+                let (set, hb) = {
+                    let _s = stage(rec, "load");
+                    load_full(&label)?
+                };
+                let candidate = snapshot_rec(&set, &hb, &params, &popts, rec);
+                let report = evaluate(&baseline, &candidate, &policy, &label)?;
+                let stem = run
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "run".to_string());
+                let report_name = format!("{stem}.json");
+                std::fs::write(out.join(&report_name), report.render_json())
+                    .map_err(|e| format!("{report_name}: {e}"))?;
+                let verdict = if report.passed() {
+                    "pass".to_string()
+                } else {
+                    let names: Vec<&str> = report.failures().iter().map(|c| c.as_str()).collect();
+                    failed.push(label.clone());
+                    format!("FAIL ({})", names.join(", "))
+                };
+                println!("{label}: {verdict}");
+                index_rows.push(format!(
+                    "{{\"run\":\"{}\",\"verdict\":\"{}\",\"report\":\"{}\",\"report_hash\":\"{:032x}\"}}",
+                    json_str(&label),
+                    if report.passed() { "pass" } else { "fail" },
+                    json_str(&report_name),
+                    report.report_hash()
+                ));
+            }
+            let index = format!(
+                "{{\"schema\":\"difftrace-baseline-index/v1\",\"baseline\":\"{}\",\
+                 \"baseline_hash\":\"{:032x}\",\"runs\":[{}]}}\n",
+                json_str(bundle),
+                baseline.bundle_hash(),
+                index_rows.join(",")
+            );
+            std::fs::write(out.join("index.json"), index)
+                .map_err(|e| format!("index.json: {e}"))?;
+            if rec.enabled() {
+                rec.add("baseline_runs_checked", runs.len() as u64);
+                rec.add("baseline_runs_failed", failed.len() as u64);
+            }
+            report_cache(Some(&cache), rec);
+            println!(
+                "checked {} run(s): {} passed, {} failed; reports in {}",
+                runs.len(),
+                runs.len() - failed.len(),
+                failed.len(),
+                out.display()
+            );
+            obs.emit(&live, "baseline-check", threads)?;
+            if !failed.is_empty() {
+                return Err(CliError::LintDenied(format!(
+                    "baseline gate failed for {}",
+                    failed.join(", ")
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1596,6 +1983,36 @@ mod tests {
             &["sweep", "n", "f", "--cache", "c1", "--cache", "c2"],
             &["diff", "n", "f", "--cache", "c1", "--cache", "c2"],
             &["single", "r.dtts", "--cache", "c1", "--cache", "c2"],
+            &["baseline", "record", "r", "b", "--force", "--force"],
+            &[
+                "baseline",
+                "record",
+                "r",
+                "b",
+                "--filter",
+                "11.all.K10",
+                "--filter",
+                "01.all.K10",
+            ],
+            &[
+                "baseline",
+                "record",
+                "r",
+                "b",
+                "--threads",
+                "1",
+                "--threads",
+                "2",
+            ],
+            &[
+                "baseline", "check", "r", "b", "--policy", "p", "--policy", "q",
+            ],
+            &[
+                "baseline", "check", "r", "b", "--format", "json", "--format", "text",
+            ],
+            &[
+                "baseline", "check", "r", "b", "--cache", "c1", "--cache", "c2",
+            ],
         ];
         for case in dup_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -1617,6 +2034,8 @@ mod tests {
             &["export", "n", "f", "out", "--bogus"],
             &["sweep", "n", "f", "--bogus"],
             &["cache", "stats", "d", "--bogus"],
+            &["baseline", "record", "r", "b", "--bogus"],
+            &["baseline", "check", "r", "b", "--bogus"],
         ];
         for case in unknown_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -1723,5 +2142,88 @@ mod tests {
         // ones): unknown workloads error out.
         let reg = Arc::new(FunctionRegistry::new());
         assert!(run_demo_pair("nope", &reg).is_err());
+    }
+
+    /// Tentpole: record → re-record byte-identical → clean check
+    /// passes → faulty check is a gate failure (LintDenied, exit 3) →
+    /// corrupt bundle is an ordinary error naming the file (exit 2) →
+    /// batch mode writes the report bundle and index.
+    #[test]
+    fn baseline_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_baseline_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "stencil-tag", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+        let b = format!("{dirs}/base.dtb");
+        let b2 = format!("{dirs}/base2.dtb");
+
+        dispatch(&s(&["baseline", "record", &n, &b])).unwrap();
+        // Refuses to clobber without --force, like demo.
+        let err = dispatch(&s(&["baseline", "record", &n, &b])).unwrap_err();
+        assert!(err.to_string().contains("refusing to overwrite"), "{err}");
+        dispatch(&s(&["baseline", "record", &n, &b2])).unwrap();
+        assert_eq!(
+            std::fs::read(&b).unwrap(),
+            std::fs::read(&b2).unwrap(),
+            "re-recording the same run must be byte-identical"
+        );
+
+        // Clean candidate passes; JSON format too.
+        dispatch(&s(&["baseline", "check", &n, &b])).unwrap();
+        dispatch(&s(&["baseline", "check", "--format", "json", &n, &b])).unwrap();
+        // The faulty run is a gate failure, not a usage error.
+        let err = dispatch(&s(&["baseline", "check", &f, &b])).unwrap_err();
+        let CliError::LintDenied(m) = err else {
+            panic!("faulty check should be LintDenied");
+        };
+        assert!(m.contains("baseline gate failed"), "{m}");
+        // Tolerating every divergence class turns the gate green.
+        let lax = format!("{dirs}/lax.policy");
+        std::fs::write(
+            &lax,
+            "tolerate = nlr-changed,ranking-shift,lint-regression,hb-regression\n\
+             allow_new_traces = true\nallow_removed_traces = true\n",
+        )
+        .unwrap();
+        dispatch(&s(&["baseline", "check", "--policy", &lax, &f, &b])).unwrap();
+
+        // A truncated bundle is an ordinary error naming the file.
+        let bad = format!("{dirs}/bad.dtb");
+        let bytes = std::fs::read(&b).unwrap();
+        std::fs::write(&bad, &bytes[..bytes.len() / 2]).unwrap();
+        let err = dispatch(&s(&["baseline", "check", &n, &bad])).unwrap_err();
+        let CliError::Msg(m) = err else {
+            panic!("corrupt bundle must be a usage-class error");
+        };
+        assert!(m.contains("bad.dtb"), "{m}");
+        assert!(m.contains("re-record"), "{m}");
+
+        // Batch mode: index + per-run reports, gate failure overall.
+        let runs = format!("{dirs}/runs");
+        std::fs::create_dir_all(&runs).unwrap();
+        std::fs::copy(&n, format!("{runs}/a-clean.dtts")).unwrap();
+        std::fs::copy(&f, format!("{runs}/b-fault.dtts")).unwrap();
+        let out = format!("{dirs}/reports");
+        let err = dispatch(&s(&[
+            "baseline", "check", "--dir", &runs, "--out", &out, &b,
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::LintDenied(_)), "{err}");
+        let index = std::fs::read_to_string(format!("{out}/index.json")).unwrap();
+        dt_obs::json::parse(&index).expect("valid index JSON");
+        assert!(index.contains("difftrace-baseline-index/v1"), "{index}");
+        assert!(index.contains("\"verdict\":\"pass\""), "{index}");
+        assert!(index.contains("\"verdict\":\"fail\""), "{index}");
+        for report in ["a-clean.json", "b-fault.json"] {
+            let doc = std::fs::read_to_string(format!("{out}/{report}")).unwrap();
+            dt_obs::json::parse(&doc).expect("valid report JSON");
+        }
+        // --dir without --out (and --out without --dir) are usage errors.
+        assert!(dispatch(&s(&["baseline", "check", "--dir", &runs, &b])).is_err());
+        assert!(dispatch(&s(&["baseline", "check", "--out", &out, &n, &b])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,13 +5,17 @@
 //! difftrace info <file.dtts>             trace-file statistics
 //! difftrace diff <normal> <faulty> [...] one DiffTrace iteration
 //! difftrace sweep <normal> <faulty> [...] full ranking table
+//! difftrace baseline record <run> <out>  snapshot a run into a sealed bundle
+//! difftrace baseline check <run> <bundle> gate a candidate against it
 //! ```
 //!
 //! See `difftrace help` for the options of each command.
 //!
-//! Exit codes: 0 success, 2 ordinary error, 3 lint gate denied
-//! (`--gate deny` found error-severity diagnostics) — distinct so CI
-//! scripts can gate on broken traces specifically.
+//! Exit codes: 0 success, 2 ordinary error (including a corrupt
+//! baseline bundle), 3 gate denied (`--gate deny` found
+//! error-severity diagnostics, or `baseline check` failed a policy
+//! clause) — distinct so CI scripts can gate on broken traces
+//! specifically.
 
 mod commands;
 

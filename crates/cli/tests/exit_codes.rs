@@ -44,6 +44,8 @@ fn exit_codes_for_every_subcommand() {
     let (dir, n, f, sn, sf) = corpus();
     let out = dir.to_str().unwrap();
 
+    let base = dir.join("base.dtb").to_str().unwrap().to_string();
+
     // ── exit 0: every subcommand has a success path ─────────────────
     assert_exit(0, &["help"]);
     assert_exit(0, &["info", &n]);
@@ -76,6 +78,9 @@ fn exit_codes_for_every_subcommand() {
             "sing.actual",
         ],
     );
+    assert_exit(0, &["baseline", "record", &sn, &base]);
+    assert_exit(0, &["baseline", "check", &sn, &base]);
+    assert_exit(0, &["baseline", "check", "--format", "json", &sn, &base]);
 
     // ── exit 2: bad arguments, unreadable input, duplicate/unknown
     //    flags, refused overwrite ─────────────────────────────────────
@@ -94,6 +99,28 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(2, &["diff", &n, &f, "--filter", "a", "--filter", "b"]);
     assert_exit(2, &["export", &n, &f]); // missing outdir
     assert_exit(2, &["sweep", &n, &f, "--jobs", "1", "--jobs", "2"]);
+    assert_exit(2, &["baseline"]); // missing action
+    assert_exit(2, &["baseline", "frobnicate"]);
+    assert_exit(2, &["baseline", "record", &sn]); // missing out
+    assert_exit(2, &["baseline", "record", &sn, &base]); // no --force
+    assert_exit(2, &["baseline", "record", &sn, &base, "--bogus"]);
+    assert_exit(2, &["baseline", "check", &sn, &base, "--format", "xml"]);
+    assert_exit(
+        2,
+        &[
+            "baseline", "check", &sn, &base, "--policy", "p", "--policy", "q",
+        ],
+    );
+    assert_exit(2, &["baseline", "check", &sn, "/nonexistent/b.dtb"]);
+    // A corrupt bundle must be a diagnosed exit-2 error naming the
+    // file — never a panic, never a false pass.
+    let corrupt = dir.join("corrupt.dtb");
+    let bytes = std::fs::read(&base).unwrap();
+    std::fs::write(&corrupt, &bytes[..bytes.len() - 3]).unwrap();
+    let (code, _, stderr) = run(&["baseline", "check", &sn, corrupt.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("corrupt.dtb"), "{stderr}");
+    assert!(stderr.contains("re-record"), "{stderr}");
 
     // --metrics to an unwritable path: the analysis runs, the write
     // fails, and that is an ordinary (exit 2) error on every command
@@ -147,6 +174,11 @@ fn exit_codes_for_every_subcommand() {
             "deny",
         ],
     );
+    // The injected stencil tag fault fails the default policy gate.
+    let (code, stdout, stderr) = run(&["baseline", "check", &sf, &base]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stdout.contains("verdict: FAIL"), "{stdout}");
+    assert!(stderr.contains("baseline gate failed"), "{stderr}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -96,9 +96,9 @@ pub use jsm::JsmMatrix;
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use pipeline::{
-    analyze, analyze_aligned, analyze_aligned_opts, analyze_aligned_rec, analyze_opts, diff_runs,
-    diff_runs_opts, try_diff_runs_hb_opts, try_diff_runs_hb_rec, try_diff_runs_opts, AnalysisRun,
-    DiffDenied, DiffRun, Params, PipelineOptions,
+    analyze, analyze_aligned, analyze_aligned_opts, analyze_aligned_rec, analyze_opts,
+    content_fingerprints, diff_runs, diff_runs_opts, try_diff_runs_hb_opts, try_diff_runs_hb_rec,
+    try_diff_runs_opts, AnalysisRun, DiffDenied, DiffRun, Params, PipelineOptions,
 };
 pub use ranking::{
     render_ranking, sweep, sweep_cached, sweep_parallel, sweep_parallel_cached_rec,

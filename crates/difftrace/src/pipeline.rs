@@ -270,6 +270,45 @@ fn record_nlr_counters(rec: &dyn Recorder, nlrs: &NlrSet, id_universe: &[TraceId
     );
 }
 
+/// Per-trace content fingerprints of one execution under `filter`: for
+/// each trace (in [`TraceSet::ids`] order) the dt-cache NLR content
+/// key of its filtered symbol stream, computed over a *name-canonical*
+/// renumbering of the symbols. Registry ids are an artifact of
+/// interning order — mpisim ranks are real threads, so two executions
+/// of the identical program intern the same names under permuted ids.
+/// Renumbering by sorted distinct name before keying makes the
+/// fingerprint a pure function of what the trace *says*, so a
+/// re-recorded identical workload fingerprints identically while any
+/// behavioural change (different calls, different loop content) still
+/// changes the key. `difftrace baseline` persists these as the
+/// canonical identity of a recorded run.
+pub fn content_fingerprints(set: &TraceSet, filter: &FilterConfig) -> Vec<(TraceId, u128)> {
+    let filtered = filter.apply(set);
+    filtered
+        .traces
+        .iter()
+        .map(|t| {
+            let mut names: std::collections::BTreeMap<u32, String> =
+                std::collections::BTreeMap::new();
+            for &s in &t.symbols {
+                names
+                    .entry(s)
+                    .or_insert_with(|| symbol_name(&set.registry, s));
+            }
+            let mut sorted: Vec<&String> = names.values().collect();
+            sorted.sort();
+            sorted.dedup();
+            let canon_of = |s: u32| {
+                let name = &names[&s];
+                sorted.binary_search(&name).expect("name present") as u32
+            };
+            let canon: Vec<u32> = t.symbols.iter().map(|&s| canon_of(s)).collect();
+            let key = dt_cache::nlr_key(filter.nlr_k, &canon, |c| sorted[c as usize].clone());
+            (t.id, key)
+        })
+        .collect()
+}
+
 /// Filter `set` and align the result to `id_universe` order; traces
 /// missing from `set` become empty objects.
 fn align_filtered(set: &TraceSet, params: &Params, id_universe: &[TraceId]) -> FilteredSet {
