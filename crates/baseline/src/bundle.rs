@@ -33,7 +33,8 @@ use dt_trace::TraceId;
 
 /// Bump whenever the encoded payload changes shape. Decoders reject
 /// other versions with a "re-record" message rather than guessing.
-pub const BUNDLE_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the racecheck per-code section.
+pub const BUNDLE_FORMAT_VERSION: u32 = 2;
 
 /// File magic: distinguishes bundles from other sealed artifacts
 /// (dt-cache entries carry their own magic).
@@ -87,6 +88,10 @@ pub struct Baseline {
     /// hbcheck findings aggregated per code, sorted by code. Empty
     /// when `has_hb` is false.
     pub hb: Vec<CodeCount>,
+    /// racecheck findings aggregated per code (`RC001`…), sorted by
+    /// code. Races need no happens-before section, so this is recorded
+    /// for every corpus.
+    pub race: Vec<CodeCount>,
 }
 
 fn write_id(out: &mut Vec<u8>, id: TraceId) {
@@ -200,6 +205,7 @@ impl Baseline {
         code_counts_encode(&mut out, &self.lint);
         out.push(u8::from(self.has_hb));
         code_counts_encode(&mut out, &self.hb);
+        code_counts_encode(&mut out, &self.race);
         let mut h = StableHasher::new();
         h.write_raw(&out);
         out.extend_from_slice(&h.finish().to_le_bytes());
@@ -280,6 +286,7 @@ impl Baseline {
             b => return Err(format!("bad happens-before flag {b}")),
         };
         let hb = code_counts_decode(&mut r)?;
+        let race = code_counts_decode(&mut r)?;
         if r.at != payload.len() {
             return Err(format!(
                 "{} trailing byte(s) after the payload",
@@ -295,6 +302,7 @@ impl Baseline {
             lint,
             has_hb,
             hb,
+            race,
         })
     }
 
@@ -351,6 +359,11 @@ mod tests {
                 code: "HB001".to_string(),
                 errors: 1,
                 warnings: 0,
+            }],
+            race: vec![CodeCount {
+                code: "RC004".to_string(),
+                errors: 0,
+                warnings: 2,
             }],
         }
     }

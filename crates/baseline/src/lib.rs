@@ -5,7 +5,7 @@
 //! record` snapshots one analyzed run into a sealed [`Baseline`]
 //! bundle: per-trace NLR content fingerprints (the same dt-cache keys
 //! the analysis cache uses), the single-run JSM ranking, and the
-//! tracelint/hbcheck findings. `baseline check` re-snapshots a
+//! tracelint/hbcheck/racecheck findings. `baseline check` re-snapshots a
 //! candidate run under the baseline's recorded parameters and judges
 //! the divergence under a [`Policy`], producing an [`AssertionReport`]
 //! with one entry per policy clause.
@@ -24,8 +24,8 @@ pub use policy::{DiffClass, Policy};
 pub use report::{AssertionReport, ClauseEntry, ClauseStatus};
 
 use difftrace::{
-    analyze_single_opts_rec, content_fingerprints, hbcheck_set, lint_set, HbOptions, LintOptions,
-    Params, PipelineOptions,
+    analyze_single_opts_rec, content_fingerprints, hbcheck_set, lint_set, racecheck_set, HbOptions,
+    LintOptions, Params, PipelineOptions, RaceOptions,
 };
 use dt_obs::{stage, Recorder};
 use dt_trace::hb::HbLog;
@@ -120,6 +120,16 @@ pub fn snapshot_rec(
     } else {
         Vec::new()
     };
+    let race_counts = {
+        let _s = stage(rec, "racecheck");
+        code_counts(&racecheck_set(
+            set,
+            &RaceOptions {
+                threads: opts.threads,
+                ..RaceOptions::default()
+            },
+        ))
+    };
     let mut outliers = single.outliers.clone();
     outliers.sort_unstable();
     let baseline = Baseline {
@@ -131,6 +141,7 @@ pub fn snapshot_rec(
         lint: code_counts(&lint),
         has_hb,
         hb: hb_counts,
+        race: race_counts,
     };
     if rec.enabled() {
         rec.add("baseline_traces", baseline.traces.len() as u64);
@@ -141,6 +152,10 @@ pub fn snapshot_rec(
         rec.add(
             "baseline_hb_errors",
             baseline.hb.iter().map(|c| c.errors).sum(),
+        );
+        rec.add(
+            "baseline_race_errors",
+            baseline.race.iter().map(|c| c.errors).sum(),
         );
     }
     baseline
@@ -248,6 +263,7 @@ pub fn evaluate(
 
     let lint_viol = required_clean_violations(&candidate.lint, &policy.require_clean_tl);
     let hb_viol = required_clean_violations(&candidate.hb, &policy.require_clean_hb);
+    let race_viol = required_clean_violations(&candidate.race, &policy.require_clean_race);
 
     let count_summary = |n: usize, what: &str, suffix: &str| {
         if n == 0 {
@@ -342,6 +358,18 @@ pub fn evaluate(
             details: Vec::new(),
         });
     }
+    // Races need no happens-before section; this clause always runs.
+    clauses.push(clause(
+        DiffClass::RaceRegression,
+        policy,
+        count_summary(
+            race_viol.len(),
+            "required-clean racecheck code(s) fired",
+            "",
+        ),
+        race_viol,
+        false,
+    ));
     Ok(AssertionReport {
         candidate: candidate_label.to_string(),
         baseline_hash: baseline.bundle_hash(),
@@ -372,6 +400,7 @@ mod tests {
             lint: Vec::new(),
             has_hb: true,
             hb: Vec::new(),
+            race: Vec::new(),
         }
     }
 
@@ -425,6 +454,15 @@ mod tests {
         }];
         let r = evaluate(&b, &hb, &policy, "run").unwrap();
         assert_eq!(r.failures(), vec![DiffClass::HbRegression]);
+
+        let mut racy = b.clone();
+        racy.race = vec![CodeCount {
+            code: "RC001".to_string(),
+            errors: 3,
+            warnings: 0,
+        }];
+        let r = evaluate(&b, &racy, &policy, "run").unwrap();
+        assert_eq!(r.failures(), vec![DiffClass::RaceRegression]);
     }
 
     #[test]
@@ -495,6 +533,9 @@ mod tests {
         let r = evaluate(&b, &b, &Policy::default(), "run").unwrap();
         assert!(r.passed());
         assert_eq!(r.clauses[5].status, ClauseStatus::Skipped);
+        // The race clause needs no happens-before log; it still runs.
+        assert_eq!(r.clauses[6].class, DiffClass::RaceRegression);
+        assert_eq!(r.clauses[6].status, ClauseStatus::Pass);
     }
 
     #[test]

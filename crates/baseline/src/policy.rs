@@ -2,7 +2,7 @@
 //!
 //! A `baseline check` never judges "did any byte change" — it
 //! classifies each divergence between the candidate and the baseline
-//! into one of six [`DiffClass`]es and judges each class under the
+//! into one of seven [`DiffClass`]es and judges each class under the
 //! policy. The policy text format is a deliberately boring
 //! `key = value` file (hand-parsed; the workspace carries no serde):
 //! it diffs well in review, and a CI gate's tolerances belong in
@@ -29,17 +29,21 @@ pub enum DiffClass {
     /// The candidate fires a required-clean hbcheck code at error
     /// severity.
     HbRegression,
+    /// The candidate fires a required-clean racecheck code at error
+    /// severity.
+    RaceRegression,
 }
 
 impl DiffClass {
     /// Every class, in report (and evaluation) order.
-    pub const ALL: [DiffClass; 6] = [
+    pub const ALL: [DiffClass; 7] = [
         DiffClass::TraceAdded,
         DiffClass::TraceRemoved,
         DiffClass::NlrChanged,
         DiffClass::RankingShift,
         DiffClass::LintRegression,
         DiffClass::HbRegression,
+        DiffClass::RaceRegression,
     ];
 
     /// Stable name used in policy files, reports, and gate messages.
@@ -51,6 +55,7 @@ impl DiffClass {
             DiffClass::RankingShift => "ranking-shift",
             DiffClass::LintRegression => "lint-regression",
             DiffClass::HbRegression => "hb-regression",
+            DiffClass::RaceRegression => "race-regression",
         }
     }
 
@@ -87,6 +92,8 @@ pub struct Policy {
     pub require_clean_tl: BTreeSet<String>,
     /// hbcheck codes that must not fire at error severity.
     pub require_clean_hb: BTreeSet<String>,
+    /// racecheck codes that must not fire at error severity.
+    pub require_clean_race: BTreeSet<String>,
     /// Whether traces absent from the baseline are acceptable.
     pub allow_new_traces: bool,
     /// Whether missing baseline traces are acceptable.
@@ -101,6 +108,7 @@ impl Default for Policy {
             max_ranking_shift: 0.0,
             require_clean_tl: codes(&["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]),
             require_clean_hb: codes(&["HB001", "HB002", "HB003", "HB004", "HB005"]),
+            require_clean_race: codes(&["RC001", "RC002", "RC003", "RC004"]),
             allow_new_traces: false,
             allow_removed_traces: false,
         }
@@ -147,12 +155,14 @@ impl Policy {
              max_ranking_shift = {}\n\
              require_clean_tl = {}\n\
              require_clean_hb = {}\n\
+             require_clean_race = {}\n\
              allow_new_traces = {}\n\
              allow_removed_traces = {}\n",
             join_classes(&self.tolerate),
             self.max_ranking_shift,
             join_codes(&self.require_clean_tl),
             join_codes(&self.require_clean_hb),
+            join_codes(&self.require_clean_race),
             self.allow_new_traces,
             self.allow_removed_traces,
         )
@@ -202,6 +212,9 @@ impl Policy {
                 }
                 "require_clean_hb" => {
                     policy.require_clean_hb = parse_codes(key, value).map_err(&at)?;
+                }
+                "require_clean_race" => {
+                    policy.require_clean_race = parse_codes(key, value).map_err(&at)?;
                 }
                 "allow_new_traces" => {
                     policy.allow_new_traces = parse_bool(key, value).map_err(&at)?;

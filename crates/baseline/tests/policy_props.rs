@@ -10,7 +10,7 @@ use dt_trace::TraceId;
 use proptest::prelude::*;
 
 fn policy_strategy() -> impl Strategy<Value = Policy> {
-    let classes = proptest::collection::vec(0usize..6, 0..6);
+    let classes = proptest::collection::vec(0usize..DiffClass::ALL.len(), 0..7);
     let shift = (0u32..2_000_000).prop_map(|v| f64::from(v) / 1000.0);
     let codes = || {
         let code = (0u8..26, 0u16..1000)
@@ -20,16 +20,16 @@ fn policy_strategy() -> impl Strategy<Value = Policy> {
     (
         classes,
         shift,
-        codes(),
-        codes(),
+        (codes(), codes(), codes()),
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(classes, shift, tl, hb, new, removed)| Policy {
+        .prop_map(|(classes, shift, (tl, hb, race), new, removed)| Policy {
             tolerate: classes.into_iter().map(|i| DiffClass::ALL[i]).collect(),
             max_ranking_shift: shift,
             require_clean_tl: tl.into_iter().collect(),
             require_clean_hb: hb.into_iter().collect(),
+            require_clean_race: race.into_iter().collect(),
             allow_new_traces: new,
             allow_removed_traces: removed,
         })
@@ -59,12 +59,15 @@ fn baseline_strategy() -> impl Strategy<Value = Baseline> {
     };
     (
         proptest::collection::vec(trace, 0..12),
-        proptest::collection::vec(count(), 0..4),
-        proptest::collection::vec(count(), 0..4),
+        (
+            proptest::collection::vec(count(), 0..4),
+            proptest::collection::vec(count(), 0..4),
+            proptest::collection::vec(count(), 0..4),
+        ),
         0u64..10,
         any::<bool>(),
     )
-        .prop_map(|(mut traces, lint, hb, clusters, has_hb)| {
+        .prop_map(|(mut traces, (lint, hb, race), clusters, has_hb)| {
             // Canonical form: unique trace ids in sorted order, unique
             // codes — what `snapshot` always produces.
             traces.sort_by_key(|t| t.id);
@@ -85,6 +88,7 @@ fn baseline_strategy() -> impl Strategy<Value = Baseline> {
                 lint: dedup(lint),
                 has_hb,
                 hb: dedup(hb),
+                race: dedup(race),
             }
         })
 }

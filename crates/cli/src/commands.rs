@@ -1,9 +1,9 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    hbcheck_set, lint_set, render_ranking, sweep_parallel_cached_rec, try_diff_runs_hb_rec,
-    AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions, LintDomain, LintGate,
-    LintOptions, Params, PipelineOptions,
+    hbcheck_set, lint_set, racecheck_set, render_ranking, sweep_parallel_cached_rec,
+    try_diff_runs_hb_rec, AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions,
+    LintDomain, LintGate, LintOptions, Params, PipelineOptions, RaceOptions,
 };
 use dt_baseline::{evaluate, snapshot_rec, Baseline, Policy};
 use dt_cache::Cache;
@@ -55,6 +55,7 @@ fn usage_of(cmd: &str) -> &'static str {
         "single" => "usage: difftrace single <run.dtts> [options]",
         "lint" => "usage: difftrace lint <file.dtts>... [options]",
         "hbcheck" => "usage: difftrace hbcheck <file.dtts>... [options]",
+        "racecheck" => "usage: difftrace racecheck <file.dtts>... [options]",
         "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
         "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
         "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
@@ -160,7 +161,10 @@ USAGE:
       to overwrite an existing pair unless --force is given.
       Workloads: oddeven oddeven-dl ilcs-crit ilcs-size ilcs-op lulesh
       stencil-tag (halo-exchange tag mismatch → recv↔recv deadlock)
-      lulesh-coll (rank deserts a collective → wait-for cycle).
+      lulesh-coll (rank deserts a collective → wait-for cycle)
+      omp-counter (shared counter updated without its lock → data race)
+      omp-lockorder (two locks nested in opposite orders → potential
+      deadlock).
 
   difftrace info <file.dtts>
       Per-process/per-thread statistics of a stored trace set.
@@ -194,10 +198,24 @@ USAGE:
       (same verdicts, property-tested). --gate deny exits 3 when any
       error-severity diagnostic fires.
 
+  difftrace racecheck <file.dtts>... [--format text|json] [--gate warn|deny]
+          [--domain expanded|compressed] [--threads N] [--profile] [--metrics FILE]
+      Shared-memory data-race detection over the `omp_*@` marker
+      vocabulary: write-write races (RC001), read-write races (RC002),
+      lock-order inversions — potential deadlocks (RC003), and
+      inconsistently protected variables à la Eraser (RC004), using a
+      barrier-phase + lockset abstraction that is independent of the
+      recorded interleaving. --domain compressed folds per-term access
+      summaries over the NLR loop structure without expansion — flat in
+      loop repetition count (same reports byte for byte,
+      property-tested). Trace sets without race markers are trivially
+      clean. --gate deny exits 3 when any error-severity diagnostic
+      fires.
+
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
           [--threads N] [--full] [--gate off|warn|deny] [--hb off|warn|deny]
-          [--cache DIR] [--profile] [--metrics FILE]
+          [--race off|warn|deny] [--cache DIR] [--profile] [--metrics FILE]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
@@ -210,8 +228,11 @@ USAGE:
       logs: warn attaches the reports and annotates diffNLR views of
       deadlocked ranks with their wait-for cycle, deny refuses to diff
       a deadlocked/racy run (exit code 3).
+      --race runs the racecheck pre-pass (no happens-before log
+      needed): warn attaches the race reports, deny refuses to diff a
+      run with data races or lock-order inversions (exit code 3).
       Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward
-      --gate off --hb off.
+      --gate off --hb off --race off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
           [--cache DIR] [--profile] [--metrics FILE]
@@ -284,7 +305,7 @@ CACHING (single, diff, export, sweep, baseline):
                    observational: output is byte-identical with or
                    without it, at any thread count.
 
-PROFILING (lint, hbcheck, diff, single, export, sweep, baseline):
+PROFILING (lint, hbcheck, racecheck, diff, single, export, sweep, baseline):
   --profile        print a per-stage wall-time and counter table to
                    stderr after the run, including per-worker busy
                    times for the parallel stages.
@@ -304,8 +325,9 @@ CODES:
 EXIT CODES:
   0  success
   2  error (bad arguments, unreadable input, corrupt baseline bundle, …)
-  3  gate denied: `--gate deny` / `--hb deny` found error-severity
-     diagnostics, or `baseline check` failed a policy clause
+  3  gate denied: `--gate deny` / `--hb deny` / `--race deny` found
+     error-severity diagnostics, or `baseline check` failed a policy
+     clause
 ";
 
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -321,6 +343,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("export") => export(&args[1..]).map_err(CliError::Msg),
         Some("lint") => lint_cmd(&args[1..]),
         Some("hbcheck") => hbcheck_cmd(&args[1..]),
+        Some("racecheck") => racecheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
         Some("cache") => cache_cmd(&args[1..]).map_err(CliError::Msg),
@@ -449,9 +472,29 @@ fn run_demo_pair(
                 registry.clone(),
             ),
         ),
+        "omp-counter" => pair(
+            run_omp_counter(&OmpCounterConfig::default_2x4(), registry.clone()),
+            run_omp_counter(
+                &OmpCounterConfig {
+                    fault: Some(OmpCounterFault::Unprotected { rank: 1 }),
+                    ..OmpCounterConfig::default_2x4()
+                },
+                registry.clone(),
+            ),
+        ),
+        "omp-lockorder" => pair(
+            run_omp_lockorder(&OmpLockOrderConfig::default_2x3(), registry.clone()),
+            run_omp_lockorder(
+                &OmpLockOrderConfig {
+                    fault: Some(OmpLockOrderFault::Inverted { rank: 0, thread: 2 }),
+                    ..OmpLockOrderConfig::default_2x3()
+                },
+                registry.clone(),
+            ),
+        ),
         other => Err(format!(
             "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, \
-             lulesh, stencil-tag, lulesh-coll)"
+             lulesh, stencil-tag, lulesh-coll, omp-counter, omp-lockorder)"
         )),
     }
 }
@@ -908,6 +951,117 @@ fn hbcheck_render(
     Ok((out, errors))
 }
 
+fn racecheck_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("racecheck");
+    let mut paths = Vec::new();
+    let mut format = "text".to_string();
+    let mut gate = LintGate::Warn;
+    let mut opts = RaceOptions::default();
+    let mut obs = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--format" => {
+                seen.check("--format")?;
+                format = value("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (text|json)").into());
+                }
+            }
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--domain" => {
+                seen.check("--domain")?;
+                opts.domain = LintDomain::parse(&value("--domain")?)?;
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => {
+                return Err(unknown_option(other, "racecheck").into())
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err(usage_of("racecheck").to_string().into());
+    }
+    let live = MetricsRecorder::new();
+    let (rendered, errors) = racecheck_render(&paths, &format, &opts, obs.recorder(&live))?;
+    print!("{rendered}");
+    obs.emit(&live, "racecheck", opts.threads.max(1))?;
+    if gate == LintGate::Deny && errors > 0 {
+        return Err(CliError::LintDenied(format!(
+            "racecheck gate denied: {errors} error(s) across {} file(s)",
+            paths.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Render racecheck reports for `paths` — split out from
+/// [`racecheck_cmd`] so tests can assert the output is byte-identical
+/// across thread counts and domains. Returns the rendered output and
+/// the total error count.
+fn racecheck_render(
+    paths: &[String],
+    format: &str,
+    opts: &RaceOptions,
+    rec: &dyn Recorder,
+) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut errors = 0;
+    for path in paths {
+        let set = {
+            let _s = stage(rec, "load");
+            load(path)?
+        };
+        let report = {
+            let _s = stage(rec, "racecheck");
+            racecheck_set(&set, opts)
+        };
+        if rec.enabled() {
+            rec.add("files", 1);
+            rec.add("diagnostics", report.diagnostics().len() as u64);
+            rec.add("errors", report.error_count() as u64);
+        }
+        errors += report.error_count();
+        if format == "json" {
+            if paths.len() == 1 {
+                out.push_str(&report.render_json());
+            } else {
+                out.push_str(&format!(
+                    "{{\"path\":\"{}\",\"report\":{}}}\n",
+                    path.replace('\\', "\\\\").replace('"', "\\\""),
+                    report.render_json().trim_end()
+                ));
+            }
+        } else {
+            if paths.len() > 1 {
+                out.push_str(&format!("== {path}\n"));
+            }
+            out.push_str(&report.render_text());
+        }
+    }
+    Ok((out, errors))
+}
+
 struct DiffOpts {
     normal: String,
     faulty: String,
@@ -920,6 +1074,7 @@ struct DiffOpts {
     full: bool,
     gate: LintGate,
     hb: LintGate,
+    race: LintGate,
     cache: Option<PathBuf>,
     obs: ObsOpts,
 }
@@ -939,6 +1094,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut full = false;
     let mut gate = LintGate::Off;
     let mut hb = LintGate::Off;
+    let mut race = LintGate::Off;
     let mut cache = None;
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
@@ -1000,6 +1156,10 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                 seen.check("--hb")?;
                 hb = LintGate::parse(&value("--hb")?)?;
             }
+            "--race" => {
+                seen.check("--race")?;
+                race = LintGate::parse(&value("--race")?)?;
+            }
             "--cache" => {
                 seen.check("--cache")?;
                 cache = Some(PathBuf::from(value("--cache")?));
@@ -1031,6 +1191,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         full,
         gate,
         hb,
+        race,
         cache,
         obs,
     })
@@ -1082,6 +1243,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             threads: opts.threads,
             lint: opts.gate,
             hb: opts.hb,
+            race: opts.race,
             cache: cache.clone(),
         },
         rec,
@@ -1101,6 +1263,12 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             opts.obs.emit(&live, "diff", opts.threads)?;
             return Err(CliError::LintDenied(fail.to_string()));
         }
+        Err(DiffDenied::Race(fail)) => {
+            eprint!("racecheck (normal):\n{}", fail.normal.render_text());
+            eprint!("racecheck (faulty):\n{}", fail.faulty.render_text());
+            opts.obs.emit(&live, "diff", opts.threads)?;
+            return Err(CliError::LintDenied(fail.to_string()));
+        }
     };
     report_cache(cache.as_ref(), rec);
     if let Some((n, f)) = &d.lint {
@@ -1113,6 +1281,12 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
         if !pre.normal.is_clean() || !pre.faulty.is_clean() {
             eprint!("hbcheck (normal):\n{}", pre.normal.render_text());
             eprint!("hbcheck (faulty):\n{}", pre.faulty.render_text());
+        }
+    }
+    if let Some(pre) = &d.race {
+        if !pre.normal.is_clean() || !pre.faulty.is_clean() {
+            eprint!("racecheck (normal):\n{}", pre.normal.render_text());
+            eprint!("racecheck (faulty):\n{}", pre.faulty.render_text());
         }
     }
     if opts.full {
@@ -1913,6 +2087,105 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn racecheck_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_racecheck_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "omp-counter", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+
+        // The protected counter is clean under the strictest gate.
+        dispatch(&s(&["racecheck", &n, "--gate", "deny"])).unwrap();
+        // The unprotected run races: warn reports and passes …
+        dispatch(&s(&["racecheck", &f, "--format", "json"])).unwrap();
+        // … deny exits with the dedicated error kind.
+        let denied = dispatch(&s(&["racecheck", &f, "--gate", "deny"]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+
+        // The faulty report names the race, in both formats.
+        let (text, errors) = racecheck_render(
+            std::slice::from_ref(&f),
+            "text",
+            &RaceOptions::default(),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
+        assert!(errors > 0);
+        assert!(text.contains("RC001"), "{text}");
+        assert!(text.contains("counter"), "{text}");
+
+        // Byte-identical output across thread counts and domains.
+        for format in ["text", "json"] {
+            let render = |threads: usize, domain: LintDomain| {
+                racecheck_render(
+                    &[n.clone(), f.clone()],
+                    format,
+                    &RaceOptions {
+                        threads,
+                        domain,
+                        ..RaceOptions::default()
+                    },
+                    &dt_obs::NOOP,
+                )
+                .unwrap()
+            };
+            let base = render(1, LintDomain::Expanded);
+            for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+                for threads in [1usize, 2, 0] {
+                    assert_eq!(
+                        base,
+                        render(threads, domain),
+                        "{format}/{domain:?}/{threads}"
+                    );
+                }
+            }
+        }
+
+        // The diff pipeline wires the gate through: warn diffs and
+        // annotates, deny refuses with exit-code-3 semantics.
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--race",
+            "warn",
+        ]))
+        .unwrap();
+        let denied = dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--race",
+            "deny",
+        ]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+
+        // The lock-order demo fires exactly RC003 on its faulty side.
+        let ldir = format!("{dirs}/lockorder");
+        std::fs::create_dir_all(&ldir).unwrap();
+        dispatch(&s(&["demo", "omp-lockorder", &ldir])).unwrap();
+        let ln = format!("{ldir}/normal.dtts");
+        let lf = format!("{ldir}/faulty.dtts");
+        dispatch(&s(&["racecheck", &ln, "--gate", "deny"])).unwrap();
+        let (text, errors) = racecheck_render(
+            std::slice::from_ref(&lf),
+            "text",
+            &RaceOptions::default(),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
+        assert_eq!(errors, 1, "{text}");
+        assert!(text.contains("RC003"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Satellite: every subcommand rejects repeated and unknown flags
     /// the same way — a `Msg` error (exit 2) naming the flag and
     /// carrying the usage hint. All cases fail during parsing, before
@@ -1940,6 +2213,17 @@ mod tests {
                 "--domain",
                 "expanded",
             ],
+            &["racecheck", "a.dtts", "--gate", "warn", "--gate", "deny"],
+            &[
+                "racecheck",
+                "a.dtts",
+                "--domain",
+                "compressed",
+                "--domain",
+                "expanded",
+            ],
+            &["racecheck", "a.dtts", "--threads", "1", "--threads", "2"],
+            &["diff", "n", "f", "--race", "warn", "--race", "deny"],
             &[
                 "diff",
                 "n",
@@ -2030,6 +2314,7 @@ mod tests {
             &["single", "r.dtts", "--bogus"],
             &["lint", "a.dtts", "--bogus"],
             &["hbcheck", "a.dtts", "--bogus"],
+            &["racecheck", "a.dtts", "--bogus"],
             &["diff", "n", "f", "--bogus"],
             &["export", "n", "f", "out", "--bogus"],
             &["sweep", "n", "f", "--bogus"],

@@ -24,24 +24,29 @@ fn assert_exit(expected: i32, args: &[&str]) {
     assert_eq!(code, expected, "{args:?}\nstderr: {stderr}");
 }
 
-/// Record both demo corpora once per test-process into a fresh dir.
-fn corpus() -> (PathBuf, String, String, String, String) {
+/// Record the demo corpora once per test-process into a fresh dir.
+#[allow(clippy::type_complexity)]
+fn corpus() -> (PathBuf, String, String, String, String, String, String) {
     let dir = std::env::temp_dir().join(format!("difftrace_exit_codes_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let odd = dir.join("oddeven");
     let stencil = dir.join("stencil");
+    let omp = dir.join("omp");
     assert_exit(0, &["demo", "oddeven", odd.to_str().unwrap()]);
     assert_exit(0, &["demo", "stencil-tag", stencil.to_str().unwrap()]);
+    assert_exit(0, &["demo", "omp-counter", omp.to_str().unwrap()]);
     let n = odd.join("normal.dtts").to_str().unwrap().to_string();
     let f = odd.join("faulty.dtts").to_str().unwrap().to_string();
     let sn = stencil.join("normal.dtts").to_str().unwrap().to_string();
     let sf = stencil.join("faulty.dtts").to_str().unwrap().to_string();
-    (dir, n, f, sn, sf)
+    let on = omp.join("normal.dtts").to_str().unwrap().to_string();
+    let of = omp.join("faulty.dtts").to_str().unwrap().to_string();
+    (dir, n, f, sn, sf, on, of)
 }
 
 #[test]
 fn exit_codes_for_every_subcommand() {
-    let (dir, n, f, sn, sf) = corpus();
+    let (dir, n, f, sn, sf, on, of) = corpus();
     let out = dir.to_str().unwrap();
 
     let base = dir.join("base.dtb").to_str().unwrap().to_string();
@@ -53,6 +58,8 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(0, &["single", &f]);
     assert_exit(0, &["lint", &n, "--filter", "11.mpiall.K10"]);
     assert_exit(0, &["hbcheck", &sn, "--gate", "deny"]);
+    assert_exit(0, &["racecheck", &on, "--gate", "deny"]);
+    assert_exit(0, &["racecheck", &of, "--domain", "compressed"]); // warn passes
     assert_exit(0, &["diff", &n, &f, "--filter", "11.mpiall.K10"]);
     let exp = dir.join("artifacts");
     assert_exit(
@@ -95,6 +102,9 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(2, &["single", &f, "--k", "2", "--k", "3"]);
     assert_exit(2, &["lint", &n, "--bogus"]);
     assert_exit(2, &["hbcheck", &sn, "--domain", "x"]);
+    assert_exit(2, &["racecheck", &on, "--domain", "x"]);
+    assert_exit(2, &["racecheck", &on, "--bogus"]);
+    assert_exit(2, &["racecheck", "/nonexistent/x.dtts"]);
     assert_exit(2, &["diff", &n]); // missing positional
     assert_exit(2, &["diff", &n, &f, "--filter", "a", "--filter", "b"]);
     assert_exit(2, &["export", &n, &f]); // missing outdir
@@ -128,6 +138,7 @@ fn exit_codes_for_every_subcommand() {
     let unwritable = format!("{n}/metrics.json"); // a file is not a directory
     assert_exit(2, &["lint", &n, "--metrics", &unwritable]);
     assert_exit(2, &["hbcheck", &sn, "--metrics", &unwritable]);
+    assert_exit(2, &["racecheck", &on, "--metrics", &unwritable]);
     assert_exit(2, &["single", &f, "--metrics", &unwritable]);
     assert_exit(
         2,
@@ -162,6 +173,11 @@ fn exit_codes_for_every_subcommand() {
         &["lint", &n, "--filter", "11.cust:*bad.K10", "--gate", "deny"],
     );
     assert_exit(3, &["hbcheck", &sf, "--gate", "deny"]);
+    assert_exit(3, &["racecheck", &of, "--gate", "deny"]);
+    assert_exit(
+        3,
+        &["racecheck", &of, "--gate", "deny", "--domain", "compressed"],
+    );
     assert_exit(
         3,
         &[
@@ -171,6 +187,18 @@ fn exit_codes_for_every_subcommand() {
             "--filter",
             "11.mpiall.K10",
             "--hb",
+            "deny",
+        ],
+    );
+    assert_exit(
+        3,
+        &[
+            "diff",
+            &on,
+            &of,
+            "--filter",
+            "11.mpiall.K10",
+            "--race",
             "deny",
         ],
     );

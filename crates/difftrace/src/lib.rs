@@ -81,6 +81,7 @@ pub mod jsm;
 pub mod lint;
 pub mod nlr_stage;
 pub mod pipeline;
+pub mod racecheck;
 pub mod ranking;
 pub mod recording;
 pub mod report;
@@ -95,6 +96,8 @@ pub use hbcheck::{hbcheck_set, HbFailure, HbOptions, HbPrePass};
 pub use jsm::JsmMatrix;
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
+pub use racecheck::{racecheck_set, RaceFailure, RaceOptions, RacePrePass};
+
 pub use pipeline::{
     analyze, analyze_aligned, analyze_aligned_opts, analyze_aligned_rec, analyze_opts,
     content_fingerprints, diff_runs, diff_runs_opts, try_diff_runs_hb_opts, try_diff_runs_hb_rec,

@@ -21,6 +21,7 @@ use crate::hbcheck::{HbFailure, HbOptions, HbPrePass};
 use crate::jsm::JsmMatrix;
 use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
+use crate::racecheck::{RaceFailure, RaceOptions, RacePrePass};
 use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
 use dt_cache::Cache;
@@ -50,6 +51,11 @@ pub struct PipelineOptions {
     /// only applies to [`try_diff_runs_hb_opts`]; entry points without
     /// logs ignore this gate.
     pub hb: LintGate,
+    /// Whether the racecheck pre-pass (shared-memory data races and
+    /// lock-order inversions over the `omp_*@` marker vocabulary — see
+    /// [`crate::racecheck`]) runs before diffing. Unlike `hb` it needs
+    /// no happens-before log, so it applies to every diff entry point.
+    pub race: LintGate,
     /// Content-addressed analysis cache ([`dt_cache::Cache`]), shared
     /// across pipeline runs (e.g. every cell of a sweep). Like the
     /// other options it is observational: a cached analysis is
@@ -64,6 +70,7 @@ impl Default for PipelineOptions {
             threads: 1,
             lint: LintGate::Off,
             hb: LintGate::Off,
+            race: LintGate::Off,
             cache: None,
         }
     }
@@ -456,6 +463,9 @@ pub struct DiffRun {
     /// [`try_diff_runs_hb_opts`]). The faulty run's deadlock cycles
     /// annotate `diffNLR` views as the divergence cause.
     pub hb: Option<HbPrePass>,
+    /// Race reports of the racecheck pre-pass (normal, faulty) when it
+    /// ran ([`PipelineOptions::race`] at `Warn`, or a passing `Deny`).
+    pub race: Option<RacePrePass>,
 }
 
 /// Fraction of the maximum change score a process/thread must reach to
@@ -492,19 +502,17 @@ pub fn diff_runs_opts(
     }
 }
 
-/// [`diff_runs_opts`], returning the lint reports instead of panicking
-/// when [`LintGate::Deny`] refuses the inputs.
+/// [`diff_runs_opts`], returning the denying pre-pass reports instead
+/// of panicking when a [`LintGate::Deny`] gate refuses the inputs.
+/// Without HB logs the hbcheck gate never runs, but the lint and
+/// racecheck gates do.
 pub fn try_diff_runs_opts(
     normal: &TraceSet,
     faulty: &TraceSet,
     params: &Params,
     opts: &PipelineOptions,
-) -> Result<DiffRun, LintFailure> {
-    try_diff_runs_hb_opts(normal, faulty, None, params, opts).map_err(|e| match e {
-        DiffDenied::Lint(l) => l,
-        // Without HB logs the hbcheck gate never runs.
-        DiffDenied::Hb(_) => unreachable!("hbcheck gate without HB logs"),
-    })
+) -> Result<DiffRun, DiffDenied> {
+    try_diff_runs_hb_opts(normal, faulty, None, params, opts)
 }
 
 /// A gated pre-pass refused to diff.
@@ -514,6 +522,8 @@ pub enum DiffDenied {
     Lint(LintFailure),
     /// The hbcheck gate tripped.
     Hb(HbFailure),
+    /// The racecheck gate tripped.
+    Race(RaceFailure),
 }
 
 impl std::fmt::Display for DiffDenied {
@@ -521,6 +531,7 @@ impl std::fmt::Display for DiffDenied {
         match self {
             DiffDenied::Lint(e) => e.fmt(f),
             DiffDenied::Hb(e) => e.fmt(f),
+            DiffDenied::Race(e) => e.fmt(f),
         }
     }
 }
@@ -596,6 +607,28 @@ pub fn try_diff_runs_hb_rec(
         }
     };
 
+    // The racecheck pre-pass: shared-memory races corrupt the very
+    // state whose divergence the diff is meant to localize, so name
+    // them before any structural comparison. Needs no HB log.
+    let race = match opts.race {
+        LintGate::Off => None,
+        gate @ (LintGate::Warn | LintGate::Deny) => {
+            let _s = stage(rec, "pre/race");
+            let ropts = RaceOptions {
+                threads: opts.threads,
+                ..RaceOptions::default()
+            };
+            let pre = RacePrePass::run(normal, faulty, &ropts);
+            if gate == LintGate::Deny && (pre.normal.has_errors() || pre.faulty.has_errors()) {
+                return Err(DiffDenied::Race(RaceFailure {
+                    normal: pre.normal,
+                    faulty: pre.faulty,
+                }));
+            }
+            Some(pre)
+        }
+    };
+
     // Union of trace IDs: a fault may have killed threads before they
     // traced anything, or spawned extra ones.
     let mut ids: Vec<TraceId> = normal.ids();
@@ -613,6 +646,7 @@ pub fn try_diff_runs_hb_rec(
             threads: 1,
             lint: LintGate::Off,
             hb: LintGate::Off,
+            race: LintGate::Off,
             cache: opts.cache.clone(),
         };
         let n = analyze_aligned_rec(normal, params, &mut table, &ids, &seq_opts, rec);
@@ -732,6 +766,7 @@ pub fn try_diff_runs_hb_rec(
         table,
         lint,
         hb,
+        race,
     })
 }
 
@@ -1087,7 +1122,7 @@ mod tests {
                 assert!(f.faulty.has_errors());
                 assert!(f.to_string().contains("hbcheck gate denied"));
             }
-            DiffDenied::Lint(_) => panic!("wrong gate fired"),
+            DiffDenied::Lint(_) | DiffDenied::Race(_) => panic!("wrong gate fired"),
         }
         // Without logs the gate is inert even at Deny.
         let d = try_diff_runs_hb_opts(&normal, &faulty, None, &params(), &opts).unwrap();
@@ -1097,5 +1132,61 @@ mod tests {
             .unwrap()
             .divergence_cause
             .is_none());
+    }
+
+    /// Two two-thread executions: the normal one locks its counter
+    /// updates, the faulty one races on them.
+    fn racy_pair() -> (TraceSet, TraceSet) {
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |locked: bool| {
+            let collector = dt_trace::TraceCollector::shared(registry.clone());
+            for thread in 0..2 {
+                let tr = collector.tracer(TraceId::new(0, thread));
+                tr.leaf("MPI_Init");
+                for _ in 0..8 {
+                    if locked {
+                        tr.leaf("omp_acquire@l");
+                    }
+                    tr.leaf("omp_write@counter");
+                    if locked {
+                        tr.leaf("omp_release@l");
+                    }
+                }
+                tr.leaf("MPI_Finalize");
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        (mk(true), mk(false))
+    }
+
+    #[test]
+    fn race_warn_attaches_reports() {
+        let (normal, faulty) = racy_pair();
+        let opts = PipelineOptions {
+            race: LintGate::Warn,
+            ..PipelineOptions::default()
+        };
+        let d = try_diff_runs_opts(&normal, &faulty, &params(), &opts).unwrap();
+        let pre = d.race.expect("warn attaches the reports");
+        assert!(pre.normal.is_clean(), "{}", pre.normal.render_text());
+        assert!(!pre.faulty.is_clean());
+    }
+
+    #[test]
+    fn race_deny_refuses_to_diff_a_racy_run() {
+        let (normal, faulty) = racy_pair();
+        let opts = PipelineOptions {
+            race: LintGate::Deny,
+            ..PipelineOptions::default()
+        };
+        match try_diff_runs_opts(&normal, &faulty, &params(), &opts) {
+            Err(DiffDenied::Race(f)) => {
+                assert!(f.normal.is_clean());
+                assert!(f.faulty.has_errors());
+                assert!(f.to_string().contains("racecheck gate denied"));
+            }
+            other => panic!("expected the race gate to fire, got {other:?}"),
+        }
     }
 }

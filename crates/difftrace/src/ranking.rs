@@ -73,6 +73,7 @@ fn cell_opts(cache: Option<Arc<Cache>>) -> PipelineOptions {
         threads: 1,
         lint: LintGate::Off,
         hb: LintGate::Off,
+        race: LintGate::Off,
         cache,
     }
 }

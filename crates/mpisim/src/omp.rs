@@ -8,7 +8,7 @@
 
 use crate::error::{AbortReason, MpiError};
 use crate::world::World;
-use dt_trace::{TraceCollector, TraceId, Tracer};
+use dt_trace::{RaceOp, TraceCollector, TraceId, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
@@ -107,6 +107,43 @@ impl OmpCtx<'_> {
         drop(guard);
         tracer.ret(end);
         out
+    }
+
+    /// Enter a named lock for the duration of `f`, tracing the lock's
+    /// *identity*: `omp_acquire@<name>` (the call returns once the lock
+    /// is held) and a paired `omp_release@<name>` call/return around
+    /// the unlock. Unlike [`OmpCtx::critical`] — whose anonymous
+    /// `GOMP_critical_start/end` markers existing workloads depend on —
+    /// these named markers let `racecheck` reconstruct locksets and
+    /// lock-acquisition order from the trace alone. Named locks are
+    /// program-global, like named criticals.
+    pub fn lock<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let tracer = self.tracer();
+        let acquire = tracer.intern(&RaceOp::Acquire(name.to_string()).marker_name());
+        let release = tracer.intern(&RaceOp::Release(name.to_string()).marker_name());
+        let mutex = self.world.critical_mutex(name);
+        tracer.call(acquire);
+        let guard = mutex.lock();
+        tracer.ret(acquire);
+        let out = f();
+        tracer.call(release);
+        drop(guard);
+        tracer.ret(release);
+        out
+    }
+
+    /// Trace a read of the named shared variable (`omp_read@<name>`, a
+    /// leaf call/return pair). The simulation carries no actual memory:
+    /// the marker *is* the access, which is all a trace analyzer sees.
+    pub fn shared_read(&self, var: &str) {
+        self.tracer()
+            .leaf(&RaceOp::Read(var.to_string()).marker_name());
+    }
+
+    /// Trace a write of the named shared variable (`omp_write@<name>`).
+    pub fn shared_write(&self, var: &str) {
+        self.tracer()
+            .leaf(&RaceOp::Write(var.to_string()).marker_name());
     }
 
     /// Team barrier (`GOMP_barrier`). Abort-aware: if the run dies
@@ -320,6 +357,45 @@ mod tests {
                 names.iter().filter(|n| *n == "GOMP_critical_end").count(),
                 50
             );
+        }
+    }
+
+    #[test]
+    fn named_locks_and_shared_accesses_trace_their_identity() {
+        let out = run(SimConfig::new(1), registry(), |rank| {
+            rank.init()?;
+            rank.omp_parallel(2, |omp| {
+                for _ in 0..3 {
+                    omp.lock("counter_lock", || {
+                        omp.shared_read("counter");
+                        omp.shared_write("counter");
+                    });
+                }
+            });
+            rank.finalize()
+        });
+        assert!(!out.deadlocked);
+        for th in 0..2u32 {
+            let t = out.traces.get(TraceId::new(0, th)).unwrap();
+            let names: Vec<String> = t
+                .calls()
+                .map(|e| out.traces.registry.name(e.fn_id()))
+                .collect();
+            let count = |n: &str| names.iter().filter(|x| *x == n).count();
+            assert_eq!(count("omp_acquire@counter_lock"), 3, "thread {th}");
+            assert_eq!(count("omp_release@counter_lock"), 3, "thread {th}");
+            assert_eq!(count("omp_read@counter"), 3, "thread {th}");
+            assert_eq!(count("omp_write@counter"), 3, "thread {th}");
+            // The accesses sit between acquire and release.
+            let first_acq = names
+                .iter()
+                .position(|n| n.starts_with("omp_acquire"))
+                .unwrap();
+            let first_read = names
+                .iter()
+                .position(|n| n.starts_with("omp_read"))
+                .unwrap();
+            assert!(first_acq < first_read, "thread {th}: {names:?}");
         }
     }
 

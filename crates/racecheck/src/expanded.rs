@@ -1,0 +1,170 @@
+//! Expanded-domain race-fact extraction: the reference semantics.
+//!
+//! Walks the raw symbol stream (`fn_id << 1 | is_return`) event by
+//! event, maintaining the running lockset and barrier phase.
+//! [`crate::compressed`] must produce identical [`TraceRaceFacts`]
+//! without expanding anything — the crate's property tests assert that
+//! equality.
+
+use crate::{AccessGroup, AccessKind, RaceSym, RaceVocab, TraceRaceFacts};
+use dt_trace::race::RaceOp;
+use dt_trace::TraceId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summarize one expanded symbol stream.
+pub fn summarize(
+    id: TraceId,
+    symbols: &[u32],
+    truncated: bool,
+    vocab: &RaceVocab,
+) -> TraceRaceFacts {
+    let mut held: BTreeSet<String> = BTreeSet::new();
+    let mut phase: u64 = 0;
+    #[allow(clippy::type_complexity)]
+    let mut groups: BTreeMap<(String, AccessKind, BTreeSet<String>), (u64, u64, u64, u64)> =
+        BTreeMap::new();
+    let mut record =
+        |var: &str, kind: AccessKind, lockset: &BTreeSet<String>, offset: u64, phase: u64| {
+            groups
+                .entry((var.to_string(), kind, lockset.clone()))
+                .and_modify(|(count, first, pf, pl)| {
+                    *count += 1;
+                    *first = (*first).min(offset);
+                    *pf = (*pf).min(phase);
+                    *pl = (*pl).max(phase);
+                })
+                .or_insert((1, offset, phase, phase));
+        };
+    for (offset, &sym) in symbols.iter().enumerate() {
+        if sym & 1 == 1 {
+            continue; // only marker *calls* act
+        }
+        match vocab.classify(sym >> 1) {
+            RaceSym::Barrier => phase += 1,
+            RaceSym::Op(RaceOp::Read(v)) => {
+                record(v, AccessKind::Read, &held, offset as u64, phase);
+            }
+            RaceSym::Op(RaceOp::Write(v)) => {
+                record(v, AccessKind::Write, &held, offset as u64, phase);
+            }
+            RaceSym::Op(RaceOp::Acquire(l)) => {
+                // The acquire group's lockset is the held-set *before*
+                // the acquisition: the lock-order context.
+                record(l, AccessKind::Acquire, &held, offset as u64, phase);
+                held.insert(l.clone());
+            }
+            RaceSym::Op(RaceOp::Release(l)) => {
+                held.remove(l);
+            }
+            RaceSym::Other => {}
+        }
+    }
+    TraceRaceFacts {
+        id,
+        groups: groups
+            .into_iter()
+            .map(
+                |((var, kind, lockset), (count, first_offset, phase_first, phase_last))| {
+                    AccessGroup {
+                        var,
+                        kind,
+                        lockset,
+                        count,
+                        first_offset,
+                        phase_first,
+                        phase_last,
+                    }
+                },
+            )
+            .collect(),
+        barriers: phase,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_trace::FunctionRegistry;
+
+    fn call(f: dt_trace::FnId) -> u32 {
+        f.0 << 1
+    }
+    fn ret(f: dt_trace::FnId) -> u32 {
+        (f.0 << 1) | 1
+    }
+
+    #[test]
+    fn locksets_phases_and_offsets() {
+        let reg = FunctionRegistry::new();
+        let acq = reg.intern("omp_acquire@l");
+        let rel = reg.intern("omp_release@l");
+        let w = reg.intern("omp_write@x");
+        let bar = reg.intern("GOMP_barrier");
+        let other = reg.intern("compute");
+        let vocab = RaceVocab::build(&reg);
+        // write(x); barrier; lock l { write(x) }; compute
+        let syms = vec![
+            call(w),
+            ret(w),
+            call(bar),
+            ret(bar),
+            call(acq),
+            ret(acq),
+            call(w),
+            ret(w),
+            call(rel),
+            ret(rel),
+            call(other),
+            ret(other),
+        ];
+        let facts = summarize(TraceId::new(0, 1), &syms, false, &vocab);
+        assert_eq!(facts.barriers, 1);
+        assert_eq!(facts.groups.len(), 3); // bare write, locked write, acquire
+        let locked = &facts.groups[2]; // sorted: acquire(l) < write{} < write{l}
+        assert_eq!(
+            facts
+                .groups
+                .iter()
+                .map(|g| (&g.var[..], g.kind))
+                .collect::<Vec<_>>(),
+            vec![
+                ("l", AccessKind::Acquire),
+                ("x", AccessKind::Write),
+                ("x", AccessKind::Write)
+            ]
+        );
+        let unlocked = &facts.groups[1];
+        assert!(unlocked.lockset.is_empty());
+        assert_eq!(unlocked.first_offset, 0);
+        assert_eq!((unlocked.phase_first, unlocked.phase_last), (0, 0));
+        assert_eq!(locked.lockset.len(), 1);
+        assert_eq!(locked.first_offset, 6);
+        assert_eq!((locked.phase_first, locked.phase_last), (1, 1));
+    }
+
+    #[test]
+    fn repeated_accesses_aggregate() {
+        let reg = FunctionRegistry::new();
+        let r = reg.intern("omp_read@x");
+        let vocab = RaceVocab::build(&reg);
+        let mut syms = Vec::new();
+        for _ in 0..100 {
+            syms.extend_from_slice(&[call(r), ret(r)]);
+        }
+        let facts = summarize(TraceId::new(0, 1), &syms, false, &vocab);
+        assert_eq!(facts.groups.len(), 1);
+        assert_eq!(facts.groups[0].count, 100);
+        assert_eq!(facts.groups[0].first_offset, 0);
+    }
+
+    #[test]
+    fn inert_streams_have_no_groups() {
+        let reg = FunctionRegistry::new();
+        let f = reg.intern("MPI_Send");
+        let vocab = RaceVocab::build(&reg);
+        let facts = summarize(TraceId::new(0, 0), &[call(f), ret(f)], true, &vocab);
+        assert!(facts.groups.is_empty());
+        assert!(facts.truncated);
+    }
+}

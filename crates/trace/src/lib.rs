@@ -51,6 +51,7 @@ pub mod compress;
 pub mod event;
 pub mod hash;
 pub mod hb;
+pub mod race;
 pub mod registry;
 pub mod stats;
 pub mod store;
@@ -60,6 +61,7 @@ pub use collector::{TraceCollector, Tracer};
 pub use compress::StreamCompressor;
 pub use event::TraceEvent;
 pub use hb::{BlockedOp, HbEvent, HbLog, HbOp, PendingCollective, UnmatchedSend, VectorClock};
+pub use race::RaceOp;
 pub use registry::{FnId, FunctionRegistry};
 pub use stats::{ProcessStats, TraceSetStats, TraceStats};
 pub use trace::{Trace, TraceId, TraceSet};

@@ -19,6 +19,10 @@
 //!   (~400 distinct traced functions), MPI halo exchange, OpenMP worker
 //!   teams — with the §V fault (rank 2 skips `LagrangeLeapFrog`).
 //!
+//! Plus [`stencil`] (a 1-D heat solver exercising the collective
+//! family) and the shared-memory [`omp`] pair for `racecheck`: an
+//! unprotected-counter bug and a lock-order inversion.
+//!
 //! Each workload exposes `run_*(config, registry) → RunOutcome`; run
 //! the same config twice (one with `fault: None`) against a **shared
 //! registry** to produce an aligned normal/faulty trace pair for
@@ -27,6 +31,7 @@
 pub mod ilcs;
 pub mod lulesh;
 pub mod oddeven;
+pub mod omp;
 pub mod stencil;
 pub mod tsp;
 
@@ -34,4 +39,8 @@ pub use ilcs::{run_ilcs, IlcsConfig, IlcsFault};
 pub use lulesh::{run_lulesh, LuleshConfig, LuleshFault};
 pub use mpisim::RunOutcome;
 pub use oddeven::{run_oddeven, OddEvenConfig, OddEvenFault};
+pub use omp::{
+    run_omp_counter, run_omp_lockorder, OmpCounterConfig, OmpCounterFault, OmpLockOrderConfig,
+    OmpLockOrderFault,
+};
 pub use stencil::{run_stencil, StencilConfig, StencilFault};

@@ -23,8 +23,8 @@ use dt_trace::hb::HbLog;
 use dt_trace::{FunctionRegistry, TraceId, TraceSet};
 use std::sync::Arc;
 use workloads::{
-    run_lulesh, run_oddeven, run_stencil, LuleshConfig, LuleshFault, OddEvenConfig, RunOutcome,
-    StencilConfig, StencilFault,
+    run_lulesh, run_oddeven, run_omp_counter, run_stencil, LuleshConfig, LuleshFault,
+    OddEvenConfig, OmpCounterConfig, OmpCounterFault, RunOutcome, StencilConfig, StencilFault,
 };
 
 fn params() -> Params {
@@ -52,6 +52,13 @@ fn lulesh(fault: Option<LuleshFault>) -> RunOutcome {
 fn oddeven() -> RunOutcome {
     let reg = Arc::new(FunctionRegistry::new());
     run_oddeven(&OddEvenConfig::paper(None), reg)
+}
+
+fn omp_counter(fault: Option<OmpCounterFault>) -> RunOutcome {
+    let reg = Arc::new(FunctionRegistry::new());
+    let mut cfg = OmpCounterConfig::default_2x4();
+    cfg.fault = fault;
+    run_omp_counter(&cfg, reg)
 }
 
 fn check(base: &RunOutcome, cand: &RunOutcome) -> Vec<DiffClass> {
@@ -109,6 +116,48 @@ fn lulesh_skip_fault_fires_expected_clauses() {
             DiffClass::HbRegression,
         ]
     );
+}
+
+/// The OpenMP counter corpus is race-clean when protected, and the
+/// unprotected fault fires the race-regression clause — alongside the
+/// content/ranking clauses the dropped lock markers inevitably trip.
+/// Narrowing the policy to tolerate those shows the race clause is the
+/// one doing the shared-memory work.
+#[test]
+fn omp_race_fault_fires_the_race_clause() {
+    assert_eq!(check(&omp_counter(None), &omp_counter(None)), vec![]);
+    let failures = check(
+        &omp_counter(None),
+        &omp_counter(Some(OmpCounterFault::Unprotected { rank: 1 })),
+    );
+    assert!(
+        failures.contains(&DiffClass::RaceRegression),
+        "{failures:?}"
+    );
+    assert_eq!(
+        failures,
+        vec![
+            DiffClass::NlrChanged,
+            DiffClass::RankingShift,
+            DiffClass::RaceRegression,
+        ]
+    );
+
+    // With the content/ranking divergence tolerated, the verdict hangs
+    // on require_clean_race alone — and emptying that set passes.
+    let base = omp_counter(None);
+    let cand = omp_counter(Some(OmpCounterFault::Unprotected { rank: 1 }));
+    let p = params();
+    let baseline = snapshot(&base.traces, &base.hb, &p);
+    let candidate = snapshot(&cand.traces, &cand.hb, &p);
+    let mut policy = Policy::default();
+    policy.tolerate.insert(DiffClass::NlrChanged);
+    policy.tolerate.insert(DiffClass::RankingShift);
+    let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
+    assert_eq!(report.failures(), vec![DiffClass::RaceRegression]);
+    policy.require_clean_race.clear();
+    let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
+    assert!(report.passed(), "{}", report.render_text());
 }
 
 /// Policy knobs downgrade exactly the clause they target: tolerating
@@ -221,6 +270,18 @@ fn golden_fixture() -> Baseline {
             errors: 1,
             warnings: 0,
         }],
+        race: vec![
+            CodeCount {
+                code: "RC001".to_string(),
+                errors: 2,
+                warnings: 0,
+            },
+            CodeCount {
+                code: "RC004".to_string(),
+                errors: 0,
+                warnings: 1,
+            },
+        ],
     }
 }
 
@@ -230,13 +291,13 @@ fn golden_fixture() -> Baseline {
 /// (mirrors the cache-format pin in `tests/cache_equivalence.rs`).
 #[test]
 fn bundle_encoding_is_pinned() {
-    assert_eq!(dt_baseline::BUNDLE_FORMAT_VERSION, 1);
+    assert_eq!(dt_baseline::BUNDLE_FORMAT_VERSION, 2);
     let bytes = golden_fixture().encode();
     assert_eq!(bytes, golden_fixture().encode(), "encoding must be pure");
     let digest = sealed_hash(&bytes).expect("well-sealed");
     assert_eq!(
         format!("{digest:032x}"),
-        "94af71f422f61472499b6b5f4c62beb9",
+        "e133601f082d2cd0a4e5aa7e9409d5fe",
         "bundle wire format changed — bump BUNDLE_FORMAT_VERSION and re-pin"
     );
 }

@@ -48,6 +48,7 @@ fn opts(threads: usize, cache: Option<Arc<Cache>>) -> PipelineOptions {
         threads,
         lint: LintGate::Off,
         hb: LintGate::Off,
+        race: LintGate::Off,
         cache,
     }
 }
