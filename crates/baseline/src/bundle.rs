@@ -33,8 +33,9 @@ use dt_trace::TraceId;
 
 /// Bump whenever the encoded payload changes shape. Decoders reject
 /// other versions with a "re-record" message rather than guessing.
-/// Version 2 added the racecheck per-code section.
-pub const BUNDLE_FORMAT_VERSION: u32 = 2;
+/// Version 2 added the racecheck per-code section; version 3 the
+/// reqcheck one.
+pub const BUNDLE_FORMAT_VERSION: u32 = 3;
 
 /// File magic: distinguishes bundles from other sealed artifacts
 /// (dt-cache entries carry their own magic).
@@ -92,6 +93,10 @@ pub struct Baseline {
     /// code. Races need no happens-before section, so this is recorded
     /// for every corpus.
     pub race: Vec<CodeCount>,
+    /// reqcheck findings aggregated per code (`RQ001`…), sorted by
+    /// code. Runs without request markers are trivially clean, so this
+    /// is recorded for every corpus too.
+    pub req: Vec<CodeCount>,
 }
 
 fn write_id(out: &mut Vec<u8>, id: TraceId) {
@@ -206,6 +211,7 @@ impl Baseline {
         out.push(u8::from(self.has_hb));
         code_counts_encode(&mut out, &self.hb);
         code_counts_encode(&mut out, &self.race);
+        code_counts_encode(&mut out, &self.req);
         let mut h = StableHasher::new();
         h.write_raw(&out);
         out.extend_from_slice(&h.finish().to_le_bytes());
@@ -287,6 +293,7 @@ impl Baseline {
         };
         let hb = code_counts_decode(&mut r)?;
         let race = code_counts_decode(&mut r)?;
+        let req = code_counts_decode(&mut r)?;
         if r.at != payload.len() {
             return Err(format!(
                 "{} trailing byte(s) after the payload",
@@ -303,6 +310,7 @@ impl Baseline {
             has_hb,
             hb,
             race,
+            req,
         })
     }
 
@@ -364,6 +372,11 @@ mod tests {
                 code: "RC004".to_string(),
                 errors: 0,
                 warnings: 2,
+            }],
+            req: vec![CodeCount {
+                code: "RQ001".to_string(),
+                errors: 1,
+                warnings: 0,
             }],
         }
     }

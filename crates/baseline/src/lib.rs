@@ -5,7 +5,8 @@
 //! record` snapshots one analyzed run into a sealed [`Baseline`]
 //! bundle: per-trace NLR content fingerprints (the same dt-cache keys
 //! the analysis cache uses), the single-run JSM ranking, and the
-//! tracelint/hbcheck/racecheck findings. `baseline check` re-snapshots a
+//! tracelint/hbcheck/racecheck/reqcheck findings. `baseline check`
+//! re-snapshots a
 //! candidate run under the baseline's recorded parameters and judges
 //! the divergence under a [`Policy`], producing an [`AssertionReport`]
 //! with one entry per policy clause.
@@ -24,8 +25,8 @@ pub use policy::{DiffClass, Policy};
 pub use report::{AssertionReport, ClauseEntry, ClauseStatus};
 
 use difftrace::{
-    analyze_single_opts_rec, content_fingerprints, hbcheck_set, lint_set, racecheck_set, HbOptions,
-    LintOptions, Params, PipelineOptions, RaceOptions,
+    analyze_single_opts_rec, content_fingerprints, hbcheck_set, lint_set, racecheck_set,
+    reqcheck_set, HbOptions, LintOptions, Params, PipelineOptions, RaceOptions, ReqOptions,
 };
 use dt_obs::{stage, Recorder};
 use dt_trace::hb::HbLog;
@@ -130,6 +131,16 @@ pub fn snapshot_rec(
             },
         ))
     };
+    let req_counts = {
+        let _s = stage(rec, "reqcheck");
+        code_counts(&reqcheck_set(
+            set,
+            &ReqOptions {
+                threads: opts.threads,
+                ..ReqOptions::default()
+            },
+        ))
+    };
     let mut outliers = single.outliers.clone();
     outliers.sort_unstable();
     let baseline = Baseline {
@@ -142,6 +153,7 @@ pub fn snapshot_rec(
         has_hb,
         hb: hb_counts,
         race: race_counts,
+        req: req_counts,
     };
     if rec.enabled() {
         rec.add("baseline_traces", baseline.traces.len() as u64);
@@ -156,6 +168,10 @@ pub fn snapshot_rec(
         rec.add(
             "baseline_race_errors",
             baseline.race.iter().map(|c| c.errors).sum(),
+        );
+        rec.add(
+            "baseline_req_errors",
+            baseline.req.iter().map(|c| c.errors).sum(),
         );
     }
     baseline
@@ -264,6 +280,7 @@ pub fn evaluate(
     let lint_viol = required_clean_violations(&candidate.lint, &policy.require_clean_tl);
     let hb_viol = required_clean_violations(&candidate.hb, &policy.require_clean_hb);
     let race_viol = required_clean_violations(&candidate.race, &policy.require_clean_race);
+    let req_viol = required_clean_violations(&candidate.req, &policy.require_clean_req);
 
     let count_summary = |n: usize, what: &str, suffix: &str| {
         if n == 0 {
@@ -370,6 +387,14 @@ pub fn evaluate(
         race_viol,
         false,
     ));
+    // Request markers likewise live in the traces themselves.
+    clauses.push(clause(
+        DiffClass::ReqRegression,
+        policy,
+        count_summary(req_viol.len(), "required-clean reqcheck code(s) fired", ""),
+        req_viol,
+        false,
+    ));
     Ok(AssertionReport {
         candidate: candidate_label.to_string(),
         baseline_hash: baseline.bundle_hash(),
@@ -401,6 +426,7 @@ mod tests {
             has_hb: true,
             hb: Vec::new(),
             race: Vec::new(),
+            req: Vec::new(),
         }
     }
 
@@ -463,6 +489,15 @@ mod tests {
         }];
         let r = evaluate(&b, &racy, &policy, "run").unwrap();
         assert_eq!(r.failures(), vec![DiffClass::RaceRegression]);
+
+        let mut leaky = b.clone();
+        leaky.req = vec![CodeCount {
+            code: "RQ001".to_string(),
+            errors: 1,
+            warnings: 0,
+        }];
+        let r = evaluate(&b, &leaky, &policy, "run").unwrap();
+        assert_eq!(r.failures(), vec![DiffClass::ReqRegression]);
     }
 
     #[test]
@@ -533,9 +568,12 @@ mod tests {
         let r = evaluate(&b, &b, &Policy::default(), "run").unwrap();
         assert!(r.passed());
         assert_eq!(r.clauses[5].status, ClauseStatus::Skipped);
-        // The race clause needs no happens-before log; it still runs.
+        // The race and req clauses need no happens-before log; they
+        // still run.
         assert_eq!(r.clauses[6].class, DiffClass::RaceRegression);
         assert_eq!(r.clauses[6].status, ClauseStatus::Pass);
+        assert_eq!(r.clauses[7].class, DiffClass::ReqRegression);
+        assert_eq!(r.clauses[7].status, ClauseStatus::Pass);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A `baseline check` never judges "did any byte change" — it
 //! classifies each divergence between the candidate and the baseline
-//! into one of seven [`DiffClass`]es and judges each class under the
+//! into one of eight [`DiffClass`]es and judges each class under the
 //! policy. The policy text format is a deliberately boring
 //! `key = value` file (hand-parsed; the workspace carries no serde):
 //! it diffs well in review, and a CI gate's tolerances belong in
@@ -32,11 +32,14 @@ pub enum DiffClass {
     /// The candidate fires a required-clean racecheck code at error
     /// severity.
     RaceRegression,
+    /// The candidate fires a required-clean reqcheck code at error
+    /// severity.
+    ReqRegression,
 }
 
 impl DiffClass {
     /// Every class, in report (and evaluation) order.
-    pub const ALL: [DiffClass; 7] = [
+    pub const ALL: [DiffClass; 8] = [
         DiffClass::TraceAdded,
         DiffClass::TraceRemoved,
         DiffClass::NlrChanged,
@@ -44,6 +47,7 @@ impl DiffClass {
         DiffClass::LintRegression,
         DiffClass::HbRegression,
         DiffClass::RaceRegression,
+        DiffClass::ReqRegression,
     ];
 
     /// Stable name used in policy files, reports, and gate messages.
@@ -56,6 +60,7 @@ impl DiffClass {
             DiffClass::LintRegression => "lint-regression",
             DiffClass::HbRegression => "hb-regression",
             DiffClass::RaceRegression => "race-regression",
+            DiffClass::ReqRegression => "req-regression",
         }
     }
 
@@ -94,6 +99,8 @@ pub struct Policy {
     pub require_clean_hb: BTreeSet<String>,
     /// racecheck codes that must not fire at error severity.
     pub require_clean_race: BTreeSet<String>,
+    /// reqcheck codes that must not fire at error severity.
+    pub require_clean_req: BTreeSet<String>,
     /// Whether traces absent from the baseline are acceptable.
     pub allow_new_traces: bool,
     /// Whether missing baseline traces are acceptable.
@@ -109,6 +116,7 @@ impl Default for Policy {
             require_clean_tl: codes(&["TL001", "TL002", "TL003", "TL004", "TL005", "TL006"]),
             require_clean_hb: codes(&["HB001", "HB002", "HB003", "HB004", "HB005"]),
             require_clean_race: codes(&["RC001", "RC002", "RC003", "RC004"]),
+            require_clean_req: codes(&["RQ001", "RQ002", "RQ003", "RQ004", "RQ005"]),
             allow_new_traces: false,
             allow_removed_traces: false,
         }
@@ -156,6 +164,7 @@ impl Policy {
              require_clean_tl = {}\n\
              require_clean_hb = {}\n\
              require_clean_race = {}\n\
+             require_clean_req = {}\n\
              allow_new_traces = {}\n\
              allow_removed_traces = {}\n",
             join_classes(&self.tolerate),
@@ -163,6 +172,7 @@ impl Policy {
             join_codes(&self.require_clean_tl),
             join_codes(&self.require_clean_hb),
             join_codes(&self.require_clean_race),
+            join_codes(&self.require_clean_req),
             self.allow_new_traces,
             self.allow_removed_traces,
         )
@@ -215,6 +225,9 @@ impl Policy {
                 }
                 "require_clean_race" => {
                     policy.require_clean_race = parse_codes(key, value).map_err(&at)?;
+                }
+                "require_clean_req" => {
+                    policy.require_clean_req = parse_codes(key, value).map_err(&at)?;
                 }
                 "allow_new_traces" => {
                     policy.allow_new_traces = parse_bool(key, value).map_err(&at)?;

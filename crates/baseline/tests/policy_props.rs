@@ -10,7 +10,7 @@ use dt_trace::TraceId;
 use proptest::prelude::*;
 
 fn policy_strategy() -> impl Strategy<Value = Policy> {
-    let classes = proptest::collection::vec(0usize..DiffClass::ALL.len(), 0..7);
+    let classes = proptest::collection::vec(0usize..DiffClass::ALL.len(), 0..8);
     let shift = (0u32..2_000_000).prop_map(|v| f64::from(v) / 1000.0);
     let codes = || {
         let code = (0u8..26, 0u16..1000)
@@ -20,19 +20,22 @@ fn policy_strategy() -> impl Strategy<Value = Policy> {
     (
         classes,
         shift,
-        (codes(), codes(), codes()),
+        (codes(), codes(), codes(), codes()),
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(classes, shift, (tl, hb, race), new, removed)| Policy {
-            tolerate: classes.into_iter().map(|i| DiffClass::ALL[i]).collect(),
-            max_ranking_shift: shift,
-            require_clean_tl: tl.into_iter().collect(),
-            require_clean_hb: hb.into_iter().collect(),
-            require_clean_race: race.into_iter().collect(),
-            allow_new_traces: new,
-            allow_removed_traces: removed,
-        })
+        .prop_map(
+            |(classes, shift, (tl, hb, race, req), new, removed)| Policy {
+                tolerate: classes.into_iter().map(|i| DiffClass::ALL[i]).collect(),
+                max_ranking_shift: shift,
+                require_clean_tl: tl.into_iter().collect(),
+                require_clean_hb: hb.into_iter().collect(),
+                require_clean_race: race.into_iter().collect(),
+                require_clean_req: req.into_iter().collect(),
+                allow_new_traces: new,
+                allow_removed_traces: removed,
+            },
+        )
 }
 
 fn baseline_strategy() -> impl Strategy<Value = Baseline> {
@@ -63,11 +66,12 @@ fn baseline_strategy() -> impl Strategy<Value = Baseline> {
             proptest::collection::vec(count(), 0..4),
             proptest::collection::vec(count(), 0..4),
             proptest::collection::vec(count(), 0..4),
+            proptest::collection::vec(count(), 0..4),
         ),
         0u64..10,
         any::<bool>(),
     )
-        .prop_map(|(mut traces, (lint, hb, race), clusters, has_hb)| {
+        .prop_map(|(mut traces, (lint, hb, race, req), clusters, has_hb)| {
             // Canonical form: unique trace ids in sorted order, unique
             // codes — what `snapshot` always produces.
             traces.sort_by_key(|t| t.id);
@@ -89,6 +93,7 @@ fn baseline_strategy() -> impl Strategy<Value = Baseline> {
                 has_hb,
                 hb: dedup(hb),
                 race: dedup(race),
+                req: dedup(req),
             }
         })
 }

@@ -1,0 +1,102 @@
+//! Compressed-domain vs expanded-domain reqcheck request summaries.
+//!
+//! The per-trace request facts (the inputs to RQ001–RQ005) have two
+//! implementations with property-tested agreement: one replaying the
+//! expanded marker stream, one folding the NLR term with closed-form
+//! loop repetition. The expanded walk is O(events); the compressed
+//! one is O(term size), so on a high-repetition trace (`reps`
+//! iterations of one post/wait/collective body) its cost should stay
+//! flat while the expanded walk grows linearly — the asymptotic win
+//! this bench exhibits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dt_reqcheck::compressed::Summarizer;
+use dt_reqcheck::{expanded, ReqVocab};
+use dt_trace::{FunctionRegistry, TraceId};
+use nlr::{LoopTable, NlrBuilder};
+use std::hint::black_box;
+
+// The loop body's period (8 symbols) must fit the NLR window K below,
+// or nothing folds and there is no compressed domain to speak of.
+const NLR_K: usize = 10;
+
+/// A registry whose first four functions are the marker vocabulary the
+/// body below uses, in interning order.
+fn marker_registry() -> (FunctionRegistry, Vec<u32>) {
+    let reg = FunctionRegistry::new();
+    let ids = [
+        "MPI_Isend",
+        "MPI_Wait",
+        "mpi_coll@MPI_Allreduce:4:-:sum",
+        "MPI_Allreduce",
+    ]
+    .iter()
+    .map(|n| reg.intern(n).0)
+    .collect();
+    (reg, ids)
+}
+
+/// `reps` iterations of a post/wait/collective body, with one bare
+/// post left dangling after the loop so the min-balance witness and
+/// the truncation path both get exercised.
+fn high_repetition_stream(reps: usize, ids: &[u32]) -> Vec<u32> {
+    let call = |f: u32| f << 1;
+    let ret = |f: u32| (f << 1) | 1;
+    let mut v = Vec::with_capacity(reps * 8 + 1);
+    for _ in 0..reps {
+        for &f in ids {
+            v.push(call(f));
+            v.push(ret(f));
+        }
+    }
+    v.push(call(ids[0])); // a trailing leaked post, never returned
+    v
+}
+
+fn bench_reqcheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reqcheck_summarize");
+    g.sample_size(10);
+    let (reg, ids) = marker_registry();
+    let vocab = ReqVocab::build(&reg);
+    let id = TraceId::new(0, 0);
+    for reps in [1_000usize, 10_000, 100_000] {
+        let syms = high_repetition_stream(reps, &ids);
+        let mut table = LoopTable::new();
+        let term = NlrBuilder::new(NLR_K).build(&syms, &mut table);
+        assert_eq!(term.expand(&table), syms, "NLR must be lossless");
+        assert!(
+            term.elements().len() * 100 < syms.len(),
+            "the stream must actually fold ({} elements for {} events)",
+            term.elements().len(),
+            syms.len()
+        );
+
+        // The two domains must agree before their speeds mean anything.
+        let exp = expanded::summarize(id, &syms, true, &vocab);
+        let mut s = Summarizer::new(&table, &vocab);
+        assert_eq!(exp, s.summarize(id, &term, true), "domains disagree");
+
+        g.throughput(Throughput::Elements(syms.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("expanded", format!("{reps}reps/{}ev", syms.len())),
+            &syms,
+            |b, syms| {
+                b.iter(|| black_box(expanded::summarize(id, black_box(syms), true, &vocab)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compressed", format!("{reps}reps/{}ev", syms.len())),
+            &term,
+            |b, term| {
+                b.iter(|| {
+                    let mut s = Summarizer::new(&table, &vocab);
+                    black_box(s.summarize(id, black_box(term), true))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reqcheck);
+criterion_main!(benches);

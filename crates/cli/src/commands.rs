@@ -1,9 +1,10 @@
 //! Command parsing and execution.
 
 use difftrace::{
-    hbcheck_set, lint_set, racecheck_set, render_ranking, sweep_parallel_cached_rec,
-    try_diff_runs_hb_rec, AttrConfig, AttrKind, DiffDenied, FilterConfig, FreqMode, HbOptions,
-    LintDomain, LintGate, LintOptions, Params, PipelineOptions, RaceOptions,
+    hbcheck_set, lint_set, racecheck_set, render_ranking, reqcheck_set_rec,
+    sweep_parallel_cached_rec, try_diff_runs_hb_rec, AttrConfig, AttrKind, DiffDenied,
+    FilterConfig, FreqMode, HbOptions, LintDomain, LintGate, LintOptions, Params, PipelineOptions,
+    RaceOptions, ReqOptions,
 };
 use dt_baseline::{evaluate, snapshot_rec, Baseline, Policy};
 use dt_cache::Cache;
@@ -56,6 +57,7 @@ fn usage_of(cmd: &str) -> &'static str {
         "lint" => "usage: difftrace lint <file.dtts>... [options]",
         "hbcheck" => "usage: difftrace hbcheck <file.dtts>... [options]",
         "racecheck" => "usage: difftrace racecheck <file.dtts>... [options]",
+        "reqcheck" => "usage: difftrace reqcheck <file.dtts>... [options]",
         "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
         "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
         "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
@@ -164,7 +166,10 @@ USAGE:
       lulesh-coll (rank deserts a collective → wait-for cycle)
       omp-counter (shared counter updated without its lock → data race)
       omp-lockorder (two locks nested in opposite orders → potential
-      deadlock).
+      deadlock)
+      isend-leak (MPI_Isend posted but never waited on → leaked request)
+      coll-args (one rank passes a different reduce op → divergent
+      collective signature).
 
   difftrace info <file.dtts>
       Per-process/per-thread statistics of a stored trace set.
@@ -212,10 +217,26 @@ USAGE:
       clean. --gate deny exits 3 when any error-severity diagnostic
       fires.
 
+  difftrace reqcheck <file.dtts>... [--format text|json] [--gate warn|deny]
+          [--domain expanded|compressed] [--threads N] [--profile] [--metrics FILE]
+      MPI request-lifecycle and collective-consistency analysis over
+      the request marker vocabulary: leaked nonblocking requests
+      (RQ001), waits without a matching post (RQ002), collective
+      signature mismatches across ranks (RQ003), collective order
+      divergence (RQ004), and request activity after MPI_Finalize
+      (RQ005, warning). Runs record the vocabulary when request
+      tracking is on (`difftrace demo isend-leak` / `coll-args` do).
+      --domain compressed folds per-trace request summaries over the
+      NLR loop structure without expansion — flat in loop repetition
+      count (same reports byte for byte, property-tested). Trace sets
+      without request markers are trivially clean. --gate deny exits 3
+      when any error-severity diagnostic fires.
+
   difftrace diff <normal.dtts> <faulty.dtts>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--diffnlr P.T]
           [--threads N] [--full] [--gate off|warn|deny] [--hb off|warn|deny]
-          [--race off|warn|deny] [--cache DIR] [--profile] [--metrics FILE]
+          [--race off|warn|deny] [--req off|warn|deny] [--cache DIR]
+          [--profile] [--metrics FILE]
       One DiffTrace iteration: suspects, B-score, optional diffNLR view.
       --full prints the complete report (heatmaps, dendrograms,
       lattice summary, top diffNLRs).
@@ -231,8 +252,11 @@ USAGE:
       --race runs the racecheck pre-pass (no happens-before log
       needed): warn attaches the race reports, deny refuses to diff a
       run with data races or lock-order inversions (exit code 3).
+      --req runs the reqcheck pre-pass: warn attaches the request-
+      lifecycle reports, deny refuses to diff a run with leaked
+      requests or inconsistent collectives (exit code 3).
       Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward
-      --gate off --hb off --race off.
+      --gate off --hb off --race off --req off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
           [--cache DIR] [--profile] [--metrics FILE]
@@ -305,7 +329,8 @@ CACHING (single, diff, export, sweep, baseline):
                    observational: output is byte-identical with or
                    without it, at any thread count.
 
-PROFILING (lint, hbcheck, racecheck, diff, single, export, sweep, baseline):
+PROFILING (lint, hbcheck, racecheck, reqcheck, diff, single, export, sweep,
+           baseline):
   --profile        print a per-stage wall-time and counter table to
                    stderr after the run, including per-worker busy
                    times for the parallel stages.
@@ -325,9 +350,9 @@ CODES:
 EXIT CODES:
   0  success
   2  error (bad arguments, unreadable input, corrupt baseline bundle, …)
-  3  gate denied: `--gate deny` / `--hb deny` / `--race deny` found
-     error-severity diagnostics, or `baseline check` failed a policy
-     clause
+  3  gate denied: `--gate deny` / `--hb deny` / `--race deny` /
+     `--req deny` found error-severity diagnostics, or `baseline
+     check` failed a policy clause
 ";
 
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -344,6 +369,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("lint") => lint_cmd(&args[1..]),
         Some("hbcheck") => hbcheck_cmd(&args[1..]),
         Some("racecheck") => racecheck_cmd(&args[1..]),
+        Some("reqcheck") => reqcheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
         Some("cache") => cache_cmd(&args[1..]).map_err(CliError::Msg),
@@ -492,9 +518,29 @@ fn run_demo_pair(
                 registry.clone(),
             ),
         ),
+        "isend-leak" => pair(
+            run_reqlife(&ReqLifeConfig::default_4(), registry.clone()),
+            run_reqlife(
+                &ReqLifeConfig {
+                    fault: Some(ReqLifeFault::LeakRequest { rank: 2, iter: 1 }),
+                    ..ReqLifeConfig::default_4()
+                },
+                registry.clone(),
+            ),
+        ),
+        "coll-args" => pair(
+            run_reqlife(&ReqLifeConfig::default_4(), registry.clone()),
+            run_reqlife(
+                &ReqLifeConfig {
+                    fault: Some(ReqLifeFault::MismatchedCollArgs { rank: 1 }),
+                    ..ReqLifeConfig::default_4()
+                },
+                registry.clone(),
+            ),
+        ),
         other => Err(format!(
             "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, \
-             lulesh, stencil-tag, lulesh-coll, omp-counter, omp-lockorder)"
+             lulesh, stencil-tag, lulesh-coll, omp-counter, omp-lockorder, isend-leak, coll-args)"
         )),
     }
 }
@@ -1062,6 +1108,117 @@ fn racecheck_render(
     Ok((out, errors))
 }
 
+fn reqcheck_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("reqcheck");
+    let mut paths = Vec::new();
+    let mut format = "text".to_string();
+    let mut gate = LintGate::Warn;
+    let mut opts = ReqOptions::default();
+    let mut obs = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--format" => {
+                seen.check("--format")?;
+                format = value("--format")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (text|json)").into());
+                }
+            }
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--domain" => {
+                seen.check("--domain")?;
+                opts.domain = LintDomain::parse(&value("--domain")?)?;
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                opts.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => {
+                return Err(unknown_option(other, "reqcheck").into())
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err(usage_of("reqcheck").to_string().into());
+    }
+    let live = MetricsRecorder::new();
+    let (rendered, errors) = reqcheck_render(&paths, &format, &opts, obs.recorder(&live))?;
+    print!("{rendered}");
+    obs.emit(&live, "reqcheck", opts.threads.max(1))?;
+    if gate == LintGate::Deny && errors > 0 {
+        return Err(CliError::LintDenied(format!(
+            "reqcheck gate denied: {errors} error(s) across {} file(s)",
+            paths.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Render reqcheck reports for `paths` — split out from
+/// [`reqcheck_cmd`] so tests can assert the output is byte-identical
+/// across thread counts and domains. Returns the rendered output and
+/// the total error count.
+fn reqcheck_render(
+    paths: &[String],
+    format: &str,
+    opts: &ReqOptions,
+    rec: &dyn Recorder,
+) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut errors = 0;
+    for path in paths {
+        let set = {
+            let _s = stage(rec, "load");
+            load(path)?
+        };
+        let report = {
+            let _s = stage(rec, "reqcheck");
+            reqcheck_set_rec(&set, opts, rec)
+        };
+        if rec.enabled() {
+            rec.add("files", 1);
+            rec.add("diagnostics", report.diagnostics().len() as u64);
+            rec.add("errors", report.error_count() as u64);
+        }
+        errors += report.error_count();
+        if format == "json" {
+            if paths.len() == 1 {
+                out.push_str(&report.render_json());
+            } else {
+                out.push_str(&format!(
+                    "{{\"path\":\"{}\",\"report\":{}}}\n",
+                    path.replace('\\', "\\\\").replace('"', "\\\""),
+                    report.render_json().trim_end()
+                ));
+            }
+        } else {
+            if paths.len() > 1 {
+                out.push_str(&format!("== {path}\n"));
+            }
+            out.push_str(&report.render_text());
+        }
+    }
+    Ok((out, errors))
+}
+
 struct DiffOpts {
     normal: String,
     faulty: String,
@@ -1075,6 +1232,7 @@ struct DiffOpts {
     gate: LintGate,
     hb: LintGate,
     race: LintGate,
+    req: LintGate,
     cache: Option<PathBuf>,
     obs: ObsOpts,
 }
@@ -1095,6 +1253,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
     let mut gate = LintGate::Off;
     let mut hb = LintGate::Off;
     let mut race = LintGate::Off;
+    let mut req = LintGate::Off;
     let mut cache = None;
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
@@ -1160,6 +1319,10 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
                 seen.check("--race")?;
                 race = LintGate::parse(&value("--race")?)?;
             }
+            "--req" => {
+                seen.check("--req")?;
+                req = LintGate::parse(&value("--req")?)?;
+            }
             "--cache" => {
                 seen.check("--cache")?;
                 cache = Some(PathBuf::from(value("--cache")?));
@@ -1192,6 +1355,7 @@ fn parse_opts(args: &[String], cmd: &str) -> Result<DiffOpts, String> {
         gate,
         hb,
         race,
+        req,
         cache,
         obs,
     })
@@ -1244,6 +1408,7 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             lint: opts.gate,
             hb: opts.hb,
             race: opts.race,
+            req: opts.req,
             cache: cache.clone(),
         },
         rec,
@@ -1269,6 +1434,12 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
             opts.obs.emit(&live, "diff", opts.threads)?;
             return Err(CliError::LintDenied(fail.to_string()));
         }
+        Err(DiffDenied::Req(fail)) => {
+            eprint!("reqcheck (normal):\n{}", fail.normal.render_text());
+            eprint!("reqcheck (faulty):\n{}", fail.faulty.render_text());
+            opts.obs.emit(&live, "diff", opts.threads)?;
+            return Err(CliError::LintDenied(fail.to_string()));
+        }
     };
     report_cache(cache.as_ref(), rec);
     if let Some((n, f)) = &d.lint {
@@ -1287,6 +1458,12 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
         if !pre.normal.is_clean() || !pre.faulty.is_clean() {
             eprint!("racecheck (normal):\n{}", pre.normal.render_text());
             eprint!("racecheck (faulty):\n{}", pre.faulty.render_text());
+        }
+    }
+    if let Some(pre) = &d.req {
+        if !pre.normal.is_clean() || !pre.faulty.is_clean() {
+            eprint!("reqcheck (normal):\n{}", pre.normal.render_text());
+            eprint!("reqcheck (faulty):\n{}", pre.faulty.render_text());
         }
     }
     if opts.full {
@@ -2186,6 +2363,129 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn reqcheck_end_to_end() {
+        let dir = std::env::temp_dir().join("difftrace_cli_reqcheck_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "isend-leak", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+        let f = format!("{dirs}/faulty.dtts");
+
+        // The healthy ring is clean under the strictest gate.
+        dispatch(&s(&["reqcheck", &n, "--gate", "deny"])).unwrap();
+        // The leaky run: warn reports and passes …
+        dispatch(&s(&["reqcheck", &f, "--format", "json"])).unwrap();
+        // … deny exits with the dedicated error kind.
+        let denied = dispatch(&s(&["reqcheck", &f, "--gate", "deny"]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+
+        // The faulty report names the leak with its teardown witness.
+        let (text, errors) = reqcheck_render(
+            std::slice::from_ref(&f),
+            "text",
+            &ReqOptions::default(),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
+        assert!(errors > 0);
+        assert!(text.contains("RQ001"), "{text}");
+        assert!(text.contains("MPI_Isend:dst=3,tag=0"), "{text}");
+
+        // Byte-identical output across thread counts and domains.
+        for format in ["text", "json"] {
+            let render = |threads: usize, domain: LintDomain| {
+                reqcheck_render(
+                    &[n.clone(), f.clone()],
+                    format,
+                    &ReqOptions {
+                        threads,
+                        domain,
+                        ..ReqOptions::default()
+                    },
+                    &dt_obs::NOOP,
+                )
+                .unwrap()
+            };
+            let base = render(1, LintDomain::Expanded);
+            for domain in [LintDomain::Expanded, LintDomain::Compressed] {
+                for threads in [1usize, 2, 0] {
+                    assert_eq!(
+                        base,
+                        render(threads, domain),
+                        "{format}/{domain:?}/{threads}"
+                    );
+                }
+            }
+        }
+
+        // The compressed domain reports its fold counter through
+        // --metrics plumbing.
+        let live = MetricsRecorder::new();
+        reqcheck_render(
+            std::slice::from_ref(&f),
+            "text",
+            &ReqOptions {
+                domain: LintDomain::Compressed,
+                ..ReqOptions::default()
+            },
+            &live,
+        )
+        .unwrap();
+        let m = live.finish("reqcheck", 1);
+        assert!(
+            m.counters
+                .iter()
+                .any(|(k, v)| k == "reqcheck_folds" && *v > 0),
+            "{:?}",
+            m.counters
+        );
+
+        // The diff pipeline wires the gate through: warn diffs and
+        // attaches, deny refuses with exit-code-3 semantics.
+        dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--req",
+            "warn",
+        ]))
+        .unwrap();
+        let denied = dispatch(&s(&[
+            "diff",
+            &n,
+            &f,
+            "--filter",
+            "11.mpiall.K10",
+            "--req",
+            "deny",
+        ]));
+        assert!(matches!(denied, Err(CliError::LintDenied(_))), "{denied:?}");
+
+        // The coll-args demo fires RQ003 (and only signature errors)
+        // on its faulty side.
+        let cdir = format!("{dirs}/collargs");
+        std::fs::create_dir_all(&cdir).unwrap();
+        dispatch(&s(&["demo", "coll-args", &cdir])).unwrap();
+        let cn = format!("{cdir}/normal.dtts");
+        let cf = format!("{cdir}/faulty.dtts");
+        dispatch(&s(&["reqcheck", &cn, "--gate", "deny"])).unwrap();
+        let (text, errors) = reqcheck_render(
+            std::slice::from_ref(&cf),
+            "text",
+            &ReqOptions::default(),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
+        assert!(errors > 0);
+        assert!(text.contains("RQ003"), "{text}");
+        assert!(!text.contains("RQ004"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Satellite: every subcommand rejects repeated and unknown flags
     /// the same way — a `Msg` error (exit 2) naming the flag and
     /// carrying the usage hint. All cases fail during parsing, before
@@ -2223,7 +2523,18 @@ mod tests {
                 "expanded",
             ],
             &["racecheck", "a.dtts", "--threads", "1", "--threads", "2"],
+            &["reqcheck", "a.dtts", "--gate", "warn", "--gate", "deny"],
+            &[
+                "reqcheck",
+                "a.dtts",
+                "--domain",
+                "compressed",
+                "--domain",
+                "expanded",
+            ],
+            &["reqcheck", "a.dtts", "--threads", "1", "--threads", "2"],
             &["diff", "n", "f", "--race", "warn", "--race", "deny"],
+            &["diff", "n", "f", "--req", "warn", "--req", "deny"],
             &[
                 "diff",
                 "n",
@@ -2315,6 +2626,7 @@ mod tests {
             &["lint", "a.dtts", "--bogus"],
             &["hbcheck", "a.dtts", "--bogus"],
             &["racecheck", "a.dtts", "--bogus"],
+            &["reqcheck", "a.dtts", "--bogus"],
             &["diff", "n", "f", "--bogus"],
             &["export", "n", "f", "out", "--bogus"],
             &["sweep", "n", "f", "--bogus"],

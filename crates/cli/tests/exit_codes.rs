@@ -26,27 +26,41 @@ fn assert_exit(expected: i32, args: &[&str]) {
 
 /// Record the demo corpora once per test-process into a fresh dir.
 #[allow(clippy::type_complexity)]
-fn corpus() -> (PathBuf, String, String, String, String, String, String) {
+fn corpus() -> (
+    PathBuf,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+    String,
+) {
     let dir = std::env::temp_dir().join(format!("difftrace_exit_codes_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let odd = dir.join("oddeven");
     let stencil = dir.join("stencil");
     let omp = dir.join("omp");
+    let req = dir.join("reqlife");
     assert_exit(0, &["demo", "oddeven", odd.to_str().unwrap()]);
     assert_exit(0, &["demo", "stencil-tag", stencil.to_str().unwrap()]);
     assert_exit(0, &["demo", "omp-counter", omp.to_str().unwrap()]);
+    assert_exit(0, &["demo", "isend-leak", req.to_str().unwrap()]);
     let n = odd.join("normal.dtts").to_str().unwrap().to_string();
     let f = odd.join("faulty.dtts").to_str().unwrap().to_string();
     let sn = stencil.join("normal.dtts").to_str().unwrap().to_string();
     let sf = stencil.join("faulty.dtts").to_str().unwrap().to_string();
     let on = omp.join("normal.dtts").to_str().unwrap().to_string();
     let of = omp.join("faulty.dtts").to_str().unwrap().to_string();
-    (dir, n, f, sn, sf, on, of)
+    let rn = req.join("normal.dtts").to_str().unwrap().to_string();
+    let rf = req.join("faulty.dtts").to_str().unwrap().to_string();
+    (dir, n, f, sn, sf, on, of, rn, rf)
 }
 
 #[test]
 fn exit_codes_for_every_subcommand() {
-    let (dir, n, f, sn, sf, on, of) = corpus();
+    let (dir, n, f, sn, sf, on, of, rn, rf) = corpus();
     let out = dir.to_str().unwrap();
 
     let base = dir.join("base.dtb").to_str().unwrap().to_string();
@@ -60,6 +74,8 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(0, &["hbcheck", &sn, "--gate", "deny"]);
     assert_exit(0, &["racecheck", &on, "--gate", "deny"]);
     assert_exit(0, &["racecheck", &of, "--domain", "compressed"]); // warn passes
+    assert_exit(0, &["reqcheck", &rn, "--gate", "deny"]);
+    assert_exit(0, &["reqcheck", &rf, "--domain", "compressed"]); // warn passes
     assert_exit(0, &["diff", &n, &f, "--filter", "11.mpiall.K10"]);
     let exp = dir.join("artifacts");
     assert_exit(
@@ -105,6 +121,9 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(2, &["racecheck", &on, "--domain", "x"]);
     assert_exit(2, &["racecheck", &on, "--bogus"]);
     assert_exit(2, &["racecheck", "/nonexistent/x.dtts"]);
+    assert_exit(2, &["reqcheck", &rn, "--domain", "x"]);
+    assert_exit(2, &["reqcheck", &rn, "--bogus"]);
+    assert_exit(2, &["reqcheck", "/nonexistent/x.dtts"]);
     assert_exit(2, &["diff", &n]); // missing positional
     assert_exit(2, &["diff", &n, &f, "--filter", "a", "--filter", "b"]);
     assert_exit(2, &["export", &n, &f]); // missing outdir
@@ -139,6 +158,7 @@ fn exit_codes_for_every_subcommand() {
     assert_exit(2, &["lint", &n, "--metrics", &unwritable]);
     assert_exit(2, &["hbcheck", &sn, "--metrics", &unwritable]);
     assert_exit(2, &["racecheck", &on, "--metrics", &unwritable]);
+    assert_exit(2, &["reqcheck", &rn, "--metrics", &unwritable]);
     assert_exit(2, &["single", &f, "--metrics", &unwritable]);
     assert_exit(
         2,
@@ -178,6 +198,11 @@ fn exit_codes_for_every_subcommand() {
         3,
         &["racecheck", &of, "--gate", "deny", "--domain", "compressed"],
     );
+    assert_exit(3, &["reqcheck", &rf, "--gate", "deny"]);
+    assert_exit(
+        3,
+        &["reqcheck", &rf, "--gate", "deny", "--domain", "compressed"],
+    );
     assert_exit(
         3,
         &[
@@ -199,6 +224,18 @@ fn exit_codes_for_every_subcommand() {
             "--filter",
             "11.mpiall.K10",
             "--race",
+            "deny",
+        ],
+    );
+    assert_exit(
+        3,
+        &[
+            "diff",
+            &rn,
+            &rf,
+            "--filter",
+            "11.mpiall.K10",
+            "--req",
             "deny",
         ],
     );

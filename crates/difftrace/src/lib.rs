@@ -85,6 +85,7 @@ pub mod racecheck;
 pub mod ranking;
 pub mod recording;
 pub mod report;
+pub mod reqcheck;
 pub mod single_run;
 pub mod sync;
 
@@ -97,6 +98,7 @@ pub use jsm::JsmMatrix;
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use racecheck::{racecheck_set, RaceFailure, RaceOptions, RacePrePass};
+pub use reqcheck::{reqcheck_set, reqcheck_set_rec, ReqFailure, ReqOptions, ReqPrePass};
 
 pub use pipeline::{
     analyze, analyze_aligned, analyze_aligned_opts, analyze_aligned_rec, analyze_opts,

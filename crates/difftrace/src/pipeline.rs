@@ -22,6 +22,7 @@ use crate::jsm::JsmMatrix;
 use crate::lint::{lint_set, LintFailure, LintGate, LintOptions};
 use crate::nlr_stage::NlrSet;
 use crate::racecheck::{RaceFailure, RaceOptions, RacePrePass};
+use crate::reqcheck::{ReqFailure, ReqOptions, ReqPrePass};
 use crate::sync::{effective_threads, join};
 use cluster::{bscore, linkage, CondensedMatrix, Dendrogram, Method};
 use dt_cache::Cache;
@@ -56,6 +57,11 @@ pub struct PipelineOptions {
     /// [`crate::racecheck`]) runs before diffing. Unlike `hb` it needs
     /// no happens-before log, so it applies to every diff entry point.
     pub race: LintGate,
+    /// Whether the reqcheck pre-pass (MPI request-lifecycle balance and
+    /// collective-consistency checks — see [`crate::reqcheck`]) runs
+    /// before diffing. Like `race` it needs no happens-before log, so
+    /// it applies to every diff entry point.
+    pub req: LintGate,
     /// Content-addressed analysis cache ([`dt_cache::Cache`]), shared
     /// across pipeline runs (e.g. every cell of a sweep). Like the
     /// other options it is observational: a cached analysis is
@@ -71,6 +77,7 @@ impl Default for PipelineOptions {
             lint: LintGate::Off,
             hb: LintGate::Off,
             race: LintGate::Off,
+            req: LintGate::Off,
             cache: None,
         }
     }
@@ -466,6 +473,9 @@ pub struct DiffRun {
     /// Race reports of the racecheck pre-pass (normal, faulty) when it
     /// ran ([`PipelineOptions::race`] at `Warn`, or a passing `Deny`).
     pub race: Option<RacePrePass>,
+    /// Req reports of the reqcheck pre-pass (normal, faulty) when it
+    /// ran ([`PipelineOptions::req`] at `Warn`, or a passing `Deny`).
+    pub req: Option<ReqPrePass>,
 }
 
 /// Fraction of the maximum change score a process/thread must reach to
@@ -524,6 +534,8 @@ pub enum DiffDenied {
     Hb(HbFailure),
     /// The racecheck gate tripped.
     Race(RaceFailure),
+    /// The reqcheck gate tripped.
+    Req(ReqFailure),
 }
 
 impl std::fmt::Display for DiffDenied {
@@ -532,6 +544,7 @@ impl std::fmt::Display for DiffDenied {
             DiffDenied::Lint(e) => e.fmt(f),
             DiffDenied::Hb(e) => e.fmt(f),
             DiffDenied::Race(e) => e.fmt(f),
+            DiffDenied::Req(e) => e.fmt(f),
         }
     }
 }
@@ -629,6 +642,28 @@ pub fn try_diff_runs_hb_rec(
         }
     };
 
+    // The reqcheck pre-pass: a leaked request or divergent collective
+    // signature means the executions were not even well-formed MPI, so
+    // name that before attributing their divergence to the fault.
+    let req = match opts.req {
+        LintGate::Off => None,
+        gate @ (LintGate::Warn | LintGate::Deny) => {
+            let _s = stage(rec, "pre/req");
+            let ropts = ReqOptions {
+                threads: opts.threads,
+                ..ReqOptions::default()
+            };
+            let pre = ReqPrePass::run(normal, faulty, &ropts);
+            if gate == LintGate::Deny && (pre.normal.has_errors() || pre.faulty.has_errors()) {
+                return Err(DiffDenied::Req(ReqFailure {
+                    normal: pre.normal,
+                    faulty: pre.faulty,
+                }));
+            }
+            Some(pre)
+        }
+    };
+
     // Union of trace IDs: a fault may have killed threads before they
     // traced anything, or spawned extra ones.
     let mut ids: Vec<TraceId> = normal.ids();
@@ -647,6 +682,7 @@ pub fn try_diff_runs_hb_rec(
             lint: LintGate::Off,
             hb: LintGate::Off,
             race: LintGate::Off,
+            req: LintGate::Off,
             cache: opts.cache.clone(),
         };
         let n = analyze_aligned_rec(normal, params, &mut table, &ids, &seq_opts, rec);
@@ -767,6 +803,7 @@ pub fn try_diff_runs_hb_rec(
         lint,
         hb,
         race,
+        req,
     })
 }
 
@@ -1122,7 +1159,9 @@ mod tests {
                 assert!(f.faulty.has_errors());
                 assert!(f.to_string().contains("hbcheck gate denied"));
             }
-            DiffDenied::Lint(_) | DiffDenied::Race(_) => panic!("wrong gate fired"),
+            DiffDenied::Lint(_) | DiffDenied::Race(_) | DiffDenied::Req(_) => {
+                panic!("wrong gate fired")
+            }
         }
         // Without logs the gate is inert even at Deny.
         let d = try_diff_runs_hb_opts(&normal, &faulty, None, &params(), &opts).unwrap();
@@ -1187,6 +1226,61 @@ mod tests {
                 assert!(f.to_string().contains("racecheck gate denied"));
             }
             other => panic!("expected the race gate to fire, got {other:?}"),
+        }
+    }
+
+    /// Two two-process executions: the faulty one's rank 0 posts an
+    /// `MPI_Isend` it never waits on.
+    fn leaky_pair() -> (TraceSet, TraceSet) {
+        let registry = Arc::new(FunctionRegistry::new());
+        let mk = |leak: bool| {
+            let collector = dt_trace::TraceCollector::shared(registry.clone());
+            for p in 0..2u32 {
+                let tr = collector.tracer(TraceId::master(p));
+                tr.leaf("MPI_Init");
+                for _ in 0..8 {
+                    tr.leaf("MPI_Isend");
+                    tr.leaf("MPI_Wait");
+                }
+                if leak && p == 0 {
+                    tr.leaf("MPI_Isend");
+                    tr.leaf("mpi_req_pending@MPI_Isend:dst=1,tag=3");
+                }
+                tr.leaf("MPI_Finalize");
+                tr.finish();
+            }
+            collector.into_trace_set()
+        };
+        (mk(false), mk(true))
+    }
+
+    #[test]
+    fn req_warn_attaches_reports() {
+        let (normal, faulty) = leaky_pair();
+        let opts = PipelineOptions {
+            req: LintGate::Warn,
+            ..PipelineOptions::default()
+        };
+        let d = try_diff_runs_opts(&normal, &faulty, &params(), &opts).unwrap();
+        let pre = d.req.expect("warn attaches the reports");
+        assert!(pre.normal.is_clean(), "{}", pre.normal.render_text());
+        assert!(!pre.faulty.is_clean());
+    }
+
+    #[test]
+    fn req_deny_refuses_to_diff_a_leaky_run() {
+        let (normal, faulty) = leaky_pair();
+        let opts = PipelineOptions {
+            req: LintGate::Deny,
+            ..PipelineOptions::default()
+        };
+        match try_diff_runs_opts(&normal, &faulty, &params(), &opts) {
+            Err(DiffDenied::Req(f)) => {
+                assert!(f.normal.is_clean());
+                assert!(f.faulty.has_errors());
+                assert!(f.to_string().contains("reqcheck gate denied"));
+            }
+            other => panic!("expected the req gate to fire, got {other:?}"),
         }
     }
 }

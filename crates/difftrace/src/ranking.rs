@@ -74,6 +74,7 @@ fn cell_opts(cache: Option<Arc<Cache>>) -> PipelineOptions {
         lint: LintGate::Off,
         hb: LintGate::Off,
         race: LintGate::Off,
+        req: LintGate::Off,
         cache,
     }
 }

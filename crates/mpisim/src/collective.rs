@@ -13,6 +13,15 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    /// Lower-case operator name used in `mpi_coll@` signature markers.
+    pub fn marker_name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+
     /// Apply to a pair of values.
     pub fn apply(self, a: i64, b: i64) -> i64 {
         match self {

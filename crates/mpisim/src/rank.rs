@@ -11,17 +11,23 @@ use crate::omp::{self, OmpCtx};
 use crate::world::{
     arrive_collective, take_collective, take_pending_send, Msg, PendingSend, PostedRecv, World,
 };
-use dt_trace::{FnId, TraceCollector, TraceId, Tracer};
-use std::cell::Cell;
+use dt_trace::{FnId, ReqMarker, TraceCollector, TraceId, Tracer};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A nonblocking-operation handle (`MPI_Request`).
 #[derive(Debug)]
 pub enum Request {
     /// Already complete (eager send).
-    Done,
+    Done {
+        /// Rank-local request serial (teardown-witness bookkeeping).
+        serial: u64,
+    },
     /// A rendezvous send awaiting its match.
     Send {
+        /// Rank-local request serial (teardown-witness bookkeeping).
+        serial: u64,
         /// Pending-send ID in the world state.
         id: u64,
         /// Destination rank (for blocked-operation reporting).
@@ -31,6 +37,8 @@ pub enum Request {
     },
     /// A posted receive; completed inside [`Rank::wait`].
     Recv {
+        /// Rank-local request serial (teardown-witness bookkeeping).
+        serial: u64,
         /// Posted-receive ID in the world state.
         id: u64,
         /// Source rank.
@@ -38,6 +46,25 @@ pub enum Request {
         /// Message tag.
         tag: i32,
     },
+}
+
+impl Request {
+    /// The rank-local serial every request carries.
+    fn serial(&self) -> u64 {
+        match *self {
+            Request::Done { serial }
+            | Request::Send { serial, .. }
+            | Request::Recv { serial, .. } => serial,
+        }
+    }
+
+    /// The world-state entry ID, for requests that parked one.
+    fn world_id(&self) -> Option<u64> {
+        match *self {
+            Request::Done { .. } => None,
+            Request::Send { id, .. } | Request::Recv { id, .. } => Some(id),
+        }
+    }
 }
 
 /// Handle through which one simulated MPI rank performs communication.
@@ -50,6 +77,12 @@ pub struct Rank {
     tracer: Tracer,
     collector: Arc<TraceCollector>,
     coll_seq: Cell<u64>,
+    req_serial: Cell<u64>,
+    /// serial → origin label (`MPI_Isend:dst=1,tag=7`) for requests not
+    /// yet completed by [`Rank::wait`]; whatever remains at teardown is
+    /// exported as `mpi_req_pending@…` witnesses under request
+    /// tracking.
+    outstanding: RefCell<BTreeMap<u64, String>>,
 }
 
 impl Rank {
@@ -62,6 +95,36 @@ impl Rank {
             tracer,
             collector,
             coll_seq: Cell::new(0),
+            req_serial: Cell::new(0),
+            outstanding: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    fn next_request_serial(&self) -> u64 {
+        let s = self.req_serial.get();
+        self.req_serial.set(s + 1);
+        s
+    }
+
+    /// Remember a posted request's origin until `MPI_Wait` consumes it
+    /// (request tracking only — the table feeds teardown witnesses).
+    fn track_request(&self, serial: u64, origin: String) {
+        if self.world.record_requests {
+            self.outstanding.borrow_mut().insert(serial, origin);
+        }
+    }
+
+    /// Emit one `mpi_req_pending@<origin>` leaf per request posted but
+    /// never completed by [`Rank::wait`]. Called by the runtime at rank
+    /// teardown; a poisoned (aborted) tracer suppresses the leaves, so
+    /// witnesses name only requests a cleanly-finished rank forgot.
+    pub(crate) fn export_pending_requests(&self) {
+        if !self.world.record_requests {
+            return;
+        }
+        for origin in self.outstanding.borrow().values() {
+            self.tracer
+                .leaf(&ReqMarker::Pending(origin.clone()).marker_name());
         }
     }
 
@@ -291,7 +354,8 @@ impl Rank {
         if dst >= self.world.size {
             return Err(MpiError::InvalidRank(dst));
         }
-        self.traced("MPI_Isend", || {
+        let serial = self.next_request_serial();
+        let req = self.traced("MPI_Isend", || {
             let bytes = std::mem::size_of_val(data);
             if bytes <= self.world.eager_limit {
                 let op = HbOp::Send {
@@ -312,7 +376,7 @@ impl Rank {
                             vc,
                         });
                 })?;
-                Ok(Request::Done)
+                Ok(Request::Done { serial })
             } else {
                 let op = HbOp::Send {
                     dst,
@@ -336,11 +400,18 @@ impl Rank {
                     Some(id)
                 })?;
                 Ok(match id {
-                    Some(id) => Request::Send { id, dst, tag },
-                    None => Request::Done,
+                    Some(id) => Request::Send {
+                        serial,
+                        id,
+                        dst,
+                        tag,
+                    },
+                    None => Request::Done { serial },
                 })
             }
-        })
+        })?;
+        self.track_request(serial, format!("MPI_Isend:dst={dst},tag={tag}"));
+        Ok(req)
     }
 
     /// `MPI_Irecv`: posts a receive that senders can complete
@@ -351,7 +422,8 @@ impl Rank {
             return Err(MpiError::InvalidRank(src));
         }
         let me = self.rank;
-        self.traced("MPI_Irecv", || {
+        let serial = self.next_request_serial();
+        let req = self.traced("MPI_Irecv", || {
             let id = self.world.mutate(|st| {
                 let id = World::next_send_id(st);
                 st.posted_recvs.push(PostedRecv {
@@ -363,8 +435,15 @@ impl Rank {
                 });
                 id
             })?;
-            Ok(Request::Recv { id, src, tag })
-        })
+            Ok(Request::Recv {
+                serial,
+                id,
+                src,
+                tag,
+            })
+        })?;
+        self.track_request(serial, format!("MPI_Irecv:src={src},tag={tag}"));
+        Ok(req)
     }
 
     /// `MPI_Wait`: completes a request. Returns the received payload
@@ -377,9 +456,11 @@ impl Rank {
     pub fn wait(&self, req: Request) -> Result<Option<Vec<i64>>, MpiError> {
         let me = self.rank;
         self.internals(&["MPID_Progress_wait", "poll_progress"]);
-        self.traced("MPI_Wait", || match req {
-            Request::Done => Ok(None),
-            Request::Send { id, dst, tag } => {
+        let serial = req.serial();
+        let world_id = req.world_id();
+        let out = self.traced("MPI_Wait", || match req {
+            Request::Done { .. } => Ok(None),
+            Request::Send { id, dst, tag, .. } => {
                 let op = HbOp::Send {
                     dst,
                     tag,
@@ -391,7 +472,7 @@ impl Rank {
                     })
                     .map(|()| None)
             }
-            Request::Recv { id, src, tag } => {
+            Request::Recv { id, src, tag, .. } => {
                 let op = HbOp::Recv {
                     src: Some(src),
                     tag,
@@ -421,7 +502,19 @@ impl Rank {
                     })
                     .map(Some)
             }
-        })
+        });
+        // MPI_Wait consumes the handle whether it completed or was
+        // aborted: drop the teardown witness, and on abort also retract
+        // the world-state entry so one injected fault cannot strand a
+        // posted receive / parked send that would swallow a surviving
+        // rank's message.
+        self.outstanding.borrow_mut().remove(&serial);
+        if out.is_err() {
+            if let Some(id) = world_id {
+                self.world.forget_request(id);
+            }
+        }
+        out
     }
 
     fn next_slot(&self) -> u64 {
@@ -441,6 +534,14 @@ impl Rank {
         let me = self.rank;
         let size = self.world.size as usize;
         self.traced(name, || {
+            // The argument signature the rank is arriving with, as a
+            // leaf marker nested inside the collective call (reqcheck's
+            // RQ003 evidence).
+            if self.world.record_requests {
+                let marker =
+                    ReqMarker::coll_sig(name, sig.count, sig.root, op.map(ReduceOp::marker_name));
+                self.tracer.leaf(&marker.marker_name());
+            }
             // e.g. MPI_Allreduce → MPIR_Allreduce_intra.
             if self.world.trace_internals {
                 let inner = format!("MPIR_{}_intra", name.trim_start_matches("MPI_"));
@@ -1041,7 +1142,7 @@ mod tests {
             rank.init()?;
             if rank.rank() == 0 {
                 let req = rank.isend(1, 0, &[7])?;
-                assert!(matches!(req, crate::rank::Request::Done));
+                assert!(matches!(req, crate::rank::Request::Done { .. }));
                 let _ = rank.wait(req)?;
             } else {
                 assert_eq!(rank.recv(0, 0)?, vec![7]);
@@ -1049,6 +1150,115 @@ mod tests {
             rank.finalize()
         });
         assert!(!out.deadlocked);
+    }
+
+    #[test]
+    fn request_tracking_exports_pending_and_signatures() {
+        let out = run(
+            SimConfig::new(2).with_request_tracking(),
+            registry(),
+            |rank| {
+                rank.init()?;
+                if rank.rank() == 0 {
+                    let _leaked = rank.isend(1, 4, &[7])?; // never waited
+                } else {
+                    assert_eq!(rank.recv(0, 4)?, vec![7]);
+                }
+                let _ = rank.allreduce(&[1], ReduceOp::Sum)?;
+                rank.finalize()
+            },
+        );
+        assert!(!out.deadlocked, "{:?}", out.errors);
+        let names = |p: u32| -> Vec<String> {
+            out.traces
+                .get(TraceId::master(p))
+                .unwrap()
+                .calls()
+                .map(|e| out.traces.registry.name(e.fn_id()))
+                .collect()
+        };
+        let v0 = names(0);
+        assert!(
+            v0.contains(&"mpi_coll@MPI_Allreduce:1:-:sum".to_string()),
+            "{v0:?}"
+        );
+        // The leak witness lands at teardown, after MPI_Finalize.
+        assert_eq!(
+            v0.last().map(String::as_str),
+            Some("mpi_req_pending@MPI_Isend:dst=1,tag=4"),
+            "{v0:?}"
+        );
+        let v1 = names(1);
+        assert!(
+            !v1.iter().any(|n| n.starts_with("mpi_req_pending@")),
+            "{v1:?}"
+        );
+    }
+
+    #[test]
+    fn waited_requests_leave_no_pending_witness() {
+        let cfg = SimConfig::new(2)
+            .with_request_tracking()
+            .with_eager_limit(8);
+        let out = run(cfg, registry(), |rank| {
+            rank.init()?;
+            let peer = 1 - rank.rank();
+            let req = rank.irecv(peer, 0)?;
+            rank.send(peer, 0, &[1, 2, 3, 4])?;
+            let _ = rank.wait(req)?;
+            rank.finalize()
+        });
+        assert!(!out.deadlocked, "{:?}", out.errors);
+        for t in out.traces.iter() {
+            assert!(!t.calls().any(|e| out
+                .traces
+                .registry
+                .name(e.fn_id())
+                .starts_with("mpi_req_pending@")));
+        }
+    }
+
+    #[test]
+    fn default_config_emits_no_request_markers() {
+        // Request tracking is opt-in: existing corpora keep their exact
+        // trace shapes.
+        let out = run(SimConfig::new(2), registry(), |rank| {
+            rank.init()?;
+            if rank.rank() == 0 {
+                let _ = rank.isend(1, 0, &[1])?; // even a leak is silent
+            } else {
+                let _ = rank.recv(0, 0)?;
+            }
+            rank.barrier()?;
+            rank.finalize()
+        });
+        assert!(!out.deadlocked, "{:?}", out.errors);
+        for t in out.traces.iter() {
+            assert!(!t.calls().any(|e| {
+                let n = out.traces.registry.name(e.fn_id());
+                n.starts_with("mpi_coll@") || n.starts_with("mpi_req_pending@")
+            }));
+        }
+    }
+
+    #[test]
+    fn aborted_wait_still_consumes_the_world_entry() {
+        // One rank's MPI_Wait dies in a deadlock abort; its posted
+        // receive must not linger in world state where it could swallow
+        // another rank's message.
+        let out = run(SimConfig::new(2), registry(), |rank| {
+            rank.init()?;
+            if rank.rank() == 0 {
+                let req = rank.irecv(1, 3)?; // never sent: wait deadlocks
+                let err = rank.wait(req);
+                assert!(err.is_err());
+                assert!(rank.world().with_state(|st| st.posted_recvs.is_empty()));
+                err.map(|_| ())
+            } else {
+                rank.finalize()
+            }
+        });
+        assert!(out.deadlocked);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct SimConfig {
     /// ParLOT's "all images" mode; the paper's runs used "main image"
     /// only, so this defaults to off.
     pub trace_internals: bool,
+    /// Emit request-lifecycle markers for the `reqcheck` analysis:
+    /// `mpi_coll@<kind:count:root:op>` argument signatures inside every
+    /// collective call, and `mpi_req_pending@<origin>` teardown
+    /// witnesses for requests posted but never waited on. Off by
+    /// default so existing trace shapes are untouched.
+    pub record_requests: bool,
 }
 
 impl SimConfig {
@@ -38,12 +44,19 @@ impl SimConfig {
             eager_limit: 256,
             watchdog: Duration::from_secs(10),
             trace_internals: false,
+            record_requests: false,
         }
     }
 
     /// Enable MPI-internal call tracing (ParLOT "all images").
     pub fn with_internals(mut self) -> SimConfig {
         self.trace_internals = true;
+        self
+    }
+
+    /// Enable request-lifecycle markers (for `reqcheck`).
+    pub fn with_request_tracking(mut self) -> SimConfig {
+        self.record_requests = true;
         self
     }
 
@@ -163,6 +176,7 @@ where
         config.world_size,
         config.eager_limit,
         config.trace_internals,
+        config.record_requests,
     );
     let errors: Mutex<Vec<(u32, MpiError)>> = Mutex::new(Vec::new());
 
@@ -186,6 +200,10 @@ where
                         Err(MpiError::RankPanicked)
                     }
                 };
+                // Requests the body posted but never waited on become
+                // explicit teardown witnesses (no-op on a poisoned
+                // trace or when request tracking is off).
+                rank.export_pending_requests();
                 world.rank_done(r);
                 if let Err(e) = result {
                     errors.lock().push((r, e));

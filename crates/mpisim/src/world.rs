@@ -138,6 +138,10 @@ pub struct World {
     pub eager_limit: usize,
     /// Trace MPI-internal library calls (ParLOT "all images" mode).
     pub trace_internals: bool,
+    /// Emit request-lifecycle markers (`mpi_coll@…` collective
+    /// signatures, `mpi_req_pending@…` teardown witnesses) for the
+    /// `reqcheck` analysis.
+    pub record_requests: bool,
     state: Mutex<WorldState>,
     cv: Condvar,
     aborted_flag: AtomicBool,
@@ -150,13 +154,18 @@ pub struct World {
 }
 
 impl World {
-    /// A fresh world (internals tracing off).
+    /// A fresh world (internals tracing and request markers off).
     pub fn new(size: u32, eager_limit: usize) -> Arc<World> {
-        World::new_full(size, eager_limit, false)
+        World::new_full(size, eager_limit, false, false)
     }
 
     /// A fresh world with every knob explicit.
-    pub fn new_full(size: u32, eager_limit: usize, trace_internals: bool) -> Arc<World> {
+    pub fn new_full(
+        size: u32,
+        eager_limit: usize,
+        trace_internals: bool,
+        record_requests: bool,
+    ) -> Arc<World> {
         let state = WorldState {
             vclocks: vec![VectorClock::zero(size as usize); size as usize],
             hb: HbLog::new(size as usize),
@@ -166,6 +175,7 @@ impl World {
             size,
             eager_limit,
             trace_internals,
+            record_requests,
             state: Mutex::new(state),
             cv: Condvar::new(),
             aborted_flag: AtomicBool::new(false),
@@ -341,6 +351,19 @@ impl World {
         // A finishing rank can expose a deadlock among the rest; the
         // remaining blocked ranks will wake (we just notified), re-check
         // and re-record, so detection happens on their side.
+    }
+
+    /// Forget a nonblocking request's world-state entry. Runs even
+    /// after an abort (unlike [`World::mutate`], mirroring
+    /// [`World::rank_done`]): a rank whose `MPI_Wait` was aborted must
+    /// still relinquish its posted receive / parked send, otherwise the
+    /// stale entry can swallow a surviving rank's message and cascade
+    /// one injected fault into spurious failures elsewhere.
+    pub fn forget_request(&self, id: u64) {
+        let mut st = self.state.lock();
+        st.pending_sends.retain(|p| p.id != id);
+        st.posted_recvs.retain(|p| p.id != id);
+        self.bump_locked(&mut st);
     }
 
     /// The named-critical-section mutex for `name` (created on first
@@ -534,6 +557,25 @@ mod tests {
             assert!(st.collectives.is_empty(), "instance cleaned up");
         })
         .unwrap();
+    }
+
+    #[test]
+    fn forget_request_runs_even_after_abort() {
+        let w = World::new(2, 64);
+        w.mutate(|st| {
+            st.posted_recvs.push(PostedRecv {
+                id: 7,
+                src: 1,
+                dst: 0,
+                tag: 0,
+                msg: None,
+            });
+        })
+        .unwrap();
+        w.abort(AbortReason::Deadlock);
+        assert!(w.mutate(|_| ()).is_err(), "mutate refuses after abort");
+        w.forget_request(7);
+        w.with_state(|st| assert!(st.posted_recvs.is_empty()));
     }
 
     #[test]

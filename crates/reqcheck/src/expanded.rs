@@ -1,0 +1,219 @@
+//! Expanded-domain request-fact extraction: the reference semantics.
+//!
+//! Walks the raw symbol stream (`fn_id << 1 | is_return`) event by
+//! event, maintaining the running request balance, the finalize epoch,
+//! and the run-length-encoded collective sequences.
+//! [`crate::compressed`] must produce identical [`TraceReqFacts`]
+//! without expanding anything — the crate's property tests assert that
+//! equality.
+
+use crate::{CollRun, ReqSym, ReqVocab, TraceReqFacts};
+use dt_trace::TraceId;
+use std::collections::BTreeMap;
+
+/// Push one collective occurrence onto an RLE sequence, merging with
+/// the previous run when the value repeats.
+pub(crate) fn rle_push(runs: &mut Vec<CollRun>, sig: &str, offset: u64) {
+    if let Some(last) = runs.last_mut() {
+        if last.sig == sig {
+            last.count = last.count.saturating_add(1);
+            return;
+        }
+    }
+    runs.push(CollRun {
+        sig: sig.to_string(),
+        count: 1,
+        first_offset: offset,
+    });
+}
+
+/// Summarize one expanded symbol stream.
+pub fn summarize(id: TraceId, symbols: &[u32], truncated: bool, vocab: &ReqVocab) -> TraceReqFacts {
+    let mut posted: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut balance: i64 = 0;
+    let mut min_balance: i64 = 0;
+    let mut min_balance_offset: Option<u64> = None;
+    let mut first_post_offset: Option<u64> = None;
+    let mut finalized = false;
+    let mut after_finalize: u64 = 0;
+    let mut after_finalize_offset: Option<u64> = None;
+    let mut kinds: Vec<CollRun> = Vec::new();
+    let mut sigs: Vec<CollRun> = Vec::new();
+    let mut pending: BTreeMap<String, u64> = BTreeMap::new();
+    for (offset, &sym) in symbols.iter().enumerate() {
+        if sym & 1 == 1 {
+            continue; // only marker *calls* act
+        }
+        let offset = offset as u64;
+        match vocab.classify(sym >> 1) {
+            ReqSym::Post => {
+                posted += 1;
+                balance += 1;
+                if first_post_offset.is_none() {
+                    first_post_offset = Some(offset);
+                }
+            }
+            ReqSym::Wait => {
+                completed += 1;
+                balance -= 1;
+                if balance < min_balance {
+                    min_balance = balance;
+                    min_balance_offset = Some(offset);
+                }
+                if finalized {
+                    after_finalize += 1;
+                    if after_finalize_offset.is_none() {
+                        after_finalize_offset = Some(offset);
+                    }
+                }
+            }
+            ReqSym::Finalize => finalized = true,
+            ReqSym::Coll(kind) => rle_push(&mut kinds, kind, offset),
+            ReqSym::Sig(sig) => rle_push(&mut sigs, sig, offset),
+            ReqSym::Pending(origin) => {
+                *pending.entry(origin.clone()).or_insert(0) += 1;
+            }
+            ReqSym::Other => {}
+        }
+    }
+    TraceReqFacts {
+        id,
+        posted,
+        completed,
+        min_balance,
+        min_balance_offset,
+        first_post_offset,
+        finalized,
+        after_finalize,
+        after_finalize_offset,
+        kinds,
+        sigs,
+        pending: pending.into_iter().collect(),
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_trace::FunctionRegistry;
+
+    fn call(f: dt_trace::FnId) -> u32 {
+        f.0 << 1
+    }
+    fn ret(f: dt_trace::FnId) -> u32 {
+        (f.0 << 1) | 1
+    }
+
+    #[test]
+    fn balance_epoch_and_offsets() {
+        let reg = FunctionRegistry::new();
+        let isend = reg.intern("MPI_Isend");
+        let wait = reg.intern("MPI_Wait");
+        let fin = reg.intern("MPI_Finalize");
+        let other = reg.intern("compute");
+        let vocab = ReqVocab::build(&reg);
+        // isend; wait; wait; finalize; wait; compute
+        let syms = vec![
+            call(isend),
+            ret(isend),
+            call(wait),
+            ret(wait),
+            call(wait),
+            ret(wait),
+            call(fin),
+            ret(fin),
+            call(wait),
+            ret(wait),
+            call(other),
+            ret(other),
+        ];
+        let facts = summarize(TraceId::new(0, 0), &syms, false, &vocab);
+        assert_eq!((facts.posted, facts.completed), (1, 3));
+        assert_eq!(facts.first_post_offset, Some(0));
+        // Balance dips to −1 at the second wait, −2 at the third.
+        assert_eq!(facts.min_balance, -2);
+        assert_eq!(facts.min_balance_offset, Some(8));
+        assert!(facts.finalized);
+        assert_eq!(facts.after_finalize, 1);
+        assert_eq!(facts.after_finalize_offset, Some(8));
+    }
+
+    #[test]
+    fn collective_runs_merge_adjacently() {
+        let reg = FunctionRegistry::new();
+        let bar = reg.intern("MPI_Barrier");
+        let red = reg.intern("MPI_Allreduce");
+        let sig = reg.intern("mpi_coll@MPI_Allreduce:4:-:sum");
+        let vocab = ReqVocab::build(&reg);
+        let mut syms = Vec::new();
+        for _ in 0..3 {
+            syms.extend_from_slice(&[call(bar), ret(bar)]);
+        }
+        for _ in 0..2 {
+            syms.extend_from_slice(&[call(red), call(sig), ret(sig), ret(red)]);
+        }
+        syms.extend_from_slice(&[call(bar), ret(bar)]);
+        let facts = summarize(TraceId::new(0, 0), &syms, false, &vocab);
+        assert_eq!(
+            facts.kinds,
+            vec![
+                CollRun {
+                    sig: "MPI_Barrier".into(),
+                    count: 3,
+                    first_offset: 0
+                },
+                CollRun {
+                    sig: "MPI_Allreduce".into(),
+                    count: 2,
+                    first_offset: 6
+                },
+                CollRun {
+                    sig: "MPI_Barrier".into(),
+                    count: 1,
+                    first_offset: 14
+                },
+            ]
+        );
+        assert_eq!(
+            facts.sigs,
+            vec![CollRun {
+                sig: "MPI_Allreduce:4:-:sum".into(),
+                count: 2,
+                first_offset: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn pending_witnesses_aggregate_sorted() {
+        let reg = FunctionRegistry::new();
+        let p1 = reg.intern("mpi_req_pending@MPI_Isend:dst=1,tag=7");
+        let p2 = reg.intern("mpi_req_pending@MPI_Irecv:src=0,tag=3");
+        let vocab = ReqVocab::build(&reg);
+        let syms = vec![call(p1), ret(p1), call(p1), ret(p1), call(p2), ret(p2)];
+        let facts = summarize(TraceId::new(0, 0), &syms, true, &vocab);
+        assert_eq!(
+            facts.pending,
+            vec![
+                ("MPI_Irecv:src=0,tag=3".to_string(), 1),
+                ("MPI_Isend:dst=1,tag=7".to_string(), 2),
+            ]
+        );
+        assert!(facts.truncated);
+    }
+
+    #[test]
+    fn inert_streams_are_empty() {
+        let reg = FunctionRegistry::new();
+        let f = reg.intern("MPI_Send");
+        let vocab = ReqVocab::build(&reg);
+        let facts = summarize(TraceId::new(0, 0), &[call(f), ret(f)], false, &vocab);
+        assert_eq!((facts.posted, facts.completed), (0, 0));
+        assert_eq!(facts.min_balance, 0);
+        assert_eq!(facts.min_balance_offset, None);
+        assert!(!facts.finalized);
+        assert!(facts.kinds.is_empty() && facts.sigs.is_empty() && facts.pending.is_empty());
+    }
+}

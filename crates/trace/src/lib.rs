@@ -53,6 +53,7 @@ pub mod hash;
 pub mod hb;
 pub mod race;
 pub mod registry;
+pub mod req;
 pub mod stats;
 pub mod store;
 pub mod trace;
@@ -63,5 +64,6 @@ pub use event::TraceEvent;
 pub use hb::{BlockedOp, HbEvent, HbLog, HbOp, PendingCollective, UnmatchedSend, VectorClock};
 pub use race::RaceOp;
 pub use registry::{FnId, FunctionRegistry};
+pub use req::ReqMarker;
 pub use stats::{ProcessStats, TraceSetStats, TraceStats};
 pub use trace::{Trace, TraceId, TraceSet};

@@ -20,8 +20,10 @@
 //!   teams — with the §V fault (rank 2 skips `LagrangeLeapFrog`).
 //!
 //! Plus [`stencil`] (a 1-D heat solver exercising the collective
-//! family) and the shared-memory [`omp`] pair for `racecheck`: an
-//! unprotected-counter bug and a lock-order inversion.
+//! family), the shared-memory [`omp`] pair for `racecheck` (an
+//! unprotected-counter bug and a lock-order inversion), and the
+//! nonblocking [`reqlife`] ring exchange for `reqcheck` (a leaked
+//! `MPI_Isend` request and a divergent collective reduce-op).
 //!
 //! Each workload exposes `run_*(config, registry) → RunOutcome`; run
 //! the same config twice (one with `fault: None`) against a **shared
@@ -32,6 +34,7 @@ pub mod ilcs;
 pub mod lulesh;
 pub mod oddeven;
 pub mod omp;
+pub mod reqlife;
 pub mod stencil;
 pub mod tsp;
 
@@ -43,4 +46,5 @@ pub use omp::{
     run_omp_counter, run_omp_lockorder, OmpCounterConfig, OmpCounterFault, OmpLockOrderConfig,
     OmpLockOrderFault,
 };
+pub use reqlife::{run_reqlife, ReqLifeConfig, ReqLifeFault};
 pub use stencil::{run_stencil, StencilConfig, StencilFault};

@@ -23,8 +23,9 @@ use dt_trace::hb::HbLog;
 use dt_trace::{FunctionRegistry, TraceId, TraceSet};
 use std::sync::Arc;
 use workloads::{
-    run_lulesh, run_oddeven, run_omp_counter, run_stencil, LuleshConfig, LuleshFault,
-    OddEvenConfig, OmpCounterConfig, OmpCounterFault, RunOutcome, StencilConfig, StencilFault,
+    run_lulesh, run_oddeven, run_omp_counter, run_reqlife, run_stencil, LuleshConfig, LuleshFault,
+    OddEvenConfig, OmpCounterConfig, OmpCounterFault, ReqLifeConfig, ReqLifeFault, RunOutcome,
+    StencilConfig, StencilFault,
 };
 
 fn params() -> Params {
@@ -61,6 +62,13 @@ fn omp_counter(fault: Option<OmpCounterFault>) -> RunOutcome {
     run_omp_counter(&cfg, reg)
 }
 
+fn reqlife(fault: Option<ReqLifeFault>) -> RunOutcome {
+    let reg = Arc::new(FunctionRegistry::new());
+    let mut cfg = ReqLifeConfig::default_4();
+    cfg.fault = fault;
+    run_reqlife(&cfg, reg)
+}
+
 fn check(base: &RunOutcome, cand: &RunOutcome) -> Vec<DiffClass> {
     let p = params();
     let baseline = snapshot(&base.traces, &base.hb, &p);
@@ -77,6 +85,7 @@ fn clean_vs_clean_passes() {
     assert_eq!(check(&stencil(None), &stencil(None)), vec![]);
     assert_eq!(check(&oddeven(), &oddeven()), vec![]);
     assert_eq!(check(&lulesh(None), &lulesh(None)), vec![]);
+    assert_eq!(check(&reqlife(None), &reqlife(None)), vec![]);
 }
 
 /// The stencil tag-mismatch deadlock (recv↔recv) changes the NLR
@@ -156,6 +165,42 @@ fn omp_race_fault_fires_the_race_clause() {
     let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
     assert_eq!(report.failures(), vec![DiffClass::RaceRegression]);
     policy.require_clean_race.clear();
+    let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
+    assert!(report.passed(), "{}", report.render_text());
+}
+
+/// The divergent-reduce-op fault changes the faulty rank's collective
+/// signature markers (content + ranking) and fires the req-regression
+/// clause via RQ003 — and nothing else: the run still completes (the
+/// reduce op is not part of the match), so no traces vanish and
+/// hbcheck stays clean.
+#[test]
+fn coll_args_fault_fires_the_req_clause() {
+    let faulty = reqlife(Some(ReqLifeFault::MismatchedCollArgs { rank: 1 }));
+    assert!(!faulty.deadlocked, "the op mismatch must not stall the run");
+    let failures = check(&reqlife(None), &faulty);
+    assert_eq!(
+        failures,
+        vec![
+            DiffClass::NlrChanged,
+            DiffClass::RankingShift,
+            DiffClass::ReqRegression,
+        ]
+    );
+
+    // With content/ranking divergence tolerated, the verdict hangs on
+    // require_clean_req alone — and emptying that set passes.
+    let base = reqlife(None);
+    let cand = reqlife(Some(ReqLifeFault::MismatchedCollArgs { rank: 1 }));
+    let p = params();
+    let baseline = snapshot(&base.traces, &base.hb, &p);
+    let candidate = snapshot(&cand.traces, &cand.hb, &p);
+    let mut policy = Policy::default();
+    policy.tolerate.insert(DiffClass::NlrChanged);
+    policy.tolerate.insert(DiffClass::RankingShift);
+    let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
+    assert_eq!(report.failures(), vec![DiffClass::ReqRegression]);
+    policy.require_clean_req.clear();
     let report = evaluate(&baseline, &candidate, &policy, "candidate").unwrap();
     assert!(report.passed(), "{}", report.render_text());
 }
@@ -282,6 +327,18 @@ fn golden_fixture() -> Baseline {
                 warnings: 1,
             },
         ],
+        req: vec![
+            CodeCount {
+                code: "RQ001".to_string(),
+                errors: 1,
+                warnings: 0,
+            },
+            CodeCount {
+                code: "RQ005".to_string(),
+                errors: 0,
+                warnings: 2,
+            },
+        ],
     }
 }
 
@@ -291,13 +348,13 @@ fn golden_fixture() -> Baseline {
 /// (mirrors the cache-format pin in `tests/cache_equivalence.rs`).
 #[test]
 fn bundle_encoding_is_pinned() {
-    assert_eq!(dt_baseline::BUNDLE_FORMAT_VERSION, 2);
+    assert_eq!(dt_baseline::BUNDLE_FORMAT_VERSION, 3);
     let bytes = golden_fixture().encode();
     assert_eq!(bytes, golden_fixture().encode(), "encoding must be pure");
     let digest = sealed_hash(&bytes).expect("well-sealed");
     assert_eq!(
         format!("{digest:032x}"),
-        "e133601f082d2cd0a4e5aa7e9409d5fe",
+        "093a6cebe64f9f8a9a5429517e970cfe",
         "bundle wire format changed — bump BUNDLE_FORMAT_VERSION and re-pin"
     );
 }

@@ -49,6 +49,7 @@ fn opts(threads: usize, cache: Option<Arc<Cache>>) -> PipelineOptions {
         lint: LintGate::Off,
         hb: LintGate::Off,
         race: LintGate::Off,
+        req: LintGate::Off,
         cache,
     }
 }
