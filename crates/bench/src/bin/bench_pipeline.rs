@@ -14,6 +14,7 @@ use difftrace::{
     Params, PipelineOptions,
 };
 use dt_cache::Cache;
+use dt_obs::Recorder;
 use dt_trace::FunctionRegistry;
 use std::sync::Arc;
 use workloads::{run_oddeven, OddEvenConfig};
@@ -89,6 +90,43 @@ fn main() {
         );
     }
     cache.report_to(&rec);
+
+    // Best-of-K sweep timing for CI's bench_gate: a single sweep on
+    // this corpus takes single-digit milliseconds, so one-shot times
+    // jitter far beyond any useful gate tolerance. Measure K fresh
+    // cold/warm pairs and record the minima as counters; bench_gate
+    // holds these against the committed snapshot.
+    let (mut best_cold, mut best_cached) = (u64::MAX, u64::MAX);
+    for _ in 0..5 {
+        let cache = Arc::new(Cache::new());
+        let t = std::time::Instant::now();
+        let cold = sweep_parallel_cached_rec(
+            &normal,
+            &faulty,
+            &filters,
+            &AttrConfig::ALL,
+            cluster::Method::Ward,
+            0,
+            Some(cache.clone()),
+            &dt_obs::NOOP,
+        );
+        best_cold = best_cold.min(t.elapsed().as_nanos() as u64);
+        let t = std::time::Instant::now();
+        let warm = sweep_parallel_cached_rec(
+            &normal,
+            &faulty,
+            &filters,
+            &AttrConfig::ALL,
+            cluster::Method::Ward,
+            0,
+            Some(cache),
+            &dt_obs::NOOP,
+        );
+        best_cached = best_cached.min(t.elapsed().as_nanos() as u64);
+        assert_eq!(cold.len(), warm.len(), "gate sweep row count");
+    }
+    rec.add("sweep_cold_best_ns", best_cold);
+    rec.add("sweep_cached_best_ns", best_cached);
 
     let m = rec.finish("bench_pipeline", 0);
     let doc = m.to_json();

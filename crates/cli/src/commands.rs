@@ -59,6 +59,12 @@ fn usage_of(cmd: &str) -> &'static str {
         "racecheck" => "usage: difftrace racecheck <file.dtts>... [options]",
         "reqcheck" => "usage: difftrace reqcheck <file.dtts>... [options]",
         "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
+        "serve" => {
+            "usage: difftrace serve <file.dtts>... [--addr HOST:PORT] [--jobs N] [--cache DIR]"
+        }
+        "query" => {
+            "usage: difftrace query <HOST:PORT> <cmd> [<corpus> | <normal> <faulty>] [options]"
+        }
         "export" => "usage: difftrace export <normal.dtts> <faulty.dtts> <outdir> [options]",
         "sweep" => "usage: difftrace sweep <normal.dtts> <faulty.dtts> [options]",
         "cache" => "usage: difftrace cache <stats|clear> <DIR>",
@@ -145,7 +151,7 @@ impl ObsOpts {
         if let Some(path) = &self.metrics {
             let doc = m.to_json();
             debug_assert!(dt_obs::validate_json(&doc).is_ok());
-            std::fs::write(path, doc)
+            write_file_atomic(path, doc.as_bytes())
                 .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
         }
         Ok(())
@@ -180,7 +186,7 @@ USAGE:
 
   difftrace lint <file.dtts>... [--format text|json] [--gate warn|deny]
           [--domain expanded|compressed] [--deep] [--threads N] [--filter CODE]
-          [--profile] [--metrics FILE]
+          [--trace P.T] [--profile] [--metrics FILE]
       Static trace analysis *before* any diffing: stack discipline
       (TL001), cross-rank collective order (TL002), truncation (TL003),
       dead filters (TL004), NLR roundtrip (TL005), and — under --deep —
@@ -259,10 +265,39 @@ USAGE:
       --gate off --hb off --race off --req off.
 
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
-          [--cache DIR] [--profile] [--metrics FILE]
+          [--trace P.T] [--cache DIR] [--profile] [--metrics FILE]
       No-reference outlier analysis of ONE execution (the paper's
       §II-A mode): cluster traces, report the smallest clusters as
       outliers. --k 0 (default) picks the granularity automatically.
+      --trace P.T restricts the analysis to one trace, decoded through
+      the store's offset index without touching the rest of the file
+      (lint takes the same flag).
+
+  difftrace serve <file.dtts>... [--addr HOST:PORT] [--jobs N] [--cache DIR]
+      Persistent analysis daemon. Each file becomes a named corpus
+      (its file stem), opened ONCE behind the v3 offset index — no
+      trace is decoded until a query touches it, and decoded traces
+      stay cached across requests, as do intermediate analysis results
+      in the shared cache. Queries arrive as line-delimited JSON over
+      TCP (one request object per line, `id` echoed in the reply) and
+      run on a bounded worker pool (--jobs 0 = all cores). Supported
+      query cmds: lint hbcheck racecheck reqcheck diff single metrics
+      shutdown. Every reply's `output` is byte-identical to the
+      one-shot subcommand's stdout for the same query, at any worker
+      count. Default --addr 127.0.0.1:4178 (`:0` picks a free port;
+      the chosen address is printed). Malformed frames get diagnosed
+      `ok:false` replies; they never crash the daemon.
+
+  difftrace query <HOST:PORT> <cmd> [<corpus> | <normal> <faulty>]
+          [--format text|json] [--gate warn|deny] [--domain expanded|compressed]
+          [--deep] [--filter CODE] [--attrs CODE] [--linkage NAME] [--k N]
+          [--threads N] [--trace P.T] [--diffnlr P.T] [--full]
+      One-shot client for a running `difftrace serve`: sends <cmd>
+      against the named corpus (two names for diff: normal faulty;
+      none for metrics/shutdown) and prints the reply's output —
+      byte-identical to running the subcommand locally. --gate deny
+      exits 3 when the reply carries error-severity diagnostics; a
+      refused or failed query exits 2 with the daemon's diagnosis.
 
   difftrace export <normal.dtts> <faulty.dtts> <outdir>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--threads N]
@@ -371,6 +406,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("racecheck") => racecheck_cmd(&args[1..]),
         Some("reqcheck") => reqcheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]).map_err(CliError::Msg),
+        Some("query") => query_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
         Some("cache") => cache_cmd(&args[1..]).map_err(CliError::Msg),
         Some("baseline") => baseline_cmd(&args[1..]),
@@ -549,6 +586,31 @@ fn load(path: &str) -> Result<TraceSet, String> {
     store::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Load ONE trace from a store via the v3 offset index: the rest of
+/// the file's blobs are never decompressed. The store reports its
+/// decode tally (`store_trace_decodes`) into `rec`, which is how the
+/// laziness is asserted under `--metrics`.
+fn load_one_trace(path: &str, id: TraceId, rec: &dyn Recorder) -> Result<TraceSet, String> {
+    let ix = store::IndexedSet::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let sub = ix.subset(&[id]).map_err(|e| format!("{path}: {e}"))?;
+    ix.report_to(rec);
+    Ok(sub)
+}
+
+/// Write a CLI output file through the store's temp+rename helper, so
+/// no reader ever observes a partial file and a failed write leaves
+/// nothing behind at the destination. Every file this tool emits —
+/// metrics documents, export artifacts, baseline bundles, batch
+/// reports — goes through here.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    store::write_atomic(path, bytes).map_err(|e| match e {
+        // Callers prefix their own context; keep the raw OS error so
+        // the message reads like the plain `fs::write` one did.
+        store::StoreError::Io(io) => io.to_string(),
+        other => other.to_string(),
+    })
+}
+
 /// Open the persistent analysis cache when `--cache DIR` was given.
 fn open_cache(dir: Option<&PathBuf>) -> Result<Option<Arc<Cache>>, String> {
     match dir {
@@ -674,6 +736,7 @@ fn single(args: &[String]) -> Result<(), String> {
         freq: FreqMode::Actual,
     };
     let mut k = 0usize;
+    let mut trace: Option<TraceId> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
@@ -695,6 +758,10 @@ fn single(args: &[String]) -> Result<(), String> {
             "--k" => {
                 seen.check("--k")?;
                 k = value("--k")?.parse().map_err(|_| "bad --k")?;
+            }
+            "--trace" => {
+                seen.check("--trace")?;
+                trace = Some(dt_serve::render::parse_trace_id(&value("--trace")?)?);
             }
             "--cache" => {
                 seen.check("--cache")?;
@@ -726,7 +793,10 @@ fn single(args: &[String]) -> Result<(), String> {
     let rec = obs.recorder(&live);
     let set = {
         let _s = stage(rec, "load");
-        load(&path)?
+        match trace {
+            None => load(&path)?,
+            Some(id) => load_one_trace(&path, id, rec)?,
+        }
     };
     let params = difftrace::Params::new(filter, attrs);
     let popts = PipelineOptions {
@@ -734,30 +804,9 @@ fn single(args: &[String]) -> Result<(), String> {
         ..PipelineOptions::default()
     };
     let report = difftrace::analyze_single_opts_rec(&set, &params, k, &popts, rec);
-    println!("{} traces, {} clusters:", set.len(), report.clusters.len());
-    for (i, c) in report.clusters.iter().enumerate() {
-        println!(
-            "  cluster {i} ({} traces): {}",
-            c.len(),
-            c.iter()
-                .map(|t| t.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-    }
-    if report.outliers.is_empty() {
-        println!("no outliers — the execution looks homogeneous");
-    } else {
-        println!(
-            "outliers: {}",
-            report
-                .outliers
-                .iter()
-                .map(|t| t.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-    }
+    // Shared with `difftrace serve`, whose replies must be
+    // byte-identical to this stdout.
+    print!("{}", dt_serve::render::single_summary(set.len(), &report));
     report_cache(cache.as_ref(), rec);
     obs.emit(&live, "single", 1)?;
     Ok(())
@@ -768,6 +817,7 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
     let mut paths = Vec::new();
     let mut format = "text".to_string();
     let mut gate = LintGate::Warn;
+    let mut trace: Option<TraceId> = None;
     let mut opts = LintOptions::default();
     let mut obs = ObsOpts::default();
     let mut it = args.iter();
@@ -807,6 +857,10 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
                 seen.check("--filter")?;
                 opts.filter = Some(FilterConfig::parse_lenient(&value("--filter")?)?);
             }
+            "--trace" => {
+                seen.check("--trace")?;
+                trace = Some(dt_serve::render::parse_trace_id(&value("--trace")?)?);
+            }
             "--profile" => {
                 seen.check("--profile")?;
                 obs.profile = true;
@@ -823,7 +877,7 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
         return Err(usage_of("lint").to_string().into());
     }
     let live = MetricsRecorder::new();
-    let (rendered, errors) = lint_render(&paths, &format, &opts, obs.recorder(&live))?;
+    let (rendered, errors) = lint_render(&paths, &format, &opts, trace, obs.recorder(&live))?;
     print!("{rendered}");
     obs.emit(&live, "lint", opts.threads.max(1))?;
     if gate == LintGate::Deny && errors > 0 {
@@ -837,11 +891,15 @@ fn lint_cmd(args: &[String]) -> Result<(), CliError> {
 
 /// Render lint reports for `paths` — split out from [`lint_cmd`] so
 /// tests can assert the output is byte-identical across thread counts.
-/// Returns the rendered output and the total error count.
+/// Returns the rendered output and the total error count. With `trace`
+/// set, each file is opened through the v3 offset index and ONLY that
+/// trace is decoded (the decode tally lands in the metrics as
+/// `store_trace_decodes`).
 fn lint_render(
     paths: &[String],
     format: &str,
     opts: &LintOptions,
+    trace: Option<TraceId>,
     rec: &dyn Recorder,
 ) -> Result<(String, usize), String> {
     let mut out = String::new();
@@ -849,7 +907,10 @@ fn lint_render(
     for path in paths {
         let set = {
             let _s = stage(rec, "load");
-            load(path)?
+            match trace {
+                None => load(path)?,
+                Some(id) => load_one_trace(path, id, rec)?,
+            }
         };
         let report = {
             let _s = stage(rec, "lint");
@@ -1474,32 +1535,198 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
         opts.obs.emit(&live, "diff", opts.threads)?;
         return Ok(());
     }
-    println!(
-        "params: {} {} {}",
-        params.filter,
-        params.attrs,
-        params.linkage.name()
+    // Shared with `difftrace serve`, whose replies must be
+    // byte-identical to this stdout.
+    print!(
+        "{}",
+        dt_serve::render::diff_summary(&d, &params, opts.diffnlr)
     );
-    println!("B-score: {:.3}", d.bscore);
-    println!("suspicious processes: {:?}", d.suspicious_processes);
-    println!(
-        "suspicious threads:   {}",
-        d.suspicious_threads
-            .iter()
-            .map(|t| t.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let target = opts
-        .diffnlr
-        .or_else(|| d.suspicious_threads.first().copied());
-    if let Some(id) = target {
-        match d.diff_nlr(id) {
-            Some(dn) => println!("\n{dn}"),
-            None => println!("\n(no trace {id} in both runs)"),
+    opts.obs.emit(&live, "diff", opts.threads)?;
+    Ok(())
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut seen = Seen::new("serve");
+    let mut files = Vec::new();
+    let mut addr = "127.0.0.1:4178".to_string();
+    let mut jobs = 0usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => {
+                seen.check("--addr")?;
+                addr = value("--addr")?;
+            }
+            "--jobs" => {
+                seen.check("--jobs")?;
+                jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
+            }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache_dir = Some(PathBuf::from(value("--cache")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "serve")),
+            other => files.push(other.to_string()),
         }
     }
-    opts.obs.emit(&live, "diff", opts.threads)?;
+    if files.is_empty() {
+        return Err(usage_of("serve").to_string());
+    }
+    let mut corpora = Vec::new();
+    for f in &files {
+        let p = PathBuf::from(f);
+        let stem = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .ok_or_else(|| format!("{f}: cannot derive a corpus name from this path"))?;
+        corpora.push((stem, p));
+    }
+    let server = dt_serve::Server::bind(&dt_serve::ServeConfig {
+        addr,
+        corpora,
+        jobs,
+        cache_dir,
+    })?;
+    println!(
+        "listening on {} ({} corpora: {}; {} workers)",
+        server.local_addr(),
+        server.corpus_names().len(),
+        server.corpus_names().join(", "),
+        server.workers()
+    );
+    // Smoke scripts wait for the line above through a pipe; flush past
+    // the block buffering a non-tty stdout gets.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run()
+}
+
+fn query_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("query");
+    let mut positional = Vec::new();
+    let mut gate = LintGate::Warn;
+    let mut req = dt_serve::Request {
+        id: 1,
+        ..dt_serve::Request::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--format" => {
+                seen.check("--format")?;
+                req.format = Some(value("--format")?);
+            }
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--domain" => {
+                seen.check("--domain")?;
+                req.domain = Some(value("--domain")?);
+            }
+            "--deep" => {
+                seen.check("--deep")?;
+                req.deep = true;
+            }
+            "--filter" => {
+                seen.check("--filter")?;
+                req.filter = Some(value("--filter")?);
+            }
+            "--attrs" => {
+                seen.check("--attrs")?;
+                req.attrs = Some(value("--attrs")?);
+            }
+            "--linkage" => {
+                seen.check("--linkage")?;
+                req.linkage = Some(value("--linkage")?);
+            }
+            "--k" => {
+                seen.check("--k")?;
+                req.k = Some(value("--k")?.parse().map_err(|_| "bad --k")?);
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                req.threads = Some(value("--threads")?.parse().map_err(|_| "bad --threads")?);
+            }
+            "--trace" => {
+                seen.check("--trace")?;
+                req.trace = Some(value("--trace")?);
+            }
+            "--diffnlr" => {
+                seen.check("--diffnlr")?;
+                req.diffnlr = Some(value("--diffnlr")?);
+            }
+            "--full" => {
+                seen.check("--full")?;
+                req.full = true;
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "query").into()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let (addr, cmd, rest) = match positional.as_slice() {
+        [addr, cmd, rest @ ..] => (addr.clone(), cmd.clone(), rest.to_vec()),
+        _ => return Err(usage_of("query").to_string().into()),
+    };
+    req.cmd = cmd.clone();
+    match (cmd.as_str(), rest.as_slice()) {
+        ("metrics" | "shutdown", []) => {}
+        ("diff", [normal, faulty]) => {
+            req.normal = Some(normal.clone());
+            req.faulty = Some(faulty.clone());
+        }
+        ("lint" | "hbcheck" | "racecheck" | "reqcheck" | "single", [corpus]) => {
+            req.corpus = Some(corpus.clone());
+        }
+        _ => {
+            return Err(format!(
+                "wrong arguments for query cmd `{cmd}` ({})",
+                usage_of("query")
+            )
+            .into())
+        }
+    }
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    {
+        use std::io::Write as _;
+        writeln!(stream, "{}", dt_serve::request_line(&req))
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("sending query to {addr}: {e}"))?;
+    }
+    let mut reply = String::new();
+    {
+        use std::io::BufRead as _;
+        let mut reader = std::io::BufReader::new(&stream);
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("reading reply from {addr}: {e}"))?;
+    }
+    if reply.is_empty() {
+        return Err(format!("{addr}: connection closed before a reply arrived").into());
+    }
+    let resp = dt_serve::parse_response(reply.trim_end())?;
+    if !resp.ok {
+        return Err(CliError::Msg(resp.error));
+    }
+    print!("{}", resp.output);
+    if gate == LintGate::Deny && resp.errors > 0 {
+        return Err(CliError::LintDenied(format!(
+            "query gate denied: {} error(s) from `{cmd}`",
+            resp.errors
+        )));
+    }
     Ok(())
 }
 
@@ -1568,7 +1795,7 @@ fn export(args: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(&outdir);
     std::fs::create_dir_all(&dir).map_err(|e| format!("creating {outdir}: {e}"))?;
     let write = |name: &str, content: String| -> Result<(), String> {
-        std::fs::write(dir.join(name), content).map_err(|e| format!("{name}: {e}"))
+        write_file_atomic(&dir.join(name), content.as_bytes()).map_err(|e| format!("{name}: {e}"))
     };
     for (tag, run) in [("normal", &d.normal), ("faulty", &d.faulty)] {
         write(
@@ -1767,7 +1994,7 @@ fn baseline_record(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(parent)
             .map_err(|e| format!("creating {}: {e}", parent.display()))?;
     }
-    std::fs::write(&out_path, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    write_file_atomic(&out_path, &bytes).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {out}: {} trace(s), {} cluster(s), bundle {:#034x}",
         baseline.traces.len(),
@@ -1935,7 +2162,7 @@ fn baseline_check(args: &[String]) -> Result<(), CliError> {
                     .map(|s| s.to_string_lossy().into_owned())
                     .unwrap_or_else(|| "run".to_string());
                 let report_name = format!("{stem}.json");
-                std::fs::write(out.join(&report_name), report.render_json())
+                write_file_atomic(&out.join(&report_name), report.render_json().as_bytes())
                     .map_err(|e| format!("{report_name}: {e}"))?;
                 let verdict = if report.passed() {
                     "pass".to_string()
@@ -1960,7 +2187,7 @@ fn baseline_check(args: &[String]) -> Result<(), CliError> {
                 baseline.bundle_hash(),
                 index_rows.join(",")
             );
-            std::fs::write(out.join("index.json"), index)
+            write_file_atomic(&out.join("index.json"), index.as_bytes())
                 .map_err(|e| format!("index.json: {e}"))?;
             if rec.enabled() {
                 rec.add("baseline_runs_checked", runs.len() as u64);
@@ -2132,6 +2359,7 @@ mod tests {
                             domain,
                             ..LintOptions::default()
                         },
+                        None,
                         &dt_obs::NOOP,
                     )
                     .unwrap()
@@ -2161,6 +2389,7 @@ mod tests {
                 filter: Some(FilterConfig::parse_lenient("11.cust:*bad.K10").unwrap()),
                 ..LintOptions::default()
             },
+            None,
             &dt_obs::NOOP,
         )
         .unwrap();
@@ -2608,6 +2837,16 @@ mod tests {
             &[
                 "baseline", "check", "r", "b", "--cache", "c1", "--cache", "c2",
             ],
+            &["lint", "a.dtts", "--trace", "0.0", "--trace", "0.1"],
+            &["single", "r.dtts", "--trace", "0.0", "--trace", "0.1"],
+            &["serve", "a.dtts", "--jobs", "1", "--jobs", "2"],
+            &["serve", "a.dtts", "--addr", ":0", "--addr", ":1"],
+            &[
+                "query", "addr", "lint", "c", "--format", "json", "--format", "text",
+            ],
+            &[
+                "query", "addr", "lint", "c", "--gate", "warn", "--gate", "deny",
+            ],
         ];
         for case in dup_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -2633,6 +2872,8 @@ mod tests {
             &["cache", "stats", "d", "--bogus"],
             &["baseline", "record", "r", "b", "--bogus"],
             &["baseline", "check", "r", "b", "--bogus"],
+            &["serve", "a.dtts", "--bogus"],
+            &["query", "addr", "lint", "c", "--bogus"],
         ];
         for case in unknown_cases {
             let err = dispatch(&s(case)).unwrap_err();
@@ -2821,6 +3062,114 @@ mod tests {
         // --dir without --out (and --out without --dir) are usage errors.
         assert!(dispatch(&s(&["baseline", "check", "--dir", &runs, &b])).is_err());
         assert!(dispatch(&s(&["baseline", "check", "--out", &out, &n, &b])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: every file the CLI writes goes through temp+rename.
+    /// A write that fails at the destination must leave no partial
+    /// file and no temp debris — here the destination is squatted by a
+    /// directory, so the final rename (not the data write) fails.
+    #[test]
+    fn failed_writes_leave_no_partial_file_or_debris() {
+        let dir = std::env::temp_dir().join("difftrace_cli_atomic_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let n = format!("{dirs}/normal.dtts");
+
+        let debris = |label: &str| {
+            let left: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|name| name.contains(".tmp."))
+                .collect();
+            assert!(left.is_empty(), "{label}: temp debris {left:?}");
+        };
+
+        // --metrics output.
+        let squat = dir.join("metrics.json");
+        std::fs::create_dir_all(&squat).unwrap();
+        let err = dispatch(&s(&["lint", &n, "--metrics", squat.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("writing metrics"), "{err}");
+        assert!(squat.is_dir(), "squatting directory must survive");
+        debris("metrics");
+
+        // baseline bundles (--force skips the overwrite refusal so the
+        // write itself is what fails).
+        let bundle = dir.join("base.dtb");
+        std::fs::create_dir_all(&bundle).unwrap();
+        let err = dispatch(&s(&[
+            "baseline",
+            "record",
+            &n,
+            bundle.to_str().unwrap(),
+            "--force",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("base.dtb"), "{err}");
+        assert!(bundle.is_dir(), "squatting directory must survive");
+        debris("baseline record");
+    }
+
+    /// Tentpole plumbing: `--trace P.T` routes lint/single through the
+    /// v3 offset index — exactly one blob decode, recorded in the
+    /// metrics document — and matches a hand-built one-trace subset.
+    #[test]
+    fn trace_flag_decodes_exactly_one_trace() {
+        let dir = std::env::temp_dir().join("difftrace_cli_trace_flag_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap().to_string();
+        dispatch(&s(&["demo", "oddeven", &dirs])).unwrap();
+        let f = format!("{dirs}/faulty.dtts");
+        let set = store::load(Path::new(&f)).unwrap();
+        assert!(set.len() > 1, "need a multi-trace corpus");
+        let id = set.ids()[0];
+
+        let metrics = |name: &str| format!("{dirs}/{name}.json");
+        dispatch(&s(&[
+            "lint",
+            &f,
+            "--trace",
+            &id.to_string(),
+            "--metrics",
+            &metrics("lint"),
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(metrics("lint")).unwrap();
+        assert!(doc.contains("\"store_trace_decodes\":1"), "{doc}");
+
+        dispatch(&s(&[
+            "single",
+            &f,
+            "--trace",
+            &id.to_string(),
+            "--metrics",
+            &metrics("single"),
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(metrics("single")).unwrap();
+        assert!(doc.contains("\"store_trace_decodes\":1"), "{doc}");
+
+        // The restricted report equals linting a hand-built subset.
+        let (out, _) = lint_render(
+            std::slice::from_ref(&f),
+            "text",
+            &LintOptions::default(),
+            Some(id),
+            &dt_obs::NOOP,
+        )
+        .unwrap();
+        let mut sub = TraceSet::new(set.registry.clone());
+        sub.insert(set.get(id).unwrap().clone());
+        assert_eq!(out, lint_set(&sub, &LintOptions::default()).render_text());
+
+        // Unknown trace → diagnosed error; bad spec → argument error.
+        let err = dispatch(&s(&["lint", &f, "--trace", "99.99"])).unwrap_err();
+        assert!(err.to_string().contains("not in store"), "{err}");
+        assert!(dispatch(&s(&["lint", &f, "--trace", "zz"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

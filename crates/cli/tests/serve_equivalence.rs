@@ -1,0 +1,222 @@
+//! Serve equivalence suite: every response the daemon hands back must be
+//! byte-identical to what the one-shot CLI prints for the same analysis,
+//! at any worker count and under concurrent mixed load. The daemon runs
+//! in-process ([`dt_serve::Server`]); the one-shot side and the `query`
+//! client run as real `difftrace` subprocesses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_difftrace"))
+}
+
+/// Run the one-shot CLI and return its stdout. Check commands exit 0
+/// here because no gate is requested; the report itself goes to stdout.
+fn oneshot(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn difftrace");
+    assert!(
+        out.status.success(),
+        "one-shot {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+struct Fixture {
+    dir: PathBuf,
+    normal: String,
+    faulty: String,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!(
+            "difftrace_serve_equiv_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap();
+        let status = bin().args(["demo", "oddeven", dirs]).status().unwrap();
+        assert!(status.success(), "demo recording failed");
+        Fixture {
+            normal: format!("{dirs}/normal.dtts"),
+            faulty: format!("{dirs}/faulty.dtts"),
+            dir,
+        }
+    }
+
+    fn serve(&self, jobs: usize) -> dt_serve::Server {
+        dt_serve::Server::bind(&dt_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            corpora: vec![
+                ("normal".into(), PathBuf::from(&self.normal)),
+                ("faulty".into(), PathBuf::from(&self.faulty)),
+            ],
+            jobs,
+            cache_dir: None,
+        })
+        .expect("bind daemon")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// The mixed query workload: one-shot CLI argv paired with the `query`
+/// argv tail (after the address). Corpus names are the file stems.
+fn cases<'a>(normal: &'a str, faulty: &'a str) -> Vec<(Vec<&'a str>, Vec<&'a str>)> {
+    vec![
+        (vec!["lint", faulty], vec!["lint", "faulty"]),
+        (
+            vec!["lint", faulty, "--format", "json"],
+            vec!["lint", "faulty", "--format", "json"],
+        ),
+        (vec!["hbcheck", normal], vec!["hbcheck", "normal"]),
+        (vec!["racecheck", faulty], vec!["racecheck", "faulty"]),
+        (vec!["reqcheck", faulty], vec!["reqcheck", "faulty"]),
+        (vec!["single", faulty], vec!["single", "faulty"]),
+        (
+            vec!["diff", normal, faulty],
+            vec!["diff", "normal", "faulty"],
+        ),
+        (
+            vec!["diff", normal, faulty, "--full"],
+            vec!["diff", "normal", "faulty", "--full"],
+        ),
+    ]
+}
+
+fn shutdown(addr: &str) {
+    let out = bin().args(["query", addr, "shutdown"]).output().unwrap();
+    assert!(out.status.success(), "shutdown query failed");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("shutting down"),
+        "unexpected shutdown reply"
+    );
+}
+
+#[test]
+fn served_responses_match_the_one_shot_cli_at_any_worker_count() {
+    let fx = Fixture::new("bytes");
+    let expected: Vec<(Vec<&str>, Vec<&str>, String)> = cases(&fx.normal, &fx.faulty)
+        .into_iter()
+        .map(|(cli, query)| {
+            let out = oneshot(&cli);
+            assert!(!out.is_empty(), "{cli:?} printed nothing");
+            (cli, query, out)
+        })
+        .collect();
+
+    for jobs in [1usize, 4] {
+        let server = fx.serve(jobs);
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        // Every case queried concurrently, several rounds each, so the
+        // worker pool actually interleaves requests.
+        let expected = Arc::new(expected.clone());
+        let mut clients = Vec::new();
+        for (i, (_, query, want)) in expected.iter().cloned().enumerate() {
+            let addr = addr.clone();
+            let query: Vec<String> = query.iter().map(|s| s.to_string()).collect();
+            clients.push(std::thread::spawn(move || {
+                for round in 0..3 {
+                    let out = bin()
+                        .arg("query")
+                        .arg(&addr)
+                        .args(&query)
+                        .output()
+                        .expect("spawn query client");
+                    assert!(
+                        out.status.success(),
+                        "case {i} round {round} {:?}: {}",
+                        query,
+                        String::from_utf8_lossy(&out.stderr)
+                    );
+                    assert_eq!(
+                        String::from_utf8_lossy(&out.stdout),
+                        want,
+                        "case {i} round {round} {:?} diverged from the one-shot CLI",
+                        query
+                    );
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+
+        shutdown(&addr);
+        handle.join().expect("server thread").expect("server run");
+    }
+}
+
+#[test]
+fn query_client_surfaces_errors_and_gates_with_cli_exit_codes() {
+    let fx = Fixture::new("codes");
+    let server = fx.serve(2);
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Unknown corpus → diagnosed error, generic-failure exit code 2.
+    let out = bin()
+        .args(["query", &addr, "lint", "nosuch"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown corpus"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A malformed raw frame gets a diagnosed refusal, and the daemon
+    // keeps serving on the same connection.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":false"), "reply: {line}");
+    line.clear();
+    stream
+        .write_all(b"{\"id\":7,\"cmd\":\"lint\",\"corpus\":\"faulty\"}\n")
+        .unwrap();
+    stream.flush().unwrap();
+    reader.read_line(&mut line).unwrap();
+    let resp = dt_serve::parse_response(line.trim_end()).expect("well-formed reply");
+    assert!(resp.ok, "daemon wedged after malformed frame: {line}");
+    assert_eq!(resp.id, 7);
+
+    // `--gate deny` maps the served error count onto the same exit code
+    // the one-shot gate uses: 3 when errors were found, 0 otherwise.
+    let out = bin()
+        .args(["query", &addr, "lint", "faulty", "--gate", "deny"])
+        .output()
+        .unwrap();
+    if resp.errors > 0 {
+        assert_eq!(out.status.code(), Some(3), "expected the deny exit code");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("query gate denied"),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    } else {
+        assert_eq!(out.status.code(), Some(0));
+    }
+    // The report still reaches stdout either way.
+    assert!(!out.stdout.is_empty());
+
+    shutdown(&addr);
+    handle.join().expect("server thread").expect("server run");
+}

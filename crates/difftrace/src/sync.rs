@@ -171,6 +171,90 @@ where
     slots.into_iter().map(|s| s.take()).collect()
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A small persistent worker pool: N threads draining one shared job
+/// queue. Unlike [`par_map`]'s scoped per-call workers, the threads
+/// outlive any single request — the scheduling substrate a resident
+/// server (`difftrace serve`) puts its queries on, so concurrent
+/// requests share a bounded set of analysis workers instead of
+/// spawning unboundedly.
+///
+/// [`Pool::run`] blocks the *calling* thread until its job finishes,
+/// so per-request code reads sequentially; concurrency comes from many
+/// callers. A panicking job is caught on the worker (which survives to
+/// serve the next job) and re-raised on the caller.
+pub struct Pool {
+    tx: Option<std::sync::mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool with the given thread knob (`0` = all available
+    /// parallelism).
+    pub fn new(threads: usize) -> Pool {
+        let threads = effective_threads(threads, usize::MAX);
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while *receiving*, never while
+                    // running a job, so workers drain in parallel.
+                    let job = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // pool dropped
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `f` on a pool worker and return its result, blocking the
+    /// caller until it is done. If `f` panics, the panic crosses back
+    /// to the caller; the worker survives.
+    pub fn run<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job: Job = Box::new(move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(out);
+        });
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(job)
+            .expect("pool workers alive");
+        match rx.recv().expect("worker delivers exactly one result") {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; workers see Err and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 /// Run two closures, possibly on two threads, and return both results.
 /// With `parallel == false` they run sequentially on the caller's
 /// thread (left first), which is the exact sequential path.
@@ -227,6 +311,46 @@ mod tests {
             assert_eq!(a, 2);
             assert_eq!(b, 3);
         }
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_returns_results() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.run(|| 6 * 7), 42);
+        // Concurrent callers all get their own answers.
+        let pool = std::sync::Arc::new(pool);
+        std::thread::scope(|s| {
+            for i in 0..16u64 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || assert_eq!(pool.run(move || i * i), i * i));
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = Pool::new(1);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| panic!("job exploded"));
+        }));
+        assert!(boom.is_err());
+        // The single worker is still alive and serving.
+        assert_eq!(pool.run(|| "still here"), "still here");
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        let pool = Pool::new(2);
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = std::sync::Arc::clone(&counter);
+            pool.run(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]

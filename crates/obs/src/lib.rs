@@ -151,6 +151,23 @@ impl MetricsRecorder {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Live snapshot of every monotonic counter recorded so far,
+    /// sorted by name. Unlike [`MetricsRecorder::finish`] this takes
+    /// no command context — it is the cheap probe a long-running
+    /// server polls for its `metrics` query between requests.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Live value of one counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Snapshot everything recorded so far into a [`Metrics`] document.
     pub fn finish(&self, command: &str, threads: usize) -> Metrics {
         let inner = self.lock();
@@ -590,5 +607,26 @@ mod tests {
         assert!(t.contains("events_kept"), "{t}");
         assert!(t.contains("workers[mine]"), "{t}");
         assert!(t.contains("max/mean"), "{t}");
+    }
+
+    /// The live-counter probe reads without consuming: values keep
+    /// accumulating afterwards, and a later `finish` still sees
+    /// everything.
+    #[test]
+    fn live_counter_snapshot_is_nondestructive() {
+        let rec = MetricsRecorder::new();
+        assert_eq!(rec.counter("requests"), 0);
+        assert!(rec.counters().is_empty());
+        rec.add("requests", 2);
+        rec.add("cache_hits", 1);
+        assert_eq!(rec.counter("requests"), 2);
+        assert_eq!(
+            rec.counters(),
+            vec![("cache_hits".to_string(), 1), ("requests".to_string(), 2)]
+        );
+        rec.add("requests", 1);
+        assert_eq!(rec.counter("requests"), 3);
+        let m = rec.finish("serve", 1);
+        assert!(m.counters.contains(&("requests".to_string(), 3)));
     }
 }

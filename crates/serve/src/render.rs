@@ -1,0 +1,106 @@
+//! Stdout renderers shared by the one-shot CLI and the daemon.
+//!
+//! The serve contract is *byte identity*: a served reply's `output`
+//! must equal what `difftrace <cmd> …` prints for the same query. The
+//! only safe way to keep two front ends byte-identical is to make them
+//! call the same code — so the `diff` and `single` summaries, which
+//! used to be inline `println!`s in the CLI, live here and both sides
+//! render through them. (The check commands need no shared helper:
+//! their whole stdout is `Report::render_text`/`render_json`, already
+//! one function.)
+
+use difftrace::{DiffRun, Params, SingleRunReport};
+use dt_trace::TraceId;
+
+/// The default `difftrace diff` summary: params echo, B-score,
+/// suspect lists, and the diffNLR view of `diffnlr` (or, when `None`,
+/// of the top suspicious thread).
+pub fn diff_summary(d: &DiffRun, params: &Params, diffnlr: Option<TraceId>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "params: {} {} {}\n",
+        params.filter,
+        params.attrs,
+        params.linkage.name()
+    ));
+    out.push_str(&format!("B-score: {:.3}\n", d.bscore));
+    out.push_str(&format!(
+        "suspicious processes: {:?}\n",
+        d.suspicious_processes
+    ));
+    out.push_str(&format!(
+        "suspicious threads:   {}\n",
+        d.suspicious_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    let target = diffnlr.or_else(|| d.suspicious_threads.first().copied());
+    if let Some(id) = target {
+        match d.diff_nlr(id) {
+            Some(dn) => out.push_str(&format!("\n{dn}\n")),
+            None => out.push_str(&format!("\n(no trace {id} in both runs)\n")),
+        }
+    }
+    out
+}
+
+/// The `difftrace single` summary: cluster membership plus the
+/// outlier verdict. `set_len` is the analyzed trace count.
+pub fn single_summary(set_len: usize, report: &SingleRunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} traces, {} clusters:\n",
+        set_len,
+        report.clusters.len()
+    ));
+    for (i, c) in report.clusters.iter().enumerate() {
+        out.push_str(&format!(
+            "  cluster {i} ({} traces): {}\n",
+            c.len(),
+            c.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if report.outliers.is_empty() {
+        out.push_str("no outliers — the execution looks homogeneous\n");
+    } else {
+        out.push_str(&format!(
+            "outliers: {}\n",
+            report
+                .outliers
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out
+}
+
+/// Parse a `"P.T"` trace spec — the `--trace`/`--diffnlr` value and
+/// the wire `trace`/`diffnlr` fields go through the same function.
+pub fn parse_trace_id(spec: &str) -> Result<TraceId, String> {
+    let (p, t) = spec
+        .split_once('.')
+        .ok_or_else(|| format!("trace spec wants P.T, got `{spec}`"))?;
+    Ok(TraceId::new(
+        p.parse().map_err(|_| "bad process id".to_string())?,
+        t.parse().map_err(|_| "bad thread id".to_string())?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_spec_parses_and_diagnoses() {
+        assert_eq!(parse_trace_id("3.1").unwrap(), TraceId::new(3, 1));
+        assert!(parse_trace_id("31").is_err());
+        assert!(parse_trace_id("a.b").is_err());
+    }
+}

@@ -66,4 +66,5 @@ pub use race::RaceOp;
 pub use registry::{FnId, FunctionRegistry};
 pub use req::ReqMarker;
 pub use stats::{ProcessStats, TraceSetStats, TraceStats};
+pub use store::{IndexedSet, StoreError, STORE_FORMAT_VERSION};
 pub use trace::{Trace, TraceId, TraceSet};

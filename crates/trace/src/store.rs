@@ -7,7 +7,11 @@
 //! registry: varint count ∥ (varint len ∥ utf8 bytes)*
 //! traces:   varint count ∥ (process:varint ∥ thread:varint ∥
 //!                           truncated:u8 ∥ varint blob_len ∥ blob)*
-//! hb:       (v2 only) present:u8 ∥ HbLog section (see [`crate::hb`])
+//! hb:       (v2+) present:u8 ∥ HbLog section (see [`crate::hb`])
+//! index:    (v3+) "DTIX" ∥ varint count ∥
+//!                 (process ∥ thread ∥ truncated:u8 ∥
+//!                  blob_off:varint ∥ blob_len:varint)*
+//! footer:   (v3+) hb_off:u64 LE ∥ index_off:u64 LE
 //! ```
 //!
 //! where each `blob` is the [`crate::compress`] encoding of the trace's
@@ -15,8 +19,16 @@
 //! writes them, and decompressed by DiffTrace's pre-processing stage.
 //!
 //! Version 2 appends the happens-before log (vector-clock-stamped MPI
-//! events plus blocked-operation state) that `hbcheck` analyzes. V1
-//! files still load — they simply carry an empty [`HbLog`].
+//! events plus blocked-operation state) that `hbcheck` analyzes.
+//! Version 3 appends a per-trace offset index plus a fixed-size footer
+//! so [`IndexedSet`] can open a corpus without decoding (or even
+//! touching) any trace blob: `blob_off` is the absolute file offset of
+//! that trace's compressed blob, `hb_off` the offset of the
+//! HB-presence byte, `index_off` the offset of the `"DTIX"` magic.
+//! Earlier-version files still load — they simply carry an empty
+//! [`HbLog`] (v1) and, for [`IndexedSet`], pay one cheap header scan
+//! to reconstruct the index. Readers predating v3 diagnose v3 files
+//! as `unsupported DTTS version` rather than misparsing the tail.
 
 use crate::compress::{self, read_varint, write_varint, CodecError};
 use crate::hb::HbLog;
@@ -27,7 +39,14 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DTTS";
-const VERSION: u8 = 2;
+const INDEX_MAGIC: &[u8; 4] = b"DTIX";
+
+/// Current `.dtts` container version. Bumped to 3 when the per-trace
+/// offset index + footer were appended for [`IndexedSet`]; readers
+/// older than the bump reject newer files with a diagnosed
+/// `unsupported DTTS version` error instead of misparsing them.
+pub const STORE_FORMAT_VERSION: u8 = 3;
+const VERSION: u8 = STORE_FORMAT_VERSION;
 
 /// Error reading a trace-set file.
 #[derive(Debug)]
@@ -40,6 +59,9 @@ pub enum StoreError {
     Codec(CodecError),
     /// Embedded string was not UTF-8.
     Utf8,
+    /// Structural problem that needs runtime context to describe
+    /// (e.g. *which* trace stem collides).
+    Invalid(String),
 }
 
 impl fmt::Display for StoreError {
@@ -49,6 +71,7 @@ impl fmt::Display for StoreError {
             StoreError::Format(m) => write!(f, "trace store format error: {m}"),
             StoreError::Codec(e) => write!(f, "trace store codec error: {e}"),
             StoreError::Utf8 => write!(f, "trace store contains invalid UTF-8"),
+            StoreError::Invalid(m) => write!(f, "trace store format error: {m}"),
         }
     }
 }
@@ -91,14 +114,18 @@ pub fn to_bytes_full(set: &TraceSet, hb: Option<&HbLog>) -> Vec<u8> {
     }
 
     write_varint(&mut out, set.len() as u64);
+    // (id, truncated, blob_off, blob_len) per trace, for the v3 index.
+    let mut index = Vec::with_capacity(set.len());
     for t in set.iter() {
         write_varint(&mut out, u64::from(t.id.process));
         write_varint(&mut out, u64::from(t.id.thread));
         out.push(u8::from(t.truncated));
         let blob = compress::compress(&t.to_symbols());
         write_varint(&mut out, blob.len() as u64);
+        index.push((t.id, t.truncated, out.len() as u64, blob.len() as u64));
         out.extend_from_slice(&blob);
     }
+    let hb_off = out.len() as u64;
     match hb {
         Some(hb) => {
             out.push(1);
@@ -106,6 +133,18 @@ pub fn to_bytes_full(set: &TraceSet, hb: Option<&HbLog>) -> Vec<u8> {
         }
         None => out.push(0),
     }
+    let index_off = out.len() as u64;
+    out.extend_from_slice(INDEX_MAGIC);
+    write_varint(&mut out, index.len() as u64);
+    for (id, truncated, blob_off, blob_len) in index {
+        write_varint(&mut out, u64::from(id.process));
+        write_varint(&mut out, u64::from(id.thread));
+        out.push(u8::from(truncated));
+        write_varint(&mut out, blob_off);
+        write_varint(&mut out, blob_len);
+    }
+    out.extend_from_slice(&hb_off.to_le_bytes());
+    out.extend_from_slice(&index_off.to_le_bytes());
     out
 }
 
@@ -124,7 +163,7 @@ pub fn from_bytes_full(buf: &[u8]) -> Result<(TraceSet, HbLog), StoreError> {
         return Err(StoreError::Format("bad magic (not a DTTS file)"));
     }
     let version = buf[4];
-    if version != 1 && version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(StoreError::Format("unsupported DTTS version"));
     }
     let mut at = 5usize;
@@ -186,7 +225,12 @@ pub fn from_bytes_full(buf: &[u8]) -> Result<(TraceSet, HbLog), StoreError> {
 /// in the same directory, then rename it over the destination. A crash
 /// (or full disk) mid-write leaves any previous file at `path` intact
 /// instead of a truncated one; the failed temp file is cleaned up.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+///
+/// Public so every tool output in the workspace (baseline bundles,
+/// batch reports, exported CSVs, metrics files) can share the store's
+/// crash-safety discipline instead of re-deriving it with bare
+/// `std::fs::write`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
@@ -283,6 +327,10 @@ pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
     let registry = Arc::new(FunctionRegistry::from_names(names));
     let mut set = TraceSet::new(registry);
 
+    // Collect and sort trace files by name before insertion:
+    // `read_dir` order is OS-dependent, and error reporting (which
+    // file failed, which stems collide) must not depend on it.
+    let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
@@ -295,9 +343,14 @@ pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
             }
             continue;
         };
-        let Some(stem) = name.strip_suffix(".dtt") else {
-            continue;
-        };
+        if name.ends_with(".dtt") {
+            files.push((name.to_string(), entry.path()));
+        }
+    }
+    files.sort();
+
+    for (name, path) in files {
+        let stem = name.strip_suffix(".dtt").expect("collected above");
         let Some((p, t)) = stem.split_once('.') else {
             return Err(StoreError::Format("trace file name is not <p>.<t>.dtt"));
         };
@@ -307,7 +360,15 @@ pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
             t.parse::<u32>()
                 .map_err(|_| StoreError::Format("bad thread id in file name"))?,
         );
-        let buf = std::fs::read(entry.path())?;
+        let id = TraceId::new(process, thread);
+        if set.get(id).is_some() {
+            // Two stems parsing to the same trace id (e.g. "01.2.dtt"
+            // vs "1.2.dtt") used to shadow silently in read_dir order.
+            return Err(StoreError::Invalid(format!(
+                "duplicate trace stem: {name} collides with an earlier file for trace {id}"
+            )));
+        }
+        let buf = std::fs::read(&path)?;
         if buf.len() < 5 || &buf[..4] != THREAD_MAGIC {
             return Err(StoreError::Format("bad per-thread trace file header"));
         }
@@ -324,6 +385,300 @@ pub fn load_dir(dir: &Path) -> Result<TraceSet, StoreError> {
         ));
     }
     Ok(set)
+}
+
+/// One trace's location inside an [`IndexedSet`]'s byte image.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    id: TraceId,
+    truncated: bool,
+    off: usize,
+    len: usize,
+}
+
+/// An index-backed, lazily-decoded view of a `.dtts` corpus.
+///
+/// `open` parses only the registry, the happens-before log, and the
+/// per-trace offset index (read directly from a v3 file's tail; for
+/// v1/v2 files reconstructed by a header scan that *skips* every
+/// blob). No trace blob is decompressed until someone asks for that
+/// trace, so a single-trace query touches one trace's bytes instead of
+/// the whole corpus. Decoded traces are cached interior-mutably —
+/// `get` takes `&self` and is safe to call from many threads; the
+/// first caller for a given trace decodes it, concurrent callers for
+/// the same trace block on that decode, and everyone else proceeds
+/// independently.
+///
+/// The number of blob decodes actually performed is counted and can be
+/// reported as the dt-obs `store_trace_decodes` counter via
+/// [`IndexedSet::report_to`] — the observable proof that lazy decode
+/// stays lazy.
+pub struct IndexedSet {
+    buf: Vec<u8>,
+    /// Shared function-name table (parsed eagerly — it is small and
+    /// every consumer needs it).
+    pub registry: Arc<FunctionRegistry>,
+    entries: Vec<IndexEntry>,
+    hb: HbLog,
+    cells: Vec<std::sync::OnceLock<Option<Trace>>>,
+    full: std::sync::OnceLock<Arc<TraceSet>>,
+    decodes: std::sync::atomic::AtomicU64,
+}
+
+impl fmt::Debug for IndexedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IndexedSet")
+            .field("traces", &self.entries.len())
+            .field("decoded", &self.decode_count())
+            .finish()
+    }
+}
+
+impl IndexedSet {
+    /// Open a `.dtts` file lazily.
+    pub fn open(path: &Path) -> Result<IndexedSet, StoreError> {
+        IndexedSet::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Build an indexed view over an in-memory `.dtts` image.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<IndexedSet, StoreError> {
+        if buf.len() < 5 {
+            return Err(StoreError::Format("file too short"));
+        }
+        if &buf[..4] != MAGIC {
+            return Err(StoreError::Format("bad magic (not a DTTS file)"));
+        }
+        let version = buf[4];
+        if !(1..=VERSION).contains(&version) {
+            return Err(StoreError::Format("unsupported DTTS version"));
+        }
+        let mut at = 5usize;
+        let n_names = read_varint(&buf, &mut at)? as usize;
+        let mut names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            let len = read_varint(&buf, &mut at)? as usize;
+            let bytes = buf
+                .get(at..at + len)
+                .ok_or(StoreError::Format("name overruns file"))?;
+            at += len;
+            names.push(String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Utf8)?);
+        }
+        let registry = Arc::new(FunctionRegistry::from_names(names));
+
+        let (mut entries, hb_at) = if version >= 3 {
+            Self::read_index(&buf)?
+        } else {
+            Self::scan_headers(&buf, at)?
+        };
+        for e in &entries {
+            if e.off.checked_add(e.len).is_none_or(|end| end > buf.len()) {
+                return Err(StoreError::Format("index entry overruns file"));
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        if entries.windows(2).any(|w| w[0].id == w[1].id) {
+            return Err(StoreError::Format("duplicate trace id in store"));
+        }
+
+        let hb = if version >= 2 {
+            let mut at = hb_at;
+            match buf.get(at) {
+                Some(0) => HbLog::default(),
+                Some(1) => {
+                    at += 1;
+                    HbLog::read_from(&buf, &mut at)
+                        .ok_or(StoreError::Format("malformed happens-before section"))?
+                }
+                Some(_) => return Err(StoreError::Format("bad HB-presence flag")),
+                None => return Err(StoreError::Format("file ends before HB section")),
+            }
+        } else {
+            HbLog::default()
+        };
+
+        let n = entries.len();
+        Ok(IndexedSet {
+            buf,
+            registry,
+            entries,
+            hb,
+            cells: (0..n).map(|_| std::sync::OnceLock::new()).collect(),
+            full: std::sync::OnceLock::new(),
+            decodes: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Read the v3 tail: footer → index section. Returns the entries
+    /// and the offset of the HB-presence byte.
+    fn read_index(buf: &[u8]) -> Result<(Vec<IndexEntry>, usize), StoreError> {
+        if buf.len() < 16 {
+            return Err(StoreError::Format("v3 file too short for footer"));
+        }
+        let foot = buf.len() - 16;
+        let hb_off = u64::from_le_bytes(buf[foot..foot + 8].try_into().unwrap()) as usize;
+        let index_off = u64::from_le_bytes(buf[foot + 8..].try_into().unwrap()) as usize;
+        if hb_off >= foot || index_off >= foot || hb_off > index_off {
+            return Err(StoreError::Format("bad v3 footer offsets"));
+        }
+        if buf.get(index_off..index_off + 4) != Some(INDEX_MAGIC.as_slice()) {
+            return Err(StoreError::Format("bad index magic"));
+        }
+        let mut at = index_off + 4;
+        let count = read_varint(buf, &mut at)? as usize;
+        if count > foot - index_off {
+            return Err(StoreError::Format("index count overruns file"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let process = read_varint(buf, &mut at)? as u32;
+            let thread = read_varint(buf, &mut at)? as u32;
+            let truncated = match buf.get(at) {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err(StoreError::Format("bad truncated flag in index")),
+            };
+            at += 1;
+            let off = read_varint(buf, &mut at)? as usize;
+            let len = read_varint(buf, &mut at)? as usize;
+            entries.push(IndexEntry {
+                id: TraceId::new(process, thread),
+                truncated,
+                off,
+                len,
+            });
+        }
+        Ok((entries, hb_off))
+    }
+
+    /// Reconstruct the index for a v1/v2 file by scanning trace
+    /// headers and *skipping* each blob — cheap (no decompression),
+    /// one pass over the header bytes.
+    fn scan_headers(buf: &[u8], mut at: usize) -> Result<(Vec<IndexEntry>, usize), StoreError> {
+        let n_traces = read_varint(buf, &mut at)? as usize;
+        let mut entries = Vec::with_capacity(n_traces.min(buf.len()));
+        for _ in 0..n_traces {
+            let process = read_varint(buf, &mut at)? as u32;
+            let thread = read_varint(buf, &mut at)? as u32;
+            let truncated = match buf.get(at) {
+                Some(0) => false,
+                Some(1) => true,
+                Some(_) => return Err(StoreError::Format("bad truncated flag")),
+                None => return Err(StoreError::Format("file ends mid-trace")),
+            };
+            at += 1;
+            let len = read_varint(buf, &mut at)? as usize;
+            if at.checked_add(len).is_none_or(|end| end > buf.len()) {
+                return Err(StoreError::Format("blob overruns file"));
+            }
+            entries.push(IndexEntry {
+                id: TraceId::new(process, thread),
+                truncated,
+                off: at,
+                len,
+            });
+            at += len;
+        }
+        Ok((entries, at))
+    }
+
+    /// Number of traces in the corpus (decoded or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All trace ids, in sorted order — without decoding anything.
+    pub fn ids(&self) -> Vec<TraceId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Does the corpus contain `id`? (No decode.)
+    pub fn contains(&self, id: TraceId) -> bool {
+        self.entries.binary_search_by_key(&id, |e| e.id).is_ok()
+    }
+
+    /// The happens-before log (parsed eagerly at open).
+    pub fn hb(&self) -> &HbLog {
+        &self.hb
+    }
+
+    /// Fetch one trace, decoding it on first access. Concurrent calls
+    /// are safe; each blob is decompressed at most once.
+    pub fn get(&self, id: TraceId) -> Result<&Trace, StoreError> {
+        let idx = self
+            .entries
+            .binary_search_by_key(&id, |e| e.id)
+            .map_err(|_| StoreError::Invalid(format!("trace {id} not in store")))?;
+        self.decode(idx)
+    }
+
+    fn decode(&self, idx: usize) -> Result<&Trace, StoreError> {
+        use std::sync::atomic::Ordering;
+        let e = self.entries[idx];
+        let mut fresh = false;
+        let cell = self.cells[idx].get_or_init(|| {
+            fresh = true;
+            let blob = &self.buf[e.off..e.off + e.len];
+            compress::decompress(blob)
+                .ok()
+                .map(|symbols| Trace::from_symbols(e.id, &symbols, e.truncated))
+        });
+        if fresh {
+            self.decodes.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.as_ref()
+            .ok_or_else(|| StoreError::Invalid(format!("trace {} blob failed to decode", e.id)))
+    }
+
+    /// Materialize a [`TraceSet`] holding just `ids` (sharing the
+    /// corpus registry) — the unit a single-trace query analyzes.
+    pub fn subset(&self, ids: &[TraceId]) -> Result<TraceSet, StoreError> {
+        let mut set = TraceSet::new(self.registry.clone());
+        for &id in ids {
+            set.insert(self.get(id)?.clone());
+        }
+        Ok(set)
+    }
+
+    /// The whole corpus as a [`TraceSet`], decoding every trace. The
+    /// set is built once and shared (`Arc`) across callers — the
+    /// resident-daemon case where many full-corpus queries hit the
+    /// same execution.
+    pub fn full_set(&self) -> Result<Arc<TraceSet>, StoreError> {
+        // Decode (and thereby validate) every blob first so the
+        // infallible cache-fill below cannot hide an error.
+        for idx in 0..self.entries.len() {
+            self.decode(idx)?;
+        }
+        Ok(self
+            .full
+            .get_or_init(|| {
+                let mut set = TraceSet::new(self.registry.clone());
+                for idx in 0..self.entries.len() {
+                    set.insert(self.decode(idx).expect("validated above").clone());
+                }
+                Arc::new(set)
+            })
+            .clone())
+    }
+
+    /// How many trace blobs have actually been decompressed so far.
+    pub fn decode_count(&self) -> u64 {
+        self.decodes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Report the decode tally as the `store_trace_decodes` counter —
+    /// the acceptance probe that a 1-trace query on an N-trace corpus
+    /// decodes exactly one blob.
+    pub fn report_to(&self, rec: &dyn dt_obs::Recorder) {
+        if rec.enabled() {
+            rec.add("store_trace_decodes", self.decode_count());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -467,17 +822,33 @@ mod tests {
         assert!(empty_hb.is_empty());
     }
 
+    /// Strip a v3 image down to its v2 body (everything before the
+    /// index section) and stamp the requested version byte.
+    fn downgrade(mut bytes: Vec<u8>, version: u8) -> Vec<u8> {
+        let foot = bytes.len() - 16;
+        let index_off = u64::from_le_bytes(bytes[foot + 8..].try_into().unwrap()) as usize;
+        bytes.truncate(index_off);
+        bytes[4] = version;
+        bytes
+    }
+
     #[test]
     fn v1_files_still_load_with_empty_hb() {
-        // Reconstruct a v1 byte stream: version byte 1, no trailing
-        // HB-presence flag.
-        let mut bytes = to_bytes(&sample_set());
-        bytes[4] = 1;
+        // Reconstruct a v1 byte stream: version byte 1, no index tail,
+        // no trailing HB-presence flag.
+        let mut bytes = downgrade(to_bytes(&sample_set()), 1);
         bytes.pop(); // drop the HB-presence byte
         let set = from_bytes(&bytes).unwrap();
         assert_eq!(set.len(), 3);
         let (_, hb) = from_bytes_full(&bytes).unwrap();
         assert!(hb.is_empty());
+    }
+
+    #[test]
+    fn v2_files_still_load() {
+        let bytes = downgrade(to_bytes(&sample_set()), 2);
+        let set = from_bytes(&bytes).unwrap();
+        assert_eq!(set.len(), 3);
     }
 
     /// A save interrupted mid-write (simulated here by the truncated
@@ -557,5 +928,199 @@ mod tests {
         let mut good = to_bytes(&sample_set());
         good.truncate(good.len() / 2);
         assert!(from_bytes(&good).is_err());
+    }
+
+    /// Files written before the v3 bump reject v3 images with a
+    /// diagnosed error — simulated here by the v2-era version check.
+    #[test]
+    fn old_readers_diagnose_v3_files() {
+        let bytes = to_bytes(&sample_set());
+        assert_eq!(bytes[4], 3);
+        // A v2-era reader accepted only versions 1 and 2.
+        let v2_era_accepts = |v: u8| v == 1 || v == 2;
+        assert!(!v2_era_accepts(bytes[4]));
+        // And today's reader still diagnoses *future* versions.
+        let mut future = bytes;
+        future[4] = VERSION + 1;
+        let err = from_bytes(&future).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Format("unsupported DTTS version")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_open_decodes_nothing() {
+        let set = sample_set();
+        let ix = IndexedSet::from_bytes(to_bytes(&set)).unwrap();
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.ids(), set.ids());
+        assert_eq!(ix.registry.names(), set.registry.names());
+        assert_eq!(ix.decode_count(), 0);
+    }
+
+    #[test]
+    fn indexed_single_get_decodes_exactly_one() {
+        let set = sample_set();
+        let ix = IndexedSet::from_bytes(to_bytes(&set)).unwrap();
+        let id = TraceId::new(1, 0);
+        let t = ix.get(id).unwrap();
+        assert_eq!(t.events, set.get(id).unwrap().events);
+        assert_eq!(ix.decode_count(), 1);
+        // Repeated access hits the cache — no second decode.
+        ix.get(id).unwrap();
+        assert_eq!(ix.decode_count(), 1);
+        // An unknown id is a diagnosed error, not a panic.
+        assert!(ix.get(TraceId::new(9, 9)).is_err());
+        assert_eq!(ix.decode_count(), 1);
+    }
+
+    #[test]
+    fn indexed_subset_and_full_set_match_eager_load() {
+        let set = sample_set();
+        let bytes = to_bytes(&set);
+        let ix = IndexedSet::from_bytes(bytes.clone()).unwrap();
+        let sub = ix.subset(&[TraceId::new(2, 0)]).unwrap();
+        assert_eq!(sub.len(), 1);
+        assert!(sub.get(TraceId::new(2, 0)).unwrap().truncated);
+        let full = ix.full_set().unwrap();
+        let eager = from_bytes(&bytes).unwrap();
+        assert_eq!(full.len(), eager.len());
+        for t in eager.iter() {
+            assert_eq!(full.get(t.id).unwrap().events, t.events);
+        }
+        assert_eq!(ix.decode_count(), 3);
+        // The full set is built once and shared.
+        assert!(Arc::ptr_eq(&full, &ix.full_set().unwrap()));
+    }
+
+    #[test]
+    fn indexed_open_reads_v1_and_v2_files_via_header_scan() {
+        let set = sample_set();
+        let v2 = downgrade(to_bytes(&set), 2);
+        let ix = IndexedSet::from_bytes(v2).unwrap();
+        assert_eq!(ix.decode_count(), 0);
+        assert_eq!(ix.full_set().unwrap().len(), set.len());
+
+        let mut v1 = downgrade(to_bytes(&set), 1);
+        v1.pop();
+        let ix = IndexedSet::from_bytes(v1).unwrap();
+        assert_eq!(ix.len(), 3);
+        assert!(ix.hb().is_empty());
+        assert_eq!(
+            ix.get(TraceId::new(0, 0)).unwrap().events,
+            set.get(TraceId::new(0, 0)).unwrap().events
+        );
+    }
+
+    #[test]
+    fn indexed_hb_section_parsed_eagerly() {
+        use crate::hb::{HbOp, VectorClock};
+        let set = sample_set();
+        let mut hb = HbLog::new(3);
+        let mut vc = VectorClock::zero(3);
+        vc.tick(0);
+        hb.push(TraceId::master(0), "MPI_Send", HbOp::Local, &vc);
+        let ix = IndexedSet::from_bytes(to_bytes_full(&set, Some(&hb))).unwrap();
+        assert_eq!(ix.hb().events(), hb.events());
+        assert_eq!(ix.decode_count(), 0);
+    }
+
+    #[test]
+    fn indexed_rejects_corrupt_tails() {
+        let bytes = to_bytes(&sample_set());
+        // Truncated footer.
+        let mut cut = bytes.clone();
+        cut.truncate(cut.len() - 8);
+        assert!(IndexedSet::from_bytes(cut).is_err());
+        // Footer pointing past the file.
+        let mut wild = bytes.clone();
+        let n = wild.len();
+        wild[n - 8..].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(IndexedSet::from_bytes(wild).is_err());
+        // Corrupt blob: surfaces at decode time, as a diagnosed error.
+        let foot = bytes.len() - 16;
+        let hb_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
+        let mut torn = bytes;
+        for b in &mut torn[hb_off - 4..hb_off] {
+            *b = 0xFF;
+        }
+        let ix = IndexedSet::from_bytes(torn).unwrap();
+        let last = *ix.ids().last().unwrap();
+        assert!(ix.get(last).is_err());
+    }
+
+    #[test]
+    fn indexed_concurrent_gets_decode_each_trace_once() {
+        let set = sample_set();
+        let ix = IndexedSet::from_bytes(to_bytes(&set)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for id in ix.ids() {
+                        ix.get(id).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(ix.decode_count(), set.len() as u64);
+    }
+
+    #[test]
+    fn indexed_reports_decode_counter() {
+        let rec = dt_obs::MetricsRecorder::new();
+        let ix = IndexedSet::from_bytes(to_bytes(&sample_set())).unwrap();
+        ix.get(TraceId::new(0, 0)).unwrap();
+        ix.report_to(&rec);
+        let m = rec.finish("test", 1);
+        let n = m
+            .counters
+            .iter()
+            .find(|(name, _)| name == "store_trace_decodes")
+            .map(|(_, v)| *v);
+        assert_eq!(n, Some(1));
+    }
+
+    /// Duplicate stems ("01.2.dtt" vs "1.2.dtt" both parse to trace
+    /// 1.2) used to shadow silently in OS `read_dir` order; they must
+    /// be a diagnosed error naming the collision.
+    #[test]
+    fn load_dir_rejects_duplicate_trace_stems() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_dup");
+        std::fs::remove_dir_all(&dir).ok();
+        save_dir(&set, &dir).unwrap();
+        std::fs::copy(dir.join("1.0.dtt"), dir.join("01.0.dtt")).unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("duplicate trace stem"), "{msg}");
+        assert!(msg.contains("1.0"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `load_dir` sorts trace files by name, so which file "wins" an
+    /// error and the traversal order no longer depend on the OS's
+    /// `read_dir` order. Probed via the error for a malformed stem:
+    /// with two bad files present, the lexicographically first one is
+    /// always the one reported.
+    #[test]
+    fn load_dir_is_deterministic_under_any_read_dir_order() {
+        let set = sample_set();
+        let dir = std::env::temp_dir().join("dt_trace_store_dir_sorted");
+        std::fs::remove_dir_all(&dir).ok();
+        save_dir(&set, &dir).unwrap();
+        // Loads fine when clean.
+        assert_eq!(load_dir(&dir).unwrap().len(), set.len());
+        // Plant a duplicate late in sort order and one early: the
+        // first collision in *name* order is diagnosed.
+        std::fs::copy(dir.join("0.0.dtt"), dir.join("00.0.dtt")).unwrap();
+        std::fs::copy(dir.join("2.0.dtt"), dir.join("02.0.dtt")).unwrap();
+        let msg = load_dir(&dir).unwrap_err().to_string();
+        // "00.0.dtt" sorts before "0.0.dtt"; the collision is reported
+        // when the *second* name for trace 0.0 (i.e. "0.0.dtt") is
+        // reached — before trace 2.0's pair is ever considered.
+        assert!(msg.contains("0.0.dtt"), "{msg}");
+        assert!(!msg.contains("2.0"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
