@@ -59,6 +59,7 @@ fn usage_of(cmd: &str) -> &'static str {
         "racecheck" => "usage: difftrace racecheck <file.dtts>... [options]",
         "reqcheck" => "usage: difftrace reqcheck <file.dtts>... [options]",
         "diff" => "usage: difftrace diff <normal.dtts> <faulty.dtts> [options]",
+        "fleet" => "usage: difftrace fleet <run.dtts|dir>... [--suspect RUN] [options]",
         "serve" => {
             "usage: difftrace serve <file.dtts>... [--addr HOST:PORT] [--jobs N] [--cache DIR]"
         }
@@ -176,6 +177,10 @@ USAGE:
       isend-leak (MPI_Isend posted but never waited on → leaked request)
       coll-args (one rank passes a different reduce op → divergent
       collective signature).
+      Fleet workloads write N runs instead of a pair: fleet-oddeven /
+      fleet-stencil produce <outdir>/run-0.dtts … run-7.dtts (healthy,
+      varied seeds/thresholds) plus <outdir>/fault.dtts (one injected
+      fault) — the corpus shape `difftrace fleet` consumes.
 
   difftrace info <file.dtts>
       Per-process/per-thread statistics of a stored trace set.
@@ -264,6 +269,26 @@ USAGE:
       Defaults: --filter 11.all.K10 --attrs sing.actual --linkage ward
       --gate off --hb off --race off --req off.
 
+  difftrace fleet <run.dtts|dir>... [--suspect RUN]
+          [--filter CODE] [--attrs CODE] [--linkage NAME] [--threads N]
+          [--format text|json] [--gate off|warn|deny] [--cache DIR]
+          [--profile] [--metrics FILE]
+      N-way corpus analysis WITHOUT a blessed reference: fold every
+      run's mined attribute sets into ONE concept lattice (each new
+      run arrives as an incremental Godin fold — the lattice is never
+      rebuilt), maintain the cross-run JSM view incrementally, and
+      rank which run (and which trace within it) deviates most from
+      the fleet consensus. A run is flagged as THE outlier when its
+      deviation exceeds 2 × the fleet median. Each positional is a
+      .dtts file or a directory (expanded to its *.dtts, sorted);
+      run names are file stems and must be unique. Ingestion order
+      does not matter: any fold order yields byte-identical rankings.
+      --suspect RUN additionally reports where that run ranked.
+      --gate deny exits 3 when the fleet has an outlier (healthy
+      fleets exit 0), so CI can gate on fleet homogeneity. A ragged
+      fleet (runs covering different trace sets) is a diagnosed
+      error naming the offending run and trace ids — exit 2.
+
   difftrace single <run.dtts> [--filter CODE] [--attrs CODE] [--k N]
           [--trace P.T] [--cache DIR] [--profile] [--metrics FILE]
       No-reference outlier analysis of ONE execution (the paper's
@@ -281,23 +306,24 @@ USAGE:
       in the shared cache. Queries arrive as line-delimited JSON over
       TCP (one request object per line, `id` echoed in the reply) and
       run on a bounded worker pool (--jobs 0 = all cores). Supported
-      query cmds: lint hbcheck racecheck reqcheck diff single metrics
-      shutdown. Every reply's `output` is byte-identical to the
+      query cmds: lint hbcheck racecheck reqcheck diff fleet single
+      metrics shutdown. Every reply's `output` is byte-identical to the
       one-shot subcommand's stdout for the same query, at any worker
       count. Default --addr 127.0.0.1:4178 (`:0` picks a free port;
       the chosen address is printed). Malformed frames get diagnosed
       `ok:false` replies; they never crash the daemon.
 
-  difftrace query <HOST:PORT> <cmd> [<corpus> | <normal> <faulty>]
+  difftrace query <HOST:PORT> <cmd> [<corpus> | <normal> <faulty> | <run>...]
           [--format text|json] [--gate warn|deny] [--domain expanded|compressed]
           [--deep] [--filter CODE] [--attrs CODE] [--linkage NAME] [--k N]
-          [--threads N] [--trace P.T] [--diffnlr P.T] [--full]
+          [--threads N] [--trace P.T] [--diffnlr P.T] [--suspect RUN] [--full]
       One-shot client for a running `difftrace serve`: sends <cmd>
       against the named corpus (two names for diff: normal faulty;
-      none for metrics/shutdown) and prints the reply's output —
-      byte-identical to running the subcommand locally. --gate deny
-      exits 3 when the reply carries error-severity diagnostics; a
-      refused or failed query exits 2 with the daemon's diagnosis.
+      two or more for fleet; none for metrics/shutdown) and prints
+      the reply's output — byte-identical to running the subcommand
+      locally. --gate deny exits 3 when the reply carries
+      error-severity diagnostics; a refused or failed query exits 2
+      with the daemon's diagnosis.
 
   difftrace export <normal.dtts> <faulty.dtts> <outdir>
           [--filter CODE] [--attrs CODE] [--linkage NAME] [--threads N]
@@ -406,6 +432,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("racecheck") => racecheck_cmd(&args[1..]),
         Some("reqcheck") => reqcheck_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
+        Some("fleet") => fleet_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]).map_err(CliError::Msg),
         Some("query") => query_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]).map_err(CliError::Msg),
@@ -434,6 +461,9 @@ fn demo(args: &[String]) -> Result<(), String> {
     let [workload, outdir] = positional.as_slice() else {
         return Err(usage_of("demo").to_string());
     };
+    if matches!(workload.as_str(), "fleet-oddeven" | "fleet-stencil") {
+        return demo_fleet(workload, outdir, force);
+    }
     let out = PathBuf::from(outdir);
     let np = out.join("normal.dtts");
     let fp = out.join("faulty.dtts");
@@ -461,6 +491,51 @@ fn demo(args: &[String]) -> Result<(), String> {
         normal.len(),
         fp.display(),
         faulty.len()
+    );
+    Ok(())
+}
+
+/// `demo fleet-*`: write an N-run corpus — healthy runs plus one
+/// injected fault, each under its run name — instead of the
+/// normal/faulty pair the other workloads produce.
+fn demo_fleet(workload: &str, outdir: &str, force: bool) -> Result<(), String> {
+    const HEALTHY: usize = 8;
+    let fleet = match workload {
+        "fleet-oddeven" => workloads::oddeven_fleet(HEALTHY),
+        "fleet-stencil" => workloads::stencil_fleet(HEALTHY),
+        _ => unreachable!("caller matched the fleet workloads"),
+    };
+    let out = PathBuf::from(outdir);
+    let paths: Vec<PathBuf> = fleet
+        .iter()
+        .map(|(name, _)| out.join(format!("{name}.dtts")))
+        .collect();
+    if !force {
+        let existing: Vec<String> = paths
+            .iter()
+            .filter(|p| p.exists())
+            .map(|p| p.display().to_string())
+            .collect();
+        if !existing.is_empty() {
+            return Err(format!(
+                "refusing to overwrite {} (pass --force to replace the fleet)",
+                existing.join(" and ")
+            ));
+        }
+    }
+    std::fs::create_dir_all(outdir).map_err(|e| format!("creating {outdir}: {e}"))?;
+    for ((_, run), path) in fleet.iter().zip(&paths) {
+        store::save_full(&run.traces, &run.hb, path).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} runs ({} traces each) to {outdir}: {}",
+        fleet.len(),
+        fleet[0].1.traces.len(),
+        fleet
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     Ok(())
 }
@@ -577,7 +652,8 @@ fn run_demo_pair(
         ),
         other => Err(format!(
             "unknown workload `{other}` (oddeven, oddeven-dl, ilcs-crit, ilcs-size, ilcs-op, \
-             lulesh, stencil-tag, lulesh-coll, omp-counter, omp-lockorder, isend-leak, coll-args)"
+             lulesh, stencil-tag, lulesh-coll, omp-counter, omp-lockorder, isend-leak, coll-args, \
+             fleet-oddeven, fleet-stencil)"
         )),
     }
 }
@@ -1545,6 +1621,178 @@ fn diff_cmd(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Derive unique corpus/run names from file stems. A collision
+/// (`a/run.dtts b/run.dtts`) is a diagnosed error naming BOTH paths —
+/// silently keeping one would make queries against the name ambiguous.
+fn named_by_stem(files: &[String]) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut named: Vec<(String, PathBuf)> = Vec::new();
+    for f in files {
+        let p = PathBuf::from(f);
+        let stem = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .ok_or_else(|| format!("{f}: cannot derive a corpus name from this path"))?;
+        if let Some((_, prev)) = named.iter().find(|(n, _)| *n == stem) {
+            return Err(format!(
+                "corpus name `{stem}` is ambiguous: {} and {} share a file stem \
+                 (rename one of the files)",
+                prev.display(),
+                p.display()
+            ));
+        }
+        named.push((stem, p));
+    }
+    Ok(named)
+}
+
+/// Expand `fleet` positionals: a directory contributes its `*.dtts`
+/// stores in name order, anything else is taken as a store path.
+fn expand_fleet_paths(positional: &[String]) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for arg in positional {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            let mut found: Vec<String> = std::fs::read_dir(path)
+                .map_err(|e| format!("{arg}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "dtts"))
+                .map(|p| p.display().to_string())
+                .collect();
+            if found.is_empty() {
+                return Err(format!("{arg}: directory holds no .dtts stores"));
+            }
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    Ok(files)
+}
+
+fn fleet_cmd(args: &[String]) -> Result<(), CliError> {
+    let mut seen = Seen::new("fleet");
+    let mut positional = Vec::new();
+    let mut suspect: Option<String> = None;
+    let mut filter: Option<FilterConfig> = None;
+    let mut attrs: Option<AttrConfig> = None;
+    let mut linkage = cluster::Method::Ward;
+    let mut threads = 0usize;
+    let mut format = "text".to_string();
+    let mut gate = LintGate::Off;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut obs = ObsOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--suspect" => {
+                seen.check("--suspect")?;
+                suspect = Some(value("--suspect")?);
+            }
+            "--filter" => {
+                seen.check("--filter")?;
+                filter = Some(value("--filter")?.parse::<FilterConfig>()?);
+            }
+            "--attrs" => {
+                seen.check("--attrs")?;
+                attrs = Some(value("--attrs")?.parse::<AttrConfig>()?);
+            }
+            "--linkage" => {
+                seen.check("--linkage")?;
+                let name = value("--linkage")?;
+                linkage = cluster::Method::ALL
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .ok_or_else(|| format!("unknown linkage `{name}`"))?;
+            }
+            "--threads" => {
+                seen.check("--threads")?;
+                threads = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+            }
+            "--format" => {
+                seen.check("--format")?;
+                format = value("--format")?;
+            }
+            "--gate" => {
+                seen.check("--gate")?;
+                gate = LintGate::parse(&value("--gate")?)?;
+            }
+            "--cache" => {
+                seen.check("--cache")?;
+                cache_dir = Some(PathBuf::from(value("--cache")?));
+            }
+            "--profile" => {
+                seen.check("--profile")?;
+                obs.profile = true;
+            }
+            "--metrics" => {
+                seen.check("--metrics")?;
+                obs.metrics = Some(PathBuf::from(value("--metrics")?));
+            }
+            other if other.starts_with("--") => return Err(unknown_option(other, "fleet").into()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.is_empty() {
+        return Err(usage_of("fleet").to_string().into());
+    }
+    let files = expand_fleet_paths(&positional)?;
+    if files.len() < 2 {
+        return Err(format!(
+            "fleet needs at least 2 runs, got {} ({})",
+            files.len(),
+            usage_of("fleet")
+        )
+        .into());
+    }
+    let named = named_by_stem(&files)?;
+    let cache = open_cache(cache_dir.as_ref())?;
+    let live = MetricsRecorder::new();
+    let rec = obs.recorder(&live);
+    let params = Params {
+        filter: filter.unwrap_or_else(|| FilterConfig::everything(10)),
+        attrs: attrs.unwrap_or(AttrConfig {
+            kind: AttrKind::Single,
+            freq: FreqMode::Actual,
+        }),
+        linkage,
+    };
+    let opts = difftrace::FleetOptions {
+        threads,
+        cache: cache.clone(),
+    };
+    let mut fleet = difftrace::FleetRun::new(params.clone());
+    for (name, path) in &named {
+        let set = {
+            let _s = stage(rec, "load");
+            load(&path.display().to_string())?
+        };
+        fleet
+            .add_run_rec(name, &set, &opts, rec)
+            .map_err(|e| e.to_string())?;
+    }
+    report_cache(cache.as_ref(), rec);
+    let report = fleet.report();
+    // Shared with `difftrace serve`, whose `fleet` replies must be
+    // byte-identical to this stdout.
+    let out = dt_serve::render::fleet_summary(&report, &params, suspect.as_deref(), &format)?;
+    print!("{out}");
+    obs.emit(&live, "fleet", threads)?;
+    if gate == LintGate::Deny {
+        if let Some(name) = &report.outlier {
+            return Err(CliError::LintDenied(format!(
+                "fleet gate denied: run `{name}` deviates from the fleet consensus"
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     let mut seen = Seen::new("serve");
     let mut files = Vec::new();
@@ -1578,15 +1826,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err(usage_of("serve").to_string());
     }
-    let mut corpora = Vec::new();
-    for f in &files {
-        let p = PathBuf::from(f);
-        let stem = p
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .ok_or_else(|| format!("{f}: cannot derive a corpus name from this path"))?;
-        corpora.push((stem, p));
-    }
+    let corpora = named_by_stem(&files)?;
     let server = dt_serve::Server::bind(&dt_serve::ServeConfig {
         addr,
         corpora,
@@ -1667,6 +1907,10 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
                 seen.check("--diffnlr")?;
                 req.diffnlr = Some(value("--diffnlr")?);
             }
+            "--suspect" => {
+                seen.check("--suspect")?;
+                req.suspect = Some(value("--suspect")?);
+            }
             "--full" => {
                 seen.check("--full")?;
                 req.full = true;
@@ -1685,6 +1929,9 @@ fn query_cmd(args: &[String]) -> Result<(), CliError> {
         ("diff", [normal, faulty]) => {
             req.normal = Some(normal.clone());
             req.faulty = Some(faulty.clone());
+        }
+        ("fleet", runs @ [_, _, ..]) => {
+            req.corpora = runs.to_vec();
         }
         ("lint" | "hbcheck" | "racecheck" | "reqcheck" | "single", [corpus]) => {
             req.corpus = Some(corpus.clone());

@@ -249,6 +249,87 @@ fn exit_codes_for_every_subcommand() {
 }
 
 #[test]
+fn fleet_exit_codes_and_diagnoses() {
+    let dir = std::env::temp_dir().join(format!("difftrace_fleet_exit_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let fleet = dir.join("fleet");
+    let stencil = dir.join("stencil");
+    assert_exit(0, &["demo", "fleet-oddeven", fleet.to_str().unwrap()]);
+    assert_exit(0, &["demo", "stencil-tag", stencil.to_str().unwrap()]);
+    // Refuses to overwrite the recorded fleet without --force.
+    assert_exit(2, &["demo", "fleet-oddeven", fleet.to_str().unwrap()]);
+    assert_exit(
+        0,
+        &["demo", "fleet-oddeven", fleet.to_str().unwrap(), "--force"],
+    );
+    let fdir = fleet.to_str().unwrap().to_string();
+    let run0 = fleet.join("run-0.dtts").to_str().unwrap().to_string();
+    let run1 = fleet.join("run-1.dtts").to_str().unwrap().to_string();
+    let run2 = fleet.join("run-2.dtts").to_str().unwrap().to_string();
+    let sn = stencil.join("normal.dtts").to_str().unwrap().to_string();
+
+    // A healthy fleet passes the deny gate; one with the injected
+    // fault is ranked #1 and denied with exit 3 — distinct from
+    // misuse (2) so CI can gate on fleet homogeneity.
+    assert_exit(0, &["fleet", &run0, &run1, &run2, "--gate", "deny"]);
+    let (code, stdout, stderr) = run(&["fleet", &fdir, "--gate", "deny", "--suspect", "fault"]);
+    assert_eq!(code, 3, "{stderr}");
+    let rank1 = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("1  "))
+        .unwrap_or_else(|| panic!("no rank-1 row in:\n{stdout}"));
+    assert!(rank1.contains("fault"), "{stdout}");
+    assert!(stdout.contains("it IS the fleet outlier"), "{stdout}");
+    assert!(stderr.contains("fleet gate denied"), "{stderr}");
+
+    // Misuse and diagnosed errors are exit 2.
+    assert_exit(2, &["fleet", &run0]); // needs at least 2 runs
+    assert_exit(2, &["fleet", &run0, &run1, "--suspect", "nope"]);
+    assert_exit(2, &["fleet", &run0, &run1, "--format", "xml"]);
+    assert_exit(2, &["fleet", &run0, &run1, "--bogus"]);
+    // A ragged fleet (different world size → different trace set) is
+    // a diagnosed refusal naming the run — never a panic.
+    let (code, _, stderr) = run(&["fleet", &run0, &sn]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("ragged fleet"), "{stderr}");
+    assert!(stderr.contains("`normal`"), "{stderr}");
+
+    // Two stores sharing a file stem cannot both be served or fleeted
+    // under one name: diagnosed at startup, naming BOTH paths.
+    let a = dir.join("a");
+    let b = dir.join("b");
+    std::fs::create_dir_all(&a).unwrap();
+    std::fs::create_dir_all(&b).unwrap();
+    std::fs::copy(&run0, a.join("run.dtts")).unwrap();
+    std::fs::copy(&run1, b.join("run.dtts")).unwrap();
+    let ar = a.join("run.dtts").to_str().unwrap().to_string();
+    let br = b.join("run.dtts").to_str().unwrap().to_string();
+    for cmd in ["serve", "fleet"] {
+        let (code, _, stderr) = run(&[cmd, &ar, &br]);
+        assert_eq!(code, 2, "{cmd}: {stderr}");
+        assert!(stderr.contains("ambiguous"), "{cmd}: {stderr}");
+        assert!(
+            stderr.contains(&ar) && stderr.contains(&br),
+            "{cmd}: {stderr}"
+        );
+    }
+
+    // `diff` aligns ragged runs over the union universe — different
+    // trace populations degrade the scores, they never abort.
+    assert_exit(0, &["diff", &run0, &sn, "--filter", "11.mpiall.K10"]);
+
+    // --metrics carries the incrementality counters.
+    let metrics = dir.join("m.json");
+    assert_exit(0, &["fleet", &fdir, "--metrics", metrics.to_str().unwrap()]);
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    dt_obs::validate_json(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    assert!(doc.contains("\"fleet_runs\":9"), "{doc}");
+    assert!(doc.contains("\"fleet_lattice_folds\":144"), "{doc}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn profile_and_metrics_outputs() {
     let dir = std::env::temp_dir().join(format!("difftrace_obs_out_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();

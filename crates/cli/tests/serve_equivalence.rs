@@ -92,6 +92,30 @@ fn cases<'a>(normal: &'a str, faulty: &'a str) -> Vec<(Vec<&'a str>, Vec<&'a str
             vec!["diff", normal, faulty, "--full"],
             vec!["diff", "normal", "faulty", "--full"],
         ),
+        (
+            vec!["fleet", normal, faulty],
+            vec!["fleet", "normal", "faulty"],
+        ),
+        (
+            vec![
+                "fleet",
+                normal,
+                faulty,
+                "--format",
+                "json",
+                "--suspect",
+                "faulty",
+            ],
+            vec![
+                "fleet",
+                "normal",
+                "faulty",
+                "--format",
+                "json",
+                "--suspect",
+                "faulty",
+            ],
+        ),
     ]
 }
 

@@ -11,6 +11,42 @@ use dt_trace::TraceId;
 use fca::FormalContext;
 use std::fmt;
 
+/// Two matrices cover different trace sets, so their cells cannot be
+/// subtracted. Carries the offending ids so the caller can print a
+/// diagnosis instead of aborting — ragged corpora are an input error,
+/// not a programming error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misaligned {
+    /// Traces in the left matrix that the right one lacks.
+    pub missing: Vec<TraceId>,
+    /// Traces in the right matrix that the left one lacks.
+    pub extra: Vec<TraceId>,
+}
+
+impl fmt::Display for Misaligned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let list = |ids: &[TraceId]| {
+            ids.iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if self.missing.is_empty() && self.extra.is_empty() {
+            return write!(f, "JSMs cover the same traces in different orders");
+        }
+        write!(f, "JSMs cover different trace sets:")?;
+        if !self.missing.is_empty() {
+            write!(f, " missing [{}]", list(&self.missing))?;
+        }
+        if !self.extra.is_empty() {
+            write!(f, " extra [{}]", list(&self.extra))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Misaligned {}
+
 /// A labelled pairwise similarity (or similarity-difference) matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsmMatrix {
@@ -56,18 +92,34 @@ impl JsmMatrix {
         self.ids.is_empty()
     }
 
-    /// `JSM_D = |self − other|`, elementwise. Panics if the two
-    /// matrices cover different trace sets — analyses of a pair must be
-    /// aligned first (see `pipeline`).
-    pub fn diff(&self, other: &JsmMatrix) -> JsmMatrix {
+    /// `JSM_D = |self − other|`, elementwise. Returns [`Misaligned`]
+    /// (naming the offending trace ids) when the two matrices cover
+    /// different trace sets — analyses of a pair must be aligned first
+    /// (see `pipeline`), but ragged inputs reached from the CLI must be
+    /// diagnosed, never abort the process.
+    pub fn diff(&self, other: &JsmMatrix) -> Result<JsmMatrix, Misaligned> {
         self.diff_opts(other, 1)
     }
 
     /// [`JsmMatrix::diff`] computed row-by-row on up to `threads`
     /// threads. `|a − b|` is computed per cell, so the split cannot
     /// change any float.
-    pub fn diff_opts(&self, other: &JsmMatrix, threads: usize) -> JsmMatrix {
-        assert_eq!(self.ids, other.ids, "JSMs must cover the same traces");
+    pub fn diff_opts(&self, other: &JsmMatrix, threads: usize) -> Result<JsmMatrix, Misaligned> {
+        if self.ids != other.ids {
+            let missing = self
+                .ids
+                .iter()
+                .filter(|t| !other.ids.contains(t))
+                .copied()
+                .collect();
+            let extra = other
+                .ids
+                .iter()
+                .filter(|t| !self.ids.contains(t))
+                .copied()
+                .collect();
+            return Err(Misaligned { missing, extra });
+        }
         let threads = crate::sync::effective_threads(threads, self.len());
         let rows: Vec<usize> = (0..self.len()).collect();
         let m = crate::sync::par_map(&rows, threads, |_, &i| {
@@ -77,10 +129,10 @@ impl JsmMatrix {
                 .map(|(a, b)| (a - b).abs())
                 .collect::<Vec<f64>>()
         });
-        JsmMatrix {
+        Ok(JsmMatrix {
             ids: self.ids.clone(),
             m,
-        }
+        })
     }
 
     /// Per-trace change score: the row sum (how much this trace's
@@ -171,20 +223,33 @@ mod tests {
     fn diff_is_elementwise_abs() {
         let a = mk(ids(2), vec![vec![1.0, 0.8], vec![0.8, 1.0]]);
         let b = mk(ids(2), vec![vec![1.0, 0.3], vec![0.3, 1.0]]);
-        let d = a.diff(&b);
+        let d = a.diff(&b).unwrap();
         assert!((d.m[0][1] - 0.5).abs() < 1e-12);
         assert_eq!(d.m[0][0], 0.0);
     }
 
     #[test]
-    #[should_panic]
-    fn diff_requires_alignment() {
+    fn diff_diagnoses_misalignment_instead_of_panicking() {
         let a = mk(ids(2), vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
         let b = mk(
             vec![TraceId::master(0), TraceId::master(5)],
             vec![vec![1.0, 0.0], vec![0.0, 1.0]],
         );
-        let _ = a.diff(&b);
+        let err = a.diff(&b).unwrap_err();
+        assert_eq!(err.missing, vec![TraceId::master(1)]);
+        assert_eq!(err.extra, vec![TraceId::master(5)]);
+        let msg = err.to_string();
+        assert!(msg.contains("different trace sets"), "{msg}");
+        assert!(msg.contains("missing [1.0]"), "{msg}");
+        assert!(msg.contains("extra [5.0]"), "{msg}");
+        // Same sets, different order: still diagnosed, differently.
+        let c = mk(
+            vec![TraceId::master(1), TraceId::master(0)],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        );
+        let err = a.diff(&c).unwrap_err();
+        assert!(err.missing.is_empty() && err.extra.is_empty());
+        assert!(err.to_string().contains("different orders"), "{err}");
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod attributes;
 pub mod classify;
 pub mod diffnlr;
 pub mod filter;
+pub mod fleet;
 pub mod hbcheck;
 pub mod jsm;
 pub mod lint;
@@ -93,8 +94,9 @@ pub use attributes::{AttrConfig, AttrKind, FreqMode};
 pub use classify::{extract_features, leave_one_out, FeatureVector, NearestCentroid, Sample};
 pub use diffnlr::DiffNlr;
 pub use filter::{ClassProbe, FilterConfig, FilteredSet, FilteredTrace, KeepClass};
+pub use fleet::{FleetError, FleetOptions, FleetReport, FleetRun, RunScore};
 pub use hbcheck::{hbcheck_set, HbFailure, HbOptions, HbPrePass};
-pub use jsm::JsmMatrix;
+pub use jsm::{JsmMatrix, Misaligned};
 pub use lint::{lint_set, LintDomain, LintFailure, LintGate, LintOptions};
 pub use nlr_stage::NlrSet;
 pub use racecheck::{racecheck_set, RaceFailure, RaceOptions, RacePrePass};

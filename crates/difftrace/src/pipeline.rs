@@ -187,38 +187,14 @@ pub fn analyze_aligned_rec(
         .map(|_| nlr_cache_keys(set, &aligned, params.filter.nlr_k));
     let (nlrs, folds) = {
         let _s = stage(rec, "nlr");
-        match (opts.cache.as_deref(), &keys, threads) {
-            (Some(cache), Some(keys), ..=1) => {
-                NlrSet::build_cached(&aligned, params.filter.nlr_k, table, cache, keys)
-            }
-            (Some(cache), Some(keys), _) => {
-                let shared = SharedLoopTable::from_table(table);
-                let (prov, orders, folds) = NlrSet::build_shared_cached(
-                    &aligned,
-                    params.filter.nlr_k,
-                    &shared,
-                    threads,
-                    cache,
-                    keys,
-                );
-                let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
-                (prov.remap(&map), folds)
-            }
-            (_, _, ..=1) => (
-                NlrSet::build(&aligned, params.filter.nlr_k, table),
-                aligned.traces.len() as u64,
-            ),
-            _ => {
-                // Parallel NLR build: provisional IDs into a concurrent table,
-                // then a sequential replay of the recorded fold orders to
-                // restore the exact sequential numbering (see nlr::shared).
-                let shared = SharedLoopTable::from_table(table);
-                let (prov, orders) =
-                    NlrSet::build_shared(&aligned, params.filter.nlr_k, &shared, threads);
-                let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
-                (prov.remap(&map), aligned.traces.len() as u64)
-            }
-        }
+        build_nlrs(
+            &aligned,
+            params.filter.nlr_k,
+            table,
+            threads,
+            opts.cache.as_deref(),
+            keys.as_deref(),
+        )
     };
     record_nlr_counters(rec, &nlrs, id_universe, folds);
     let cache_keys = opts.cache.as_deref().zip(keys.as_deref());
@@ -234,9 +210,47 @@ pub fn analyze_aligned_rec(
     )
 }
 
+/// Build the NLR summaries for `aligned`, dispatching over thread count
+/// and cache availability. Returns the summaries plus the number of
+/// actual NLR-builder invocations (`folds` — lower than the trace count
+/// when the cache is warm). Shared by the pairwise pipeline and the
+/// N-way fleet fold; every arm produces byte-identical summaries.
+pub(crate) fn build_nlrs(
+    aligned: &FilteredSet,
+    k: usize,
+    table: &mut LoopTable,
+    threads: usize,
+    cache: Option<&Cache>,
+    keys: Option<&[u128]>,
+) -> (NlrSet, u64) {
+    match (cache, keys, threads) {
+        (Some(cache), Some(keys), ..=1) => NlrSet::build_cached(aligned, k, table, cache, keys),
+        (Some(cache), Some(keys), _) => {
+            let shared = SharedLoopTable::from_table(table);
+            let (prov, orders, folds) =
+                NlrSet::build_shared_cached(aligned, k, &shared, threads, cache, keys);
+            let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+            (prov.remap(&map), folds)
+        }
+        (_, _, ..=1) => (
+            NlrSet::build(aligned, k, table),
+            aligned.traces.len() as u64,
+        ),
+        _ => {
+            // Parallel NLR build: provisional IDs into a concurrent table,
+            // then a sequential replay of the recorded fold orders to
+            // restore the exact sequential numbering (see nlr::shared).
+            let shared = SharedLoopTable::from_table(table);
+            let (prov, orders) = NlrSet::build_shared(aligned, k, &shared, threads);
+            let map = shared.canonicalize_into(orders.into_iter().flatten(), table);
+            (prov.remap(&map), aligned.traces.len() as u64)
+        }
+    }
+}
+
 /// The per-trace NLR cache keys for `aligned`, in its trace order
 /// (which is the `id_universe` order — see [`align_filtered`]).
-fn nlr_cache_keys(set: &TraceSet, aligned: &FilteredSet, k: usize) -> Vec<u128> {
+pub(crate) fn nlr_cache_keys(set: &TraceSet, aligned: &FilteredSet, k: usize) -> Vec<u128> {
     aligned
         .traces
         .iter()
@@ -325,7 +339,11 @@ pub fn content_fingerprints(set: &TraceSet, filter: &FilterConfig) -> Vec<(Trace
 
 /// Filter `set` and align the result to `id_universe` order; traces
 /// missing from `set` become empty objects.
-fn align_filtered(set: &TraceSet, params: &Params, id_universe: &[TraceId]) -> FilteredSet {
+pub(crate) fn align_filtered(
+    set: &TraceSet,
+    params: &Params,
+    id_universe: &[TraceId],
+) -> FilteredSet {
     let filtered = params.filter.apply(set);
     let by_id: BTreeMap<TraceId, FilteredTrace> =
         filtered.traces.into_iter().map(|t| (t.id, t)).collect();
@@ -757,7 +775,10 @@ pub fn try_diff_runs_hb_rec(
     }
     let jsm_d = {
         let _s = stage(rec, "jsm_diff");
-        faulty_run.jsm.diff_opts(&normal_run.jsm, threads)
+        faulty_run
+            .jsm
+            .diff_opts(&normal_run.jsm, threads)
+            .expect("both analyses share one aligned id universe")
     };
     let b = {
         let _s = stage(rec, "bscore");

@@ -101,7 +101,7 @@ proptest! {
             m: m.m[..n].iter().map(|r| r[..n].to_vec()).collect(),
         };
         let (a, b) = (shrink(&a), shrink(&b));
-        let d = a.diff(&b);
+        let d = a.diff(&b).unwrap();
         for i in 0..n {
             prop_assert_eq!(d.m[i][i].to_bits(), 0.0f64.to_bits());
             for k in 0..n {
@@ -109,13 +109,13 @@ proptest! {
                 prop_assert_eq!(d.m[i][k].to_bits(), d.m[k][i].to_bits());
             }
         }
-        let par = a.diff_opts(&b, threads);
+        let par = a.diff_opts(&b, threads).unwrap();
         for i in 0..n {
             for k in 0..n {
                 prop_assert_eq!(d.m[i][k].to_bits(), par.m[i][k].to_bits());
             }
         }
-        let z = a.diff(&a);
+        let z = a.diff(&a).unwrap();
         for row in &z.m {
             for v in row {
                 prop_assert_eq!(v.to_bits(), 0.0f64.to_bits());

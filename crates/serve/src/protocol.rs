@@ -29,6 +29,7 @@ pub const COMMANDS: &[&str] = &[
     "racecheck",
     "reqcheck",
     "diff",
+    "fleet",
     "single",
     "metrics",
     "shutdown",
@@ -49,6 +50,10 @@ pub struct Request {
     pub normal: Option<String>,
     /// Candidate corpus for `diff`.
     pub faulty: Option<String>,
+    /// Fleet member corpora for `fleet` (≥ 2).
+    pub corpora: Vec<String>,
+    /// `fleet`'s `--suspect` run name.
+    pub suspect: Option<String>,
     /// `text` (default) or `json` — check-command report format.
     pub format: Option<String>,
     /// `expanded` or `compressed` — check-command analysis domain.
@@ -103,6 +108,20 @@ fn as_bool(v: &Value, field: &str) -> Result<bool, String> {
     }
 }
 
+fn as_str_array(v: &Value, field: &str) -> Result<Vec<String>, String> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("malformed request: `{field}` must be an array of strings"))?;
+    arr.iter()
+        .map(|e| match e {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(format!(
+                "malformed request: `{field}` must be an array of strings"
+            )),
+        })
+        .collect()
+}
+
 fn as_uint(v: &Value, field: &str) -> Result<u64, String> {
     match v {
         Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
@@ -131,6 +150,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             "corpus" => req.corpus = Some(as_str(val, "corpus")?),
             "normal" => req.normal = Some(as_str(val, "normal")?),
             "faulty" => req.faulty = Some(as_str(val, "faulty")?),
+            "corpora" => req.corpora = as_str_array(val, "corpora")?,
+            "suspect" => req.suspect = Some(as_str(val, "suspect")?),
             "format" => req.format = Some(as_str(val, "format")?),
             "domain" => req.domain = Some(as_str(val, "domain")?),
             "deep" => req.deep = as_bool(val, "deep")?,
@@ -166,6 +187,7 @@ pub fn request_line(req: &Request) -> String {
         ("corpus", &req.corpus),
         ("normal", &req.normal),
         ("faulty", &req.faulty),
+        ("suspect", &req.suspect),
         ("format", &req.format),
         ("domain", &req.domain),
         ("filter", &req.filter),
@@ -177,6 +199,16 @@ pub fn request_line(req: &Request) -> String {
         if let Some(v) = val {
             out.push_str(&format!(",\"{key}\":\"{}\"", json::escape(v)));
         }
+    }
+    if !req.corpora.is_empty() {
+        out.push_str(",\"corpora\":[");
+        for (i, c) in req.corpora.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json::escape(c)));
+        }
+        out.push(']');
     }
     if let Some(k) = req.k {
         out.push_str(&format!(",\"k\":{k}"));
@@ -243,6 +275,22 @@ mod tests {
 
     #[test]
     fn request_round_trips_through_the_wire_format() {
+        let fleet = Request {
+            id: 11,
+            cmd: "fleet".to_string(),
+            corpora: vec![
+                "run-0".to_string(),
+                "run-1".to_string(),
+                "fault".to_string(),
+            ],
+            suspect: Some("fault".to_string()),
+            threads: Some(2),
+            format: Some("json".to_string()),
+            ..Request::default()
+        };
+        let line = request_line(&fleet);
+        assert_eq!(parse_request(&line).unwrap(), fleet);
+
         let req = Request {
             id: 7,
             cmd: "lint".to_string(),
@@ -286,6 +334,18 @@ mod tests {
             ("{\"cmd\":\"lint\",\"deep\":3}", "`deep` must be"),
             ("{\"cmd\":\"lint\",\"k\":-2}", "`k` must be"),
             ("{\"cmd\":7}", "`cmd` must be a string"),
+            (
+                "{\"cmd\":\"fleet\",\"corpora\":\"x\"}",
+                "`corpora` must be an array",
+            ),
+            (
+                "{\"cmd\":\"fleet\",\"corpora\":[1]}",
+                "`corpora` must be an array of strings",
+            ),
+            (
+                "{\"cmd\":\"fleet\",\"suspect\":4}",
+                "`suspect` must be a string",
+            ),
         ] {
             let err = parse_request(frame).unwrap_err();
             assert!(err.contains(needle), "{frame} → {err}");

@@ -9,7 +9,8 @@
 //! their whole stdout is `Report::render_text`/`render_json`, already
 //! one function.)
 
-use difftrace::{DiffRun, Params, SingleRunReport};
+use difftrace::{DiffRun, FleetReport, Params, SingleRunReport};
+use dt_obs::json;
 use dt_trace::TraceId;
 
 /// The default `difftrace diff` summary: params echo, B-score,
@@ -79,6 +80,151 @@ pub fn single_summary(set_len: usize, report: &SingleRunReport) -> String {
         ));
     }
     out
+}
+
+/// How many per-trace deviations the fleet summary shows for the
+/// top-ranked run.
+const FLEET_TOP_TRACES: usize = 3;
+
+/// The `difftrace fleet` summary, shared by the one-shot CLI and the
+/// `fleet` daemon query: params echo, ranking table with the 2-way
+/// cluster cut, the outlier verdict, and (when `--suspect` names a
+/// run) where that run landed. `format` is `"text"` or `"json"`.
+pub fn fleet_summary(
+    report: &FleetReport,
+    params: &Params,
+    suspect: Option<&str>,
+    format: &str,
+) -> Result<String, String> {
+    let suspect_rank = match suspect {
+        None => None,
+        Some(name) => Some(report.rank_of(name).ok_or_else(|| {
+            format!(
+                "suspect run `{name}` is not in the fleet (runs: {})",
+                report
+                    .runs
+                    .iter()
+                    .map(|r| r.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?),
+    };
+    let cluster_of = |name: &str| {
+        report
+            .clusters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    match format {
+        "json" => {
+            let mut out = String::from("{\"format\":\"difftrace-fleet/v1\"");
+            out.push_str(&format!(
+                ",\"runs\":{},\"traces\":{},\"objects\":{},\"concepts\":{},\"median\":{:.6}",
+                report.runs.len(),
+                report.universe.len(),
+                report.objects,
+                report.concepts,
+                report.median
+            ));
+            match &report.outlier {
+                Some(name) => {
+                    out.push_str(&format!(",\"outlier\":\"{}\"", json::escape(name)));
+                }
+                None => out.push_str(",\"outlier\":null"),
+            }
+            out.push_str(",\"ranking\":[");
+            for (i, r) in report.runs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"rank\":{},\"run\":\"{}\",\"score\":{:.6},\"cluster\":{},\"top_traces\":[",
+                    i + 1,
+                    json::escape(&r.name),
+                    r.score,
+                    cluster_of(&r.name)
+                ));
+                for (j, (id, dev)) in r.traces.iter().take(FLEET_TOP_TRACES).enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"trace\":\"{id}\",\"dev\":{dev:.6}}}"));
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+            if let (Some(name), Some((rank, score))) = (suspect, suspect_rank) {
+                out.push_str(&format!(
+                    ",\"suspect\":{{\"run\":\"{}\",\"rank\":{rank},\"score\":{score:.6},\
+                     \"is_outlier\":{}}}",
+                    json::escape(name),
+                    report.outlier.as_deref() == Some(name)
+                ));
+            }
+            out.push_str("}\n");
+            Ok(out)
+        }
+        "text" => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "params: {} {} {}\n",
+                params.filter,
+                params.attrs,
+                params.linkage.name()
+            ));
+            out.push_str(&format!(
+                "fleet: {} runs × {} traces ({} objects, {} concepts)\n",
+                report.runs.len(),
+                report.universe.len(),
+                report.objects,
+                report.concepts
+            ));
+            out.push_str("rank  score     cluster  run\n");
+            for (i, r) in report.runs.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:>4}  {:.6}  {:>7}  {}\n",
+                    i + 1,
+                    r.score,
+                    cluster_of(&r.name),
+                    r.name
+                ));
+            }
+            match &report.outlier {
+                Some(name) => {
+                    let top = &report.runs[0];
+                    out.push_str(&format!(
+                        "outlier: {name} (score {:.6} > 2 × median {:.6})\n",
+                        top.score, report.median
+                    ));
+                    let traces = top
+                        .traces
+                        .iter()
+                        .take(FLEET_TOP_TRACES)
+                        .map(|(id, dev)| format!("{id} ({dev:.4})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!("  most deviant traces: {traces}\n"));
+                }
+                None => out.push_str("no outlier — the fleet looks homogeneous\n"),
+            }
+            if let (Some(name), Some((rank, score))) = (suspect, suspect_rank) {
+                let verdict = if report.outlier.as_deref() == Some(name) {
+                    "it IS the fleet outlier"
+                } else {
+                    "it is not the fleet outlier"
+                };
+                out.push_str(&format!(
+                    "suspect {name}: ranked #{rank} of {} (score {score:.6}) — {verdict}\n",
+                    report.runs.len()
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown format `{other}` (text|json)")),
+    }
 }
 
 /// Parse a `"P.T"` trace spec — the `--trace`/`--diffnlr` value and

@@ -401,6 +401,37 @@ fn execute(state: &State, req: &Request) -> Result<(String, usize), String> {
             };
             Ok((out, report.error_count()))
         }
+        "fleet" => {
+            no_trace_field(req)?;
+            if req.corpora.len() < 2 {
+                return Err(format!(
+                    "fleet needs at least 2 corpora, got {}",
+                    req.corpora.len()
+                ));
+            }
+            let params = params_of(req)?;
+            let format = format_of(req)?;
+            let opts = difftrace::FleetOptions {
+                threads: req.threads.unwrap_or(0),
+                cache: Some(Arc::clone(&state.cache)),
+            };
+            let mut fleet = difftrace::FleetRun::new(params.clone());
+            for name in &req.corpora {
+                let ix = state.corpora.get(name).ok_or_else(|| {
+                    format!(
+                        "unknown corpus `{name}` (serving: {})",
+                        state.corpora.keys().cloned().collect::<Vec<_>>().join(", ")
+                    )
+                })?;
+                let set = ix.full_set().map_err(|e| e.to_string())?;
+                fleet
+                    .add_run_rec(name, &set, &opts, rec)
+                    .map_err(|e| e.to_string())?;
+            }
+            let report = fleet.report();
+            let out = render::fleet_summary(&report, &params, req.suspect.as_deref(), format)?;
+            Ok((out, usize::from(report.outlier.is_some())))
+        }
         "single" => {
             let ix = corpus(state, &req.corpus, "corpus")?;
             let params = params_of(req)?;

@@ -1,0 +1,100 @@
+//! Demo fleets: N healthy executions of one workload plus one with an
+//! injected fault — the corpus shape `difftrace fleet` consumes.
+//!
+//! Each run gets its **own** fresh [`FunctionRegistry`]: a fleet is
+//! recorded across machines and days, so nothing may assume shared
+//! interning. (The fleet analysis canonicalizes by name, which these
+//! generators exercise by construction.)
+
+use crate::oddeven::{run_oddeven, OddEvenConfig};
+use crate::stencil::{run_stencil, StencilConfig, StencilFault};
+use dt_trace::FunctionRegistry;
+use mpisim::RunOutcome;
+use std::sync::Arc;
+
+/// An odd/even-sort fleet: `healthy` clean runs (`run-0`…) on varied
+/// input seeds plus one `fault` run with the paper's swapBug, at the
+/// paper's 16-rank size.
+pub fn oddeven_fleet(healthy: usize) -> Vec<(String, RunOutcome)> {
+    oddeven_fleet_sized(16, 4, healthy)
+}
+
+/// [`oddeven_fleet`] at an arbitrary size — small configurations keep
+/// test fleets fast.
+pub fn oddeven_fleet_sized(
+    ranks: u32,
+    values_per_rank: usize,
+    healthy: usize,
+) -> Vec<(String, RunOutcome)> {
+    let mut fleet = Vec::with_capacity(healthy + 1);
+    for i in 0..healthy {
+        let cfg = OddEvenConfig {
+            ranks,
+            values_per_rank,
+            seed: 2019 + i as u64,
+            fault: None,
+        };
+        fleet.push((
+            format!("run-{i}"),
+            run_oddeven(&cfg, Arc::new(FunctionRegistry::new())),
+        ));
+    }
+    let cfg = OddEvenConfig {
+        ranks,
+        values_per_rank,
+        seed: 2019,
+        fault: Some(OddEvenConfig::swap_bug()),
+    };
+    fleet.push((
+        "fault".to_string(),
+        run_oddeven(&cfg, Arc::new(FunctionRegistry::new())),
+    ));
+    fleet
+}
+
+/// A 1-D stencil fleet: `healthy` clean runs (`run-0`…) with slightly
+/// varied convergence thresholds plus one `fault` run where rank 3
+/// keeps using stale halo data (convergence stalls, so its loop trip
+/// counts deviate from the fleet consensus).
+pub fn stencil_fleet(healthy: usize) -> Vec<(String, RunOutcome)> {
+    let mut fleet = Vec::with_capacity(healthy + 1);
+    for i in 0..healthy {
+        let cfg = StencilConfig {
+            residual_threshold: 400 + 20 * i as i64,
+            ..StencilConfig::default_8()
+        };
+        fleet.push((
+            format!("run-{i}"),
+            run_stencil(&cfg, Arc::new(FunctionRegistry::new())).0,
+        ));
+    }
+    let cfg = StencilConfig {
+        fault: Some(StencilFault::StaleHalo {
+            rank: 3,
+            after_iter: 2,
+        }),
+        ..StencilConfig::default_8()
+    };
+    fleet.push((
+        "fault".to_string(),
+        run_stencil(&cfg, Arc::new(FunctionRegistry::new())).0,
+    ));
+    fleet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_oddeven_fleet_has_named_runs_and_aligned_traces() {
+        let fleet = oddeven_fleet_sized(4, 2, 3);
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[0].0, "run-0");
+        assert_eq!(fleet[3].0, "fault");
+        let ids = fleet[0].1.traces.ids();
+        for (name, run) in &fleet {
+            assert_eq!(run.traces.ids(), ids, "{name} not aligned");
+        }
+    }
+}
